@@ -1,0 +1,150 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index), plus bechamel
+   micro-benchmarks of the kernels behind each artefact.
+
+     dune exec bench/main.exe                 -- all experiments
+     dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- --only fig9a -- one experiment
+     dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks *)
+
+let list_experiments () =
+  List.iter
+    (fun e -> Printf.printf "%-14s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
+    Experiments.Registry.all
+
+(* --- bechamel micro-benchmarks: one per table/figure --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let fempic_fixture () =
+    let sim =
+      Fempic.Fempic_sim.create ~prm:Experiments.Config.fempic_small_prm
+        ~profile:(Opp_core.Profile.create ())
+        (Experiments.Config.fempic_mesh ())
+    in
+    ignore (Fempic.Fempic_sim.prefill sim);
+    sim
+  in
+  let cabana_fixture ?(ppc = 64) () =
+    Cabana.Cabana_sim.create
+      ~prm:(Experiments.Config.cabana_prm ~ppc)
+      ~profile:(Opp_core.Profile.create ())
+      ()
+  in
+  let fempic_sim = fempic_fixture () in
+  let cabana_sim = cabana_fixture () in
+  let cabana_reference = Cabana_ref.create ~prm:(Experiments.Config.cabana_prm ~ppc:64) () in
+  let dist_fixture =
+    Apps_dist.Cabana_dist.create
+      ~prm:(Experiments.Config.cabana_scaled_prm ~ranks:2 ~ppc:16)
+      ~nranks:2
+      ~profile:(Opp_core.Profile.create ())
+      ()
+  in
+  let deposit_under mode =
+    let gpu =
+      Opp_gpu.Gpu_runner.create ~profile:(Opp_core.Profile.create ()) ~mode
+        Opp_perf.Device.mi250x_gcd
+    in
+    let sim =
+      Fempic.Fempic_sim.create ~prm:Experiments.Config.fempic_small_prm
+        ~profile:(Opp_core.Profile.create ())
+        ~runner:(Opp_gpu.Gpu_runner.runner gpu)
+        (Experiments.Config.fempic_mesh ())
+    in
+    ignore (Fempic.Fempic_sim.prefill sim);
+    ignore (Fempic.Fempic_sim.step sim);
+    sim
+  in
+  let deposit_at = deposit_under Opp_gpu.Gpu_runner.AT in
+  let deposit_sr = deposit_under Opp_gpu.Gpu_runner.SR in
+  let spec =
+    Opp_codegen.Parser.parse
+      (String.concat "\n"
+         [
+           "program bench"; "set cells"; "set nodes"; "particle_set parts cells";
+           "map c2n cells nodes 4"; "map p2c parts cells 1"; "map c2c cells cells 4";
+           "dat nd nodes 1"; "dat pd parts 4";
+           "loop L kernel k over parts iterate all";
+           "  arg pd read"; "  arg nd idx 0 map c2n p2c p2c inc"; "end";
+           "move M kernel mk over parts c2c c2c p2c p2c"; "  arg pd rw"; "end";
+         ])
+  in
+  [
+    (* fig9a / fig10 / fig13: the Mini-FEM-PIC step and its mover *)
+    Test.make ~name:"fig9a:fempic_step"
+      (Staged.stage (fun () -> ignore (Fempic.Fempic_sim.step fempic_sim)));
+    (* fig13/fig14: the communication primitive of the scaling runs *)
+    Test.make ~name:"fig13:halo_exchange"
+      (Staged.stage (fun () ->
+           Opp_dist.Exch.exchange dist_fixture.Apps_dist.Cabana_dist.cell_exch ~dim:3
+             ~data:(fun r ->
+               dist_fixture.Apps_dist.Cabana_dist.sims.(r).Cabana.Cabana_sim.cell_e
+                 .Opp_core.Types.d_data)));
+    (* fig9b / fig11 / fig14: the CabanaPIC step *)
+    Test.make ~name:"fig9b:cabana_step"
+      (Staged.stage (fun () -> Cabana.Cabana_sim.step cabana_sim));
+    (* fig12: the structured original *)
+    Test.make ~name:"fig12:cabana_ref_step"
+      (Staged.stage (fun () -> Cabana_ref.step cabana_reference));
+    (* tab1 / fig15: a full distributed step (halo exchange + migration) *)
+    Test.make ~name:"tab1:dist_step"
+      (Staged.stage (fun () -> Apps_dist.Cabana_dist.step dist_fixture));
+    (* abl_atomics: deposits under AT and segmented reduction *)
+    Test.make ~name:"abl:deposit_at"
+      (Staged.stage (fun () -> Fempic.Fempic_sim.deposit_charge deposit_at));
+    Test.make ~name:"abl:deposit_sr"
+      (Staged.stage (fun () -> Fempic.Fempic_sim.deposit_charge deposit_sr));
+    (* tab2: the translator (template expansion for all five targets) *)
+    Test.make ~name:"tab2:codegen"
+      (Staged.stage (fun () -> ignore (Opp_codegen.Emit.emit_all spec)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  Printf.printf "%-28s %16s\n" "micro-benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est > 1e9 then Printf.sprintf "%8.3f  s" (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+                else Printf.sprintf "%8.0f ns" est
+              in
+              Printf.printf "%-28s %16s\n" name pretty
+          | _ -> Printf.printf "%-28s %16s\n" name "n/a")
+        results)
+    (micro_tests ())
+
+let find_flag_value args flag =
+  let rec go = function
+    | a :: b :: _ when a = flag -> Some b
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then list_experiments ()
+  else if List.mem "--micro" args then run_micro ()
+  else
+    match find_flag_value args "--only" with
+    | Some id -> (
+        match Experiments.Registry.find id with
+        | Some e -> Experiments.Registry.run_one Format.std_formatter e
+        | None ->
+            Printf.eprintf "unknown experiment '%s'; try --list\n" id;
+            exit 1)
+    | None ->
+        Experiments.Registry.run_all Format.std_formatter;
+        Format.printf "@.(micro-benchmarks: run with --micro)@."

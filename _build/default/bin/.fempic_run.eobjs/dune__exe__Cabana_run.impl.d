@@ -1,0 +1,1 @@
+bin/cabana_run.ml: Apps_dist Arg Cabana Cabana_ref Cmd Cmdliner Float Format Opp_core Opp_dist Opp_gpu Opp_perf Opp_thread Printf Term

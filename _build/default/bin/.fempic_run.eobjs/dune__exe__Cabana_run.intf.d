@@ -1,0 +1,1 @@
+bin/cabana_run.mli:

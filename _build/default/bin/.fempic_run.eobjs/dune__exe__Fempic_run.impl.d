@@ -1,0 +1,1 @@
+bin/fempic_run.ml: Apps_dist Arg Array Cmd Cmdliner Fempic Format Opp_core Opp_dist Opp_gpu Opp_mesh Opp_perf Opp_thread Printf Term

@@ -1,0 +1,1 @@
+bin/fempic_run.mli:

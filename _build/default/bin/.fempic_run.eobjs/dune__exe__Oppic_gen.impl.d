@@ -1,0 +1,1 @@
+bin/oppic_gen.ml: Arg Cmd Cmdliner Filename Fun List Opp_codegen Printf String Sys Term

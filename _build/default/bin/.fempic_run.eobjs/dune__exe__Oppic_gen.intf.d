@@ -1,0 +1,1 @@
+bin/oppic_gen.mli:

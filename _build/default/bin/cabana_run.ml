@@ -1,0 +1,124 @@
+(* CabanaPIC driver (electromagnetic two-stream).
+
+   Examples:
+     dune exec bin/cabana_run.exe -- --steps 200
+     dune exec bin/cabana_run.exe -- --nz 64 --ppc 128 --steps 500
+     dune exec bin/cabana_run.exe -- --backend mpi --ranks 4
+     dune exec bin/cabana_run.exe -- --validate    (against the structured original) *)
+
+open Cmdliner
+
+let device_of_name = function
+  | "v100" -> Some Opp_perf.Device.v100
+  | "h100" -> Some Opp_perf.Device.h100
+  | "mi210" -> Some Opp_perf.Device.mi210
+  | "mi250x" -> Some Opp_perf.Device.mi250x_gcd
+  | _ -> None
+
+let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
+  let prm =
+    {
+      Cabana.Cabana_params.default with
+      Cabana.Cabana_params.nx;
+      ny;
+      nz;
+      ppc;
+      v0;
+      seed;
+    }
+  in
+  Printf.printf "CabanaPIC: %d cells, %d particles, dt=%.4f, backend=%s\n%!"
+    (Cabana.Cabana_params.ncells prm)
+    (Cabana.Cabana_params.nparticles prm)
+    (Cabana.Cabana_params.dt prm) backend;
+  let profile = Opp_core.Profile.create () in
+  let report_every = max 1 (steps / 10) in
+  if validate then begin
+    let dsl = Cabana.Cabana_sim.create ~prm ~profile () in
+    let reference = Cabana_ref.create ~prm () in
+    let max_diff = ref 0.0 in
+    for s = 1 to steps do
+      Cabana.Cabana_sim.step dsl;
+      Cabana_ref.step reference;
+      let a = (Cabana.Cabana_sim.energies dsl).Cabana.Cabana_sim.e_field in
+      let b = (Cabana_ref.energies reference).Cabana_ref.e_field in
+      max_diff := Float.max !max_diff (Float.abs (a -. b));
+      if s mod report_every = 0 then Printf.printf "step %4d: E=%.6e |dsl-ref|=%.3e\n%!" s a (Float.abs (a -. b))
+    done;
+    Printf.printf "max |E energy difference| over %d steps: %.3e\n%!" steps !max_diff
+  end
+  else
+    match backend with
+    | "mpi" ->
+        let dist =
+          Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
+            ?workers:(if hybrid then Some workers else None)
+            ~profile ()
+        in
+        for s = 1 to steps do
+          Apps_dist.Cabana_dist.step dist;
+          if s mod report_every = 0 then begin
+            let e = Apps_dist.Cabana_dist.energies dist in
+            Printf.printf "step %4d: E=%.6e B=%.6e K=%.6e migrated=%d\n%!" s
+              e.Cabana.Cabana_sim.e_field e.Cabana.Cabana_sim.b_field
+              e.Cabana.Cabana_sim.kinetic dist.Apps_dist.Cabana_dist.last_migrated
+          end
+        done;
+        Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
+          dist.Apps_dist.Cabana_dist.traffic;
+        Apps_dist.Cabana_dist.shutdown dist
+    | _ ->
+        let runner, cleanup =
+          match backend with
+          | "seq" -> (Opp_core.Runner.seq ~profile (), fun () -> ())
+          | "omp" ->
+              let th = Opp_thread.Thread_runner.create ~profile ~workers () in
+              (Opp_thread.Thread_runner.runner th, fun () -> Opp_thread.Thread_runner.shutdown th)
+          | name -> (
+              match device_of_name name with
+              | Some device ->
+                  let gpu = Opp_gpu.Gpu_runner.create ~profile device in
+                  (Opp_gpu.Gpu_runner.runner gpu, fun () -> ())
+              | None ->
+                  Printf.eprintf "unknown backend '%s' (seq|omp|mpi|v100|h100|mi210|mi250x)\n"
+                    name;
+                  exit 1)
+        in
+        let sim = Cabana.Cabana_sim.create ~prm ~runner ~profile () in
+        for s = 1 to steps do
+          Cabana.Cabana_sim.step sim;
+          if s mod report_every = 0 then begin
+            let e = Cabana.Cabana_sim.energies sim in
+            Printf.printf "step %4d: E=%.6e B=%.6e K=%.6e\n%!" s e.Cabana.Cabana_sim.e_field
+              e.Cabana.Cabana_sim.b_field e.Cabana.Cabana_sim.kinetic
+          end
+        done;
+        cleanup ();
+        Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ()
+
+let cmd =
+  let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"cells in x") in
+  let ny = Arg.(value & opt int 4 & info [ "ny" ] ~doc:"cells in y") in
+  let nz = Arg.(value & opt int 32 & info [ "nz" ] ~doc:"cells in z (stream axis)") in
+  let ppc = Arg.(value & opt int 32 & info [ "ppc" ] ~doc:"particles per cell") in
+  let v0 = Arg.(value & opt float 0.2 & info [ "v0" ] ~doc:"stream speed (fraction of c)") in
+  let steps = Arg.(value & opt int 100 & info [ "steps" ] ~doc:"time steps") in
+  let backend =
+    Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq|omp|mpi|v100|h100|mi210|mi250x")
+  in
+  let workers = Arg.(value & opt int 2 & info [ "workers" ] ~doc:"omp worker domains") in
+  let ranks = Arg.(value & opt int 2 & info [ "ranks" ] ~doc:"simulated MPI ranks") in
+  let hybrid =
+    Arg.(value & flag & info [ "hybrid" ] ~doc:"MPI+OpenMP: per-rank Domains runners")
+  in
+  let seed = Arg.(value & opt int 99 & info [ "seed" ] ~doc:"RNG seed") in
+  let validate =
+    Arg.(value & flag & info [ "validate" ] ~doc:"compare against the structured-mesh original")
+  in
+  Cmd.v
+    (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
+    Term.(
+      const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
+      $ validate)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,139 @@
+(* Mini-FEM-PIC driver.
+
+   Examples:
+     dune exec bin/fempic_run.exe -- --steps 100
+     dune exec bin/fempic_run.exe -- --nx 6 --ny 6 --nz 12 --particles 50000 --direct-hop
+     dune exec bin/fempic_run.exe -- --backend omp --workers 4
+     dune exec bin/fempic_run.exe -- --backend mpi --ranks 4
+     dune exec bin/fempic_run.exe -- --backend v100 --steps 20   (modelled GPU)
+     dune exec bin/fempic_run.exe -- --write-mesh duct.dat *)
+
+open Cmdliner
+
+let device_of_name = function
+  | "v100" -> Some Opp_perf.Device.v100
+  | "h100" -> Some Opp_perf.Device.h100
+  | "mi210" -> Some Opp_perf.Device.mi210
+  | "mi250x" -> Some Opp_perf.Device.mi250x_gcd
+  | _ -> None
+
+let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
+    seed write_mesh neutral_density =
+  let mesh = Opp_mesh.Tet_mesh.build ~nx ~ny ~nz ~lx ~ly ~lz in
+  (match write_mesh with
+  | Some path ->
+      Opp_mesh.Mesh_io.write_tet mesh path;
+      Printf.printf "mesh written to %s\n%!" path
+  | None -> ());
+  let prm =
+    { Fempic.Params.default with Fempic.Params.target_particles = float_of_int particles; seed }
+  in
+  Printf.printf "Mini-FEM-PIC: %d cells, %d nodes, %d inlet faces, backend=%s\n%!"
+    mesh.Opp_mesh.Tet_mesh.ncells mesh.Opp_mesh.Tet_mesh.nnodes
+    (Array.length mesh.Opp_mesh.Tet_mesh.inlet_faces)
+    backend;
+  let finish profile sim_diag =
+    Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
+    sim_diag ()
+  in
+  let profile = Opp_core.Profile.create () in
+  match backend with
+  | "mpi" ->
+      let dist =
+        Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
+          ?workers:(if hybrid then Some workers else None)
+          ~profile mesh
+      in
+      for s = 1 to steps do
+        ignore (Apps_dist.Fempic_dist.step dist);
+        if s mod 10 = 0 || s = steps then
+          Printf.printf "step %4d: particles=%d migrated=%d\n%!" s
+            (Apps_dist.Fempic_dist.total_particles dist)
+            dist.Apps_dist.Fempic_dist.last_migrated
+      done;
+      finish profile (fun () ->
+          Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
+            dist.Apps_dist.Fempic_dist.traffic);
+      Apps_dist.Fempic_dist.shutdown dist
+  | _ ->
+      let runner, cleanup =
+        match backend with
+        | "seq" -> (Opp_core.Runner.seq ~profile (), fun () -> ())
+        | "omp" ->
+            let th = Opp_thread.Thread_runner.create ~profile ~workers () in
+            (Opp_thread.Thread_runner.runner th, fun () -> Opp_thread.Thread_runner.shutdown th)
+        | name -> (
+            match device_of_name name with
+            | Some device ->
+                let gpu = Opp_gpu.Gpu_runner.create ~profile device in
+                (Opp_gpu.Gpu_runner.runner gpu, fun () -> ())
+            | None ->
+                Printf.eprintf "unknown backend '%s' (seq|omp|mpi|v100|h100|mi210|mi250x)\n" name;
+                exit 1)
+      in
+      let sim = Fempic.Fempic_sim.create ~prm ~runner ~profile ~use_direct_hop:direct_hop mesh in
+      if prefill then Printf.printf "prefilled %d particles\n%!" (Fempic.Fempic_sim.prefill sim);
+      let mcc =
+        if neutral_density > 0.0 then
+          Some
+            (Fempic.Collisions.create ~neutral_density ~dt:prm.Fempic.Params.dt
+               ~parts:sim.Fempic.Fempic_sim.parts ~part_vel:sim.Fempic.Fempic_sim.part_vel
+               ~seed:(seed + 1) ())
+        else None
+      in
+      for s = 1 to steps do
+        ignore (Fempic.Fempic_sim.step sim);
+        (match mcc with Some m -> ignore (Fempic.Collisions.apply ~runner m) | None -> ());
+        if s mod 10 = 0 || s = steps then begin
+          let d = Fempic.Fempic_sim.diagnostics sim in
+          Printf.printf "step %4d: particles=%7d phi=[%.3f, %.3f] |E|=%.3e\n%!" s
+            d.Fempic.Fempic_sim.particles d.Fempic.Fempic_sim.min_potential
+            d.Fempic.Fempic_sim.max_potential d.Fempic.Fempic_sim.mean_ef_magnitude
+        end
+      done;
+      (match mcc with
+      | Some m ->
+          Printf.printf "collisions: %d charge-exchange, %d elastic\n%!"
+            m.Fempic.Collisions.cx_count m.Fempic.Collisions.elastic_count
+      | None -> ());
+      cleanup ();
+      finish profile (fun () -> ())
+
+let cmd =
+  let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"duct hexes in x") in
+  let ny = Arg.(value & opt int 4 & info [ "ny" ] ~doc:"duct hexes in y") in
+  let nz = Arg.(value & opt int 8 & info [ "nz" ] ~doc:"duct hexes in z (flow axis)") in
+  let lx = Arg.(value & opt float 4e-5 & info [ "lx" ] ~doc:"duct width (m)") in
+  let ly = Arg.(value & opt float 4e-5 & info [ "ly" ] ~doc:"duct height (m)") in
+  let lz = Arg.(value & opt float 8e-5 & info [ "lz" ] ~doc:"duct length (m)") in
+  let particles =
+    Arg.(value & opt int 20_000 & info [ "particles" ] ~doc:"steady-state macro-particle target")
+  in
+  let steps = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"time steps") in
+  let backend =
+    Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq|omp|mpi|v100|h100|mi210|mi250x")
+  in
+  let workers = Arg.(value & opt int 2 & info [ "workers" ] ~doc:"omp worker domains") in
+  let ranks = Arg.(value & opt int 2 & info [ "ranks" ] ~doc:"simulated MPI ranks") in
+  let hybrid =
+    Arg.(value & flag & info [ "hybrid" ] ~doc:"MPI+OpenMP: per-rank Domains runners")
+  in
+  let direct_hop = Arg.(value & flag & info [ "direct-hop" ] ~doc:"use the direct-hop mover") in
+  let prefill = Arg.(value & flag & info [ "prefill" ] ~doc:"start from the steady-state fill") in
+  let seed = Arg.(value & opt int 1234 & info [ "seed" ] ~doc:"RNG seed") in
+  let write_mesh =
+    Arg.(value & opt (some string) None & info [ "write-mesh" ] ~doc:"dump the mesh as ASCII .dat")
+  in
+  let neutral_density =
+    Arg.(
+      value & opt float 0.0
+      & info [ "collisions" ]
+          ~doc:"neutral background density (m^-3) for Monte-Carlo collisions; 0 disables")
+  in
+  Cmd.v
+    (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
+    Term.(
+      const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
+      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cabana_twostream.ml: Cabana Cabana_ref Float Printf

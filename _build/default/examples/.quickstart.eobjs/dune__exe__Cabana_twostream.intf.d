@@ -1,0 +1,1 @@
+examples/cabana_twostream.mli:

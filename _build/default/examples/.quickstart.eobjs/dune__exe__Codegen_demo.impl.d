@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: List Opp_codegen Printf Str String

@@ -1,0 +1,1 @@
+examples/dsl_tutorial.ml: Array Float Opp Opp_core Particle Printf Profile Rng Runner Seq Types View

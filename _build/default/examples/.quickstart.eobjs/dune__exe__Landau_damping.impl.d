@@ -1,0 +1,1 @@
+examples/landau_damping.ml: Array Float Landau Opp_core Printf String

@@ -1,0 +1,1 @@
+examples/landau_damping.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fempic Format Opp_core Opp_mesh Printf

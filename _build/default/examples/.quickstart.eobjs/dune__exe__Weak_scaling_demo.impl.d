@@ -1,0 +1,1 @@
+examples/weak_scaling_demo.ml: Apps_dist Cabana List Opp_core Opp_dist Printf

@@ -1,0 +1,42 @@
+(* Two-stream instability with CabanaPIC: runs the OP-PIC DSL version
+   and the structured-mesh reference side by side, printing field and
+   kinetic energies. The electric field energy should grow
+   exponentially out of the noise floor and the two implementations
+   should agree to machine precision (the paper's validation).
+   Run with: dune exec examples/cabana_twostream.exe *)
+
+let () =
+  let prm = Cabana.Cabana_params.default in
+  let history = Cabana.Diagnostics.history ~dt:(Cabana.Cabana_params.dt prm) in
+  Printf.printf "cabana two-stream: %d cells, %d particles, dt=%.4f\n%!"
+    (Cabana.Cabana_params.ncells prm)
+    (Cabana.Cabana_params.nparticles prm)
+    (Cabana.Cabana_params.dt prm);
+  let dsl = Cabana.Cabana_sim.create ~prm () in
+  let reference = Cabana_ref.create ~prm () in
+  Printf.printf "%6s %14s %14s %14s %12s\n%!" "step" "E energy" "B energy" "kinetic" "|dsl-ref|";
+  for s = 1 to 400 do
+    Cabana.Cabana_sim.step dsl;
+    Cabana_ref.step reference;
+    let a = Cabana.Cabana_sim.energies dsl in
+    Cabana.Diagnostics.record history ~step:s ~e_field:a.Cabana.Cabana_sim.e_field;
+    if s mod 40 = 0 then begin
+      let b = Cabana_ref.energies reference in
+      let diff = Float.abs (a.Cabana.Cabana_sim.e_field -. b.Cabana_ref.e_field) in
+      Printf.printf "%6d %14.6e %14.6e %14.6e %12.3e\n%!" s a.Cabana.Cabana_sim.e_field
+        a.Cabana.Cabana_sim.b_field a.Cabana.Cabana_sim.kinetic diff
+    end
+  done;
+  (* growth of the seeded unstable mode against cold-beam theory *)
+  let kv = Cabana.Diagnostics.seeded_kv prm in
+  (match
+     ( Cabana.Diagnostics.theoretical_growth_rate ~kv,
+       Cabana.Diagnostics.growth_rate history ~from_step:150 ~to_step:400 )
+   with
+  | Some theory, Some measured ->
+      Printf.printf
+        "\nseeded mode k v0/wp = %.2f: growth rate measured %.3f vs cold-beam theory %.3f\n"
+        kv measured theory;
+      Printf.printf
+        "(first-order cell-centred deposition under-resolves the rate; see EXPERIMENTS.md)\n"
+  | _ -> ())

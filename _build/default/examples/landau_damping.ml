@@ -1,0 +1,38 @@
+(* Landau damping: a third application written in the OP-PIC DSL (the
+   paper's future work asks for more simulations on top of the
+   abstraction). A quiet-start Maxwellian plasma damps a seeded
+   Langmuir wave collisionlessly; the measured rate lands within ~1% of
+   Landau's kinetic theory at k lambda_D = 0.5.
+
+   Run with: dune exec examples/landau_damping.exe *)
+
+let () =
+  let prm = Landau.Landau_sim.default in
+  let sim = Landau.Landau_sim.create ~prm () in
+  Printf.printf "Landau damping: %d ring cells, %d electrons, k*lambda_D = %.2f\n\n"
+    prm.Landau.Landau_sim.nz
+    sim.Landau.Landau_sim.parts.Opp_core.Types.s_size
+    prm.Landau.Landau_sim.k_ld;
+  let steps = 120 in
+  let history = Array.make steps 0.0 in
+  Printf.printf "%8s %14s  (log-scale bar)\n" "t [1/wp]" "field energy";
+  for s = 0 to steps - 1 do
+    Landau.Landau_sim.step sim;
+    history.(s) <- Landau.Landau_sim.field_energy sim;
+    if s mod 8 = 0 then begin
+      let bar =
+        let floor_e = 1e-7 in
+        let len = int_of_float (6.0 *. (log10 (Float.max history.(s) floor_e) +. 7.0)) in
+        String.make (max 0 len) '#'
+      in
+      Printf.printf "%8.1f %14.6e  %s\n" (float_of_int (s + 1) *. prm.Landau.Landau_sim.dt)
+        history.(s) bar
+    end
+  done;
+  match Landau.Landau_sim.fit_damping_rate ~dt:prm.Landau.Landau_sim.dt (Array.sub history 0 80) with
+  | Some gamma ->
+      let theory = Landau.Landau_sim.theoretical_damping_rate prm in
+      Printf.printf "\nmeasured damping rate gamma = %.4f\n" gamma;
+      Printf.printf "Landau's kinetic theory     = %.4f  (%.1f%% apart)\n" theory
+        (100.0 *. Float.abs (gamma -. theory) /. theory)
+  | None -> print_endline "no fit"

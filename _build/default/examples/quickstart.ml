@@ -1,0 +1,28 @@
+(* Quickstart: build a small duct, run Mini-FEM-PIC for 100 steps and
+   print per-step diagnostics. Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let mesh = Opp_mesh.Tet_mesh.build ~nx:6 ~ny:6 ~nz:12 ~lx:6e-5 ~ly:6e-5 ~lz:1.2e-4 in
+  Printf.printf "mesh: %d cells, %d nodes, %d inlet faces\n%!" mesh.Opp_mesh.Tet_mesh.ncells
+    mesh.Opp_mesh.Tet_mesh.nnodes
+    (Array.length mesh.Opp_mesh.Tet_mesh.inlet_faces);
+  let prm = { Fempic.Params.default with Fempic.Params.target_particles = 20_000.0 } in
+  let sim = Fempic.Fempic_sim.create ~prm mesh in
+  for s = 1 to 100 do
+    let injected = Fempic.Fempic_sim.step sim in
+    if s mod 10 = 0 then begin
+      let d = Fempic.Fempic_sim.diagnostics sim in
+      let solver =
+        match sim.Fempic.Fempic_sim.last_solver_stats with
+        | Some st ->
+            Printf.sprintf "newton=%d cg=%d conv=%b" st.Fempic.Field_solver.newton_iterations
+              st.Fempic.Field_solver.cg_iterations st.Fempic.Field_solver.converged
+        | None -> "-"
+      in
+      Printf.printf
+        "step %3d: injected=%4d particles=%6d phi=[%8.3f, %8.3f] |E|=%10.3e  %s\n%!" s injected
+        d.Fempic.Fempic_sim.particles d.Fempic.Fempic_sim.min_potential
+        d.Fempic.Fempic_sim.max_potential d.Fempic.Fempic_sim.mean_ef_magnitude solver
+    end
+  done;
+  Format.printf "%a" (fun fmt () -> Opp_core.Profile.pp fmt ()) ()

@@ -1,0 +1,1 @@
+lib/apps_dist/cabana_dist.ml: Array Cabana Exch Float Hashtbl List Mailbox Opp Opp_core Opp_dist Opp_mesh Opp_thread Option Partition Profile Runner Seq Traffic Types

@@ -1,0 +1,1 @@
+lib/apps_dist/fempic_dist.ml: Array Exch Fempic Float Hashtbl List Mailbox Opp Opp_core Opp_dist Opp_mesh Opp_thread Option Particle Partition Profile Runner Seq Tet_part Traffic Types

@@ -1,0 +1,257 @@
+(** CabanaPIC over the simulated-MPI backend.
+
+    The periodic cuboid is sliced into z-slabs (the two-stream beams
+    run along z, so particles cross rank boundaries constantly — the
+    multi-hop distributed mover gets exercised hard, as in the paper's
+    CabanaPIC scaling runs). Each rank owns a slab plus a one-cell
+    halo ring of the full 27-point stencil; the driver exchanges E/B
+    halos around the field kernels (the paper's Update_Ghosts) and
+    migrates mid-walk particles with their remaining displacement, so
+    current deposits land on the rank that owns each crossed cell. *)
+
+open Opp_core
+open Opp_dist
+
+type t = {
+  nranks : int;
+  prm : Cabana.Cabana_params.t;
+  mesh : Opp_mesh.Hex_mesh.t;  (** global geometry *)
+  cell_rank : int array;
+  sims : Cabana.Cabana_sim.t array;
+  threads : Opp_thread.Thread_runner.t option;
+  tops : Cabana.Cabana_sim.topology array;
+  cell_g2l : (int, int) Hashtbl.t array;
+  owned : int array;  (** owned cell count per rank *)
+  cell_exch : Exch.t;
+  traffic : Traffic.t;
+  profile : Profile.t;
+  mutable step_count : int;
+  mutable last_migrated : int;
+}
+
+(* 3 off + 3 vel + 3 disp + 1 w *)
+let payload_dim = 10
+
+(* Build a rank's local topology: owned slab cells first (ascending
+   global id), then the halo = every stencil neighbour owned
+   elsewhere. *)
+let build_topology (prm : Cabana.Cabana_params.t) (mesh : Opp_mesh.Hex_mesh.t) ~cell_rank ~r =
+  let ncells_g = mesh.Opp_mesh.Hex_mesh.ncells in
+  let owned = ref [] in
+  for c = ncells_g - 1 downto 0 do
+    if cell_rank.(c) = r then owned := c :: !owned
+  done;
+  let owned = Array.of_list !owned in
+  let halo_set = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      for s = 0 to 26 do
+        let nb = mesh.Opp_mesh.Hex_mesh.cell_cell27.((27 * c) + s) in
+        if cell_rank.(nb) <> r then Hashtbl.replace halo_set nb ()
+      done)
+    owned;
+  let halo = Array.of_list (List.sort compare (Hashtbl.fold (fun c () l -> c :: l) halo_set [])) in
+  let cells_g = Array.append owned halo in
+  let g2l = Hashtbl.create (Array.length cells_g) in
+  Array.iteri (fun l g -> Hashtbl.replace g2l g l) cells_g;
+  let localize stencil arity =
+    let out = Array.make (arity * Array.length cells_g) (-1) in
+    Array.iteri
+      (fun l g ->
+        for s = 0 to arity - 1 do
+          let nb = stencil.((arity * g) + s) in
+          out.((arity * l) + s) <-
+            (match Hashtbl.find_opt g2l nb with Some lnb -> lnb | None -> -1)
+        done)
+      cells_g;
+    out
+  in
+  let dz = Cabana.Cabana_params.dz prm in
+  let topology =
+    {
+      Cabana.Cabana_sim.tp_ncells = Array.length cells_g;
+      tp_owned = Array.length owned;
+      tp_c2c27 = localize mesh.Opp_mesh.Hex_mesh.cell_cell27 27;
+      tp_c2c6 = localize (Opp_mesh.Hex_mesh.face_neighbours mesh) 6;
+      tp_cell_gid = cells_g;
+      tp_cell_z0 =
+        Array.map
+          (fun g ->
+            let _, _, k = Opp_mesh.Hex_mesh.cell_ijk mesh g in
+            float_of_int k *. dz)
+          cells_g;
+    }
+  in
+  (topology, g2l)
+
+let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers
+    ?(profile = Profile.global) () =
+  let mesh =
+    Opp_mesh.Hex_mesh.build ~nx:prm.Cabana.Cabana_params.nx ~ny:prm.Cabana.Cabana_params.ny
+      ~nz:prm.Cabana.Cabana_params.nz ~lx:prm.Cabana.Cabana_params.lx
+      ~ly:prm.Cabana.Cabana_params.ly ~lz:prm.Cabana.Cabana_params.lz
+  in
+  let cell_rank =
+    Partition.slab ~nranks ~ncells:mesh.Opp_mesh.Hex_mesh.ncells ~coord:(fun c ->
+        mesh.Opp_mesh.Hex_mesh.cell_centroid.((3 * c) + 2))
+  in
+  let threads =
+    Option.map (fun w -> Opp_thread.Thread_runner.create ~profile ~workers:w ()) workers
+  in
+  let runner =
+    match threads with
+    | Some th -> Opp_thread.Thread_runner.runner th
+    | None -> Runner.seq ~profile ()
+  in
+  let tops = Array.init nranks (fun r -> build_topology prm mesh ~cell_rank ~r) in
+  let sims =
+    Array.map
+      (fun (topology, _) -> Cabana.Cabana_sim.create ~prm ~runner ~profile ~topology ())
+      tops
+  in
+  let cell_g2l = Array.map snd tops in
+  let owned = Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_owned) tops in
+  let links =
+    Array.init nranks (fun r ->
+        let tp, _ = tops.(r) in
+        Array.init
+          (tp.Cabana.Cabana_sim.tp_ncells - tp.Cabana.Cabana_sim.tp_owned)
+          (fun i ->
+            let l = tp.Cabana.Cabana_sim.tp_owned + i in
+            let g = tp.Cabana.Cabana_sim.tp_cell_gid.(l) in
+            let owner = cell_rank.(g) in
+            {
+              Exch.l_local = l;
+              Exch.l_owner_rank = owner;
+              Exch.l_owner_index = Hashtbl.find cell_g2l.(owner) g;
+            }))
+  in
+  {
+    nranks;
+    prm;
+    mesh;
+    cell_rank;
+    sims;
+    threads;
+    tops = Array.map fst tops;
+    cell_g2l;
+    owned;
+    cell_exch = Exch.create ~nranks ~links;
+    traffic = Traffic.create ();
+    profile;
+    step_count = 0;
+    last_migrated = 0;
+  }
+
+let exchange_field t (field : Cabana.Cabana_sim.t -> Types.dat) =
+  Exch.exchange ~traffic:t.traffic t.cell_exch ~dim:3 ~data:(fun r ->
+      (field t.sims.(r)).Types.d_data)
+
+(* --- particle migration (mid-walk, with remaining displacement) --- *)
+
+let pack t r mail ~p ~cell =
+  let sim = t.sims.(r) in
+  let gid = t.tops.(r).Cabana.Cabana_sim.tp_cell_gid.(cell) in
+  let dest = t.cell_rank.(gid) in
+  let payload = Array.make payload_dim 0.0 in
+  Array.blit sim.Cabana.Cabana_sim.part_off.Types.d_data (3 * p) payload 0 3;
+  Array.blit sim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * p) payload 3 3;
+  Array.blit sim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * p) payload 6 3;
+  payload.(9) <- sim.Cabana.Cabana_sim.part_w.Types.d_data.(p);
+  Mailbox.post mail ~src:r ~dest ~cell:gid ~payload
+
+let unpack t r batch =
+  let sim = t.sims.(r) in
+  let start = Opp.inject sim.Cabana.Cabana_sim.parts (List.length batch) in
+  List.iteri
+    (fun i (gcell, payload) ->
+      let idx = start + i in
+      Array.blit payload 0 sim.Cabana.Cabana_sim.part_off.Types.d_data (3 * idx) 3;
+      Array.blit payload 3 sim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * idx) 3;
+      Array.blit payload 6 sim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * idx) 3;
+      sim.Cabana.Cabana_sim.part_w.Types.d_data.(idx) <- payload.(9);
+      sim.Cabana.Cabana_sim.p2c.Types.m_data.(idx) <- Hashtbl.find t.cell_g2l.(r) gcell)
+    batch
+
+let move_deposit t =
+  let mail = Mailbox.create ~nranks:t.nranks ~payload_dim in
+  Array.iter Cabana.Cabana_sim.reset_accumulator t.sims;
+  let migrated = ref 0 in
+  let move_rank r iterate =
+    ignore
+      (Cabana.Cabana_sim.move_deposit
+         ~should_stop:(fun c -> c >= t.owned.(r))
+         ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
+         ~iterate t.sims.(r))
+  in
+  for r = 0 to t.nranks - 1 do
+    move_rank r Seq.Iterate_all
+  done;
+  let rounds = ref 0 in
+  while Mailbox.total mail > 0 do
+    incr rounds;
+    if !rounds > 1000 then failwith "Cabana_dist.move_deposit: migration did not settle";
+    Array.iter (fun sim -> Opp.reset_injected sim.Cabana.Cabana_sim.parts) t.sims;
+    let received = Array.make t.nranks false in
+    migrated :=
+      !migrated
+      + Mailbox.deliver ~traffic:t.traffic mail (fun r batch ->
+            received.(r) <- true;
+            unpack t r batch);
+    for r = 0 to t.nranks - 1 do
+      if received.(r) then move_rank r Seq.Iterate_injected
+    done
+  done;
+  Array.iter (fun sim -> Opp.reset_injected sim.Cabana.Cabana_sim.parts) t.sims;
+  t.last_migrated <- !migrated;
+  !migrated
+
+(* --- the distributed step --- *)
+
+let step t =
+  (* refresh E and B halos ("Update_Ghosts") before the stencils *)
+  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
+  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);
+  Array.iter Cabana.Cabana_sim.interpolate t.sims;
+  ignore (move_deposit t);
+  Array.iter Cabana.Cabana_sim.accumulate_current t.sims;
+  Array.iter (fun sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5) t.sims;
+  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);
+  Array.iter Cabana.Cabana_sim.advance_e t.sims;
+  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
+  Array.iter (fun sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5) t.sims;
+  t.step_count <- t.step_count + 1
+
+let run t ~steps =
+  for _ = 1 to steps do
+    step t
+  done
+
+let energies t =
+  Array.fold_left
+    (fun (acc : Cabana.Cabana_sim.energies) sim ->
+      let e = Cabana.Cabana_sim.energies sim in
+      {
+        Cabana.Cabana_sim.e_field = acc.Cabana.Cabana_sim.e_field +. e.Cabana.Cabana_sim.e_field;
+        b_field = acc.Cabana.Cabana_sim.b_field +. e.Cabana.Cabana_sim.b_field;
+        kinetic = acc.Cabana.Cabana_sim.kinetic +. e.Cabana.Cabana_sim.kinetic;
+      })
+    { Cabana.Cabana_sim.e_field = 0.0; b_field = 0.0; kinetic = 0.0 }
+    t.sims
+
+let total_particles t =
+  Array.fold_left (fun acc sim -> acc + sim.Cabana.Cabana_sim.parts.Types.s_size) 0 t.sims
+
+(** Release the hybrid backend's worker domains, if any. *)
+let shutdown t =
+  match t.threads with Some th -> Opp_thread.Thread_runner.shutdown th | None -> ()
+
+(** Particle load imbalance across ranks: max/mean - 1 (two-stream
+    bunching concentrates particles in some slabs). *)
+let particle_imbalance t =
+  let counts =
+    Array.map (fun sim -> float_of_int sim.Cabana.Cabana_sim.parts.Types.s_size) t.sims
+  in
+  let mx = Array.fold_left Float.max 0.0 counts in
+  let mean = Array.fold_left ( +. ) 0.0 counts /. float_of_int t.nranks in
+  if mean > 0.0 then (mx /. mean) -. 1.0 else 0.0

@@ -1,0 +1,1 @@
+lib/cabana/cabana_params.mli:

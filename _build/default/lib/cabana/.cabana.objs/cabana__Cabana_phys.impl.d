@@ -1,0 +1,1 @@
+lib/cabana/cabana_phys.ml: Array Cabana_params Float Opp_core

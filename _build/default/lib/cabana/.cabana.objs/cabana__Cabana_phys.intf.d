@@ -1,0 +1,1 @@
+lib/cabana/cabana_phys.mli: Cabana_params Opp_core

@@ -1,0 +1,1 @@
+lib/cabana/cabana_sim.ml: Array Cabana_params Cabana_phys Fun Opp Opp_core Opp_mesh Profile Rng Runner Seq View

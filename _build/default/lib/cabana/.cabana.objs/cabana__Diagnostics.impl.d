@@ -1,0 +1,1 @@
+lib/cabana/diagnostics.ml: Cabana_params Float List

@@ -1,0 +1,1 @@
+lib/cabana/diagnostics.mli: Cabana_params

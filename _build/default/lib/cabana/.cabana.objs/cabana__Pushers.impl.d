@@ -1,0 +1,1 @@
+lib/cabana/pushers.ml: Array Cabana_phys

@@ -1,0 +1,1 @@
+lib/cabana/pushers.mli:

@@ -1,0 +1,37 @@
+(** Configuration for the CabanaPIC two-stream benchmark, in VPIC-style
+    normalised units: c = 1, eps0 = mu0 = 1, electron q = -1, m = 1,
+    n0 = 1 (so the plasma frequency is 1). *)
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  ppc : int;  (** particles per cell, both streams together *)
+  v0 : float;  (** stream drift along z, units of c *)
+  perturb : float;  (** relative velocity perturbation *)
+  mode : int;  (** seeded wavenumber in box lengths *)
+  cfl : float;  (** fraction of the light Courant limit *)
+  lx : float;
+  ly : float;
+  lz : float;
+  seed : int;
+}
+
+val default : t
+
+val qe : float
+val me : float
+val n0 : float
+
+val dx : t -> float
+val dy : t -> float
+val dz : t -> float
+
+val dt : t -> float
+(** Time step at the configured Courant fraction. *)
+
+val ncells : t -> int
+val nparticles : t -> int
+
+val weight : t -> float
+(** Macro-particle weight giving density [n0]. *)

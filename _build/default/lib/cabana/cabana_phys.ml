@@ -1,0 +1,163 @@
+(** The shared numerics of CabanaPIC.
+
+    Both the OP-PIC (unstructured DSL) implementation and the
+    structured-mesh reference baseline call these routines, so the two
+    codes execute identical floating-point operations — this is what
+    makes the paper's validation (field energies agreeing to machine
+    precision, section 4) reproducible here.
+
+    Field layout per cell (Yee staggering, cell-owned components):
+    Ex on the x-edge at (i+1/2, j, k), Ey at (i, j+1/2, k), Ez at
+    (i, j, k+1/2); Bx on the x-face at (i, j+1/2, k+1/2), and so on.
+
+    Interpolator layout (18 doubles per cell, as in VPIC/CabanaPIC):
+    {v
+    0..3   ex0  dexdy  dexdz  d2exdydz
+    4..7   ey0  deydz  deydx  d2eydzdx
+    8..11  ez0  dezdx  dezdy  d2ezdxdy
+    12..13 cbx0 dcbxdx
+    14..15 cby0 dcbydy
+    16..17 cbz0 dcbzdz
+    v} *)
+
+(* Neighbour slots used by the interpolator. *)
+type nb = Own | Px | Py | Pz | Pyz | Pzx | Pxy
+
+(** Build the 18 interpolation coefficients. [get_e slot comp] /
+    [get_b slot comp] read field component [comp] of the neighbouring
+    cell [slot]; [set i v] writes coefficient [i]. *)
+let build_interpolator ~get_e ~get_b ~set =
+  (* Ex lives on the 4 x-edges of the cell: bilinear in (y, z) *)
+  let quarter = 0.25 in
+  let e1 = get_e Own 0 and e2 = get_e Py 0 and e3 = get_e Pz 0 and e4 = get_e Pyz 0 in
+  set 0 (quarter *. (e1 +. e2 +. e3 +. e4));
+  set 1 (quarter *. (e2 +. e4 -. e1 -. e3));
+  set 2 (quarter *. (e3 +. e4 -. e1 -. e2));
+  set 3 (quarter *. (e1 +. e4 -. e2 -. e3));
+  let e1 = get_e Own 1 and e2 = get_e Pz 1 and e3 = get_e Px 1 and e4 = get_e Pzx 1 in
+  set 4 (quarter *. (e1 +. e2 +. e3 +. e4));
+  set 5 (quarter *. (e2 +. e4 -. e1 -. e3));
+  set 6 (quarter *. (e3 +. e4 -. e1 -. e2));
+  set 7 (quarter *. (e1 +. e4 -. e2 -. e3));
+  let e1 = get_e Own 2 and e2 = get_e Px 2 and e3 = get_e Py 2 and e4 = get_e Pxy 2 in
+  set 8 (quarter *. (e1 +. e2 +. e3 +. e4));
+  set 9 (quarter *. (e2 +. e4 -. e1 -. e3));
+  set 10 (quarter *. (e3 +. e4 -. e1 -. e2));
+  set 11 (quarter *. (e1 +. e4 -. e2 -. e3));
+  (* B components: linear along their own axis *)
+  let b1 = get_b Own 0 and b2 = get_b Px 0 in
+  set 12 (0.5 *. (b1 +. b2));
+  set 13 (0.5 *. (b2 -. b1));
+  let b1 = get_b Own 1 and b2 = get_b Py 1 in
+  set 14 (0.5 *. (b1 +. b2));
+  set 15 (0.5 *. (b2 -. b1));
+  let b1 = get_b Own 2 and b2 = get_b Pz 2 in
+  set 16 (0.5 *. (b1 +. b2));
+  set 17 (0.5 *. (b2 -. b1))
+
+(** Fields at normalised cell offsets (ox, oy, oz) in [-1,1]^3, from an
+    interpolator reader [g i]. Returns (ex, ey, ez, bx, by, bz). *)
+let eval_fields ~g ~ox ~oy ~oz =
+  let ex = g 0 +. (oy *. g 1) +. (oz *. g 2) +. (oy *. oz *. g 3) in
+  let ey = g 4 +. (oz *. g 5) +. (ox *. g 6) +. (oz *. ox *. g 7) in
+  let ez = g 8 +. (ox *. g 9) +. (oy *. g 10) +. (ox *. oy *. g 11) in
+  let bx = g 12 +. (ox *. g 13) in
+  let by = g 14 +. (oy *. g 15) in
+  let bz = g 16 +. (oz *. g 17) in
+  (ex, ey, ez, bx, by, bz)
+
+(** Non-relativistic Boris rotation. [qmdt2] = (q/m) dt/2. Velocity
+    buffer [v] (3) is updated in place. *)
+let boris ~qmdt2 ~ex ~ey ~ez ~bx ~by ~bz (v : float array) =
+  let vmx = v.(0) +. (qmdt2 *. ex) in
+  let vmy = v.(1) +. (qmdt2 *. ey) in
+  let vmz = v.(2) +. (qmdt2 *. ez) in
+  let tx = qmdt2 *. bx and ty = qmdt2 *. by and tz = qmdt2 *. bz in
+  let t2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+  let sx = 2.0 *. tx /. (1.0 +. t2) in
+  let sy = 2.0 *. ty /. (1.0 +. t2) in
+  let sz = 2.0 *. tz /. (1.0 +. t2) in
+  let vpx = vmx +. ((vmy *. tz) -. (vmz *. ty)) in
+  let vpy = vmy +. ((vmz *. tx) -. (vmx *. tz)) in
+  let vpz = vmz +. ((vmx *. ty) -. (vmy *. tx)) in
+  let vfx = vmx +. ((vpy *. sz) -. (vpz *. sy)) in
+  let vfy = vmy +. ((vpz *. sx) -. (vpx *. sz)) in
+  let vfz = vmz +. ((vpx *. sy) -. (vpy *. sx)) in
+  v.(0) <- vfx +. (qmdt2 *. ex);
+  v.(1) <- vfy +. (qmdt2 *. ey);
+  v.(2) <- vfz +. (qmdt2 *. ez)
+
+(** One streaming step within a cell, in normalised coordinates where
+    the cell spans [-1,1] on each axis. [o] is the particle offset,
+    [r] the remaining displacement; both are updated in place and the
+    displacement traversed this step is written to [trav]. Returns -1
+    when the particle stops inside the cell, otherwise the exit face
+    (0:-x 1:+x 2:-y 3:+y 4:-z 5:+z, matching
+    {!Opp_mesh.Hex_mesh.face_neighbours}). *)
+let stream (o : float array) (r : float array) (trav : float array) =
+  let time_to_face d =
+    if r.(d) > 0.0 then (1.0 -. o.(d)) /. r.(d)
+    else if r.(d) < 0.0 then (-1.0 -. o.(d)) /. r.(d)
+    else infinity
+  in
+  let tx = time_to_face 0 and ty = time_to_face 1 and tz = time_to_face 2 in
+  let tmin = Float.min tx (Float.min ty tz) in
+  if tmin >= 1.0 then begin
+    for d = 0 to 2 do
+      trav.(d) <- r.(d);
+      o.(d) <- o.(d) +. r.(d);
+      r.(d) <- 0.0
+    done;
+    -1
+  end
+  else begin
+    let tmin = Float.max tmin 0.0 in
+    let axis = if tx <= ty && tx <= tz then 0 else if ty <= tz then 1 else 2 in
+    for d = 0 to 2 do
+      trav.(d) <- tmin *. r.(d);
+      o.(d) <- o.(d) +. trav.(d);
+      r.(d) <- r.(d) -. trav.(d)
+    done;
+    let exiting_plus = r.(axis) > 0.0 in
+    (* enter the neighbour at the opposite face *)
+    o.(axis) <- (if exiting_plus then -1.0 else 1.0);
+    (2 * axis) + if exiting_plus then 1 else 0
+  end
+
+(** True when the remaining displacement is negligible (ends the
+    walk even after a face crossing). *)
+let spent (r : float array) =
+  Float.abs r.(0) < 1e-15 && Float.abs r.(1) < 1e-15 && Float.abs r.(2) < 1e-15
+
+(** Curl of E at the B (face) locations, forward differences. Getter
+    [ge slot comp] with slots 0:own 1:+x 2:+y 3:+z. *)
+let curl_e_forward ~ge ~dx ~dy ~dz =
+  let cx = ((ge 2 2 -. ge 0 2) /. dy) -. ((ge 3 1 -. ge 0 1) /. dz) in
+  let cy = ((ge 3 0 -. ge 0 0) /. dz) -. ((ge 1 2 -. ge 0 2) /. dx) in
+  let cz = ((ge 1 1 -. ge 0 1) /. dx) -. ((ge 2 0 -. ge 0 0) /. dy) in
+  (cx, cy, cz)
+
+(** Curl of B at the E (edge) locations, backward differences. Getter
+    [gb slot comp] with slots 0:own 1:-x 2:-y 3:-z. *)
+let curl_b_backward ~gb ~dx ~dy ~dz =
+  let cx = ((gb 0 2 -. gb 2 2) /. dy) -. ((gb 0 1 -. gb 3 1) /. dz) in
+  let cy = ((gb 0 0 -. gb 3 0) /. dz) -. ((gb 0 2 -. gb 1 2) /. dx) in
+  let cz = ((gb 0 1 -. gb 1 1) /. dx) -. ((gb 0 0 -. gb 2 0) /. dy) in
+  (cx, cy, cz)
+
+(** Initial state of one particle of the two-stream setup: particle
+    [idx] within cell [c] whose z-extent starts at [z0] (thickness
+    [dz]). Returns (offsets, velocity). Even indices stream +z, odd
+    -z; a sinusoidal z-velocity perturbation seeds mode [mode]. *)
+let two_stream_particle rng ~(prm : Cabana_params.t) ~idx ~z0 ~dz =
+  let ox = (2.0 *. Opp_core.Rng.float rng) -. 1.0 in
+  let oy = (2.0 *. Opp_core.Rng.float rng) -. 1.0 in
+  let oz = (2.0 *. Opp_core.Rng.float rng) -. 1.0 in
+  let z = z0 +. ((oz +. 1.0) /. 2.0 *. dz) in
+  let sign = if idx mod 2 = 0 then 1.0 else -1.0 in
+  let k = 2.0 *. Float.pi *. float_of_int prm.Cabana_params.mode /. prm.Cabana_params.lz in
+  let vz =
+    sign *. prm.Cabana_params.v0
+    *. (1.0 +. (prm.Cabana_params.perturb *. sin (k *. z)))
+  in
+  ([| ox; oy; oz |], [| 0.0; 0.0; vz |])

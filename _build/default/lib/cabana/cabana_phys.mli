@@ -1,0 +1,71 @@
+(** The shared numerics of CabanaPIC, called by both the DSL version
+    and the structured-mesh reference so the two execute identical
+    floating-point operations (the paper's machine-precision
+    validation).
+
+    Interpolator layout (18 doubles per cell, as in VPIC/CabanaPIC):
+    {v
+    0..3   ex0  dexdy  dexdz  d2exdydz
+    4..7   ey0  deydz  deydx  d2eydzdx
+    8..11  ez0  dezdx  dezdy  d2ezdxdy
+    12..13 cbx0 dcbxdx
+    14..15 cby0 dcbydy
+    16..17 cbz0 dcbzdz
+    v} *)
+
+type nb = Own | Px | Py | Pz | Pyz | Pzx | Pxy
+
+val build_interpolator :
+  get_e:(nb -> int -> float) -> get_b:(nb -> int -> float) -> set:(int -> float -> unit) -> unit
+
+val eval_fields :
+  g:(int -> float) ->
+  ox:float ->
+  oy:float ->
+  oz:float ->
+  float * float * float * float * float * float
+(** Fields at normalised cell offsets in [-1,1]^3:
+    (ex, ey, ez, bx, by, bz). *)
+
+val boris :
+  qmdt2:float ->
+  ex:float ->
+  ey:float ->
+  ez:float ->
+  bx:float ->
+  by:float ->
+  bz:float ->
+  float array ->
+  unit
+(** Non-relativistic Boris rotation, velocity updated in place. *)
+
+val stream : float array -> float array -> float array -> int
+(** One streaming step within a cell (offsets span [-1,1] per axis):
+    updates offsets [o] and remaining displacement [r] in place,
+    writes the traversed displacement to the third array, and returns
+    -1 (stopped inside) or the exit face
+    (0:-x 1:+x 2:-y 3:+y 4:-z 5:+z). *)
+
+val spent : float array -> bool
+(** Remaining displacement negligible: the walk may end. *)
+
+val curl_e_forward :
+  ge:(int -> int -> float) -> dx:float -> dy:float -> dz:float -> float * float * float
+(** Curl of E at the B (face) locations, forward differences; getter
+    slots 0:own 1:+x 2:+y 3:+z. *)
+
+val curl_b_backward :
+  gb:(int -> int -> float) -> dx:float -> dy:float -> dz:float -> float * float * float
+(** Curl of B at the E (edge) locations, backward differences; getter
+    slots 0:own 1:-x 2:-y 3:-z. *)
+
+val two_stream_particle :
+  Opp_core.Rng.t ->
+  prm:Cabana_params.t ->
+  idx:int ->
+  z0:float ->
+  dz:float ->
+  float array * float array
+(** Initial (offsets, velocity) of particle [idx] of a cell whose
+    z-extent starts at [z0]: alternating +-v0 streams with the seeded
+    sinusoidal perturbation. *)

@@ -1,0 +1,81 @@
+(** Physics diagnostics for CabanaPIC: energy histories and the
+    two-stream growth rate, with the cold-beam dispersion relation to
+    compare against.
+
+    The cold symmetric two-stream dispersion relation is
+
+      1 = (wp^2/2) [ 1/(w - k v0)^2 + 1/(w + k v0)^2 ]
+
+    whose unstable root (purely imaginary w = i gamma for this
+    symmetric case) exists for k v0 < wp. In the simulation's
+    normalised units wp = 1. *)
+
+type history = {
+  mutable steps : int list;  (** reversed *)
+  mutable e_field : float list;
+  dt : float;
+}
+
+let history ~dt = { steps = []; e_field = []; dt }
+
+let record h ~step ~e_field =
+  h.steps <- step :: h.steps;
+  h.e_field <- e_field :: h.e_field
+
+(** Least-squares slope of ln(E-field energy) over the recorded window
+    between [from_step] and [to_step]; the field-energy growth rate is
+    2 gamma (energy goes as the amplitude squared), so gamma is half
+    the fitted slope, returned per unit time. *)
+let growth_rate h ~from_step ~to_step =
+  let pairs =
+    List.filter
+      (fun (s, e) -> s >= from_step && s <= to_step && e > 0.0)
+      (List.combine (List.rev h.steps) (List.rev h.e_field))
+  in
+  let n = float_of_int (List.length pairs) in
+  if List.length pairs < 3 then None
+  else begin
+    let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+    List.iter
+      (fun (s, e) ->
+        let x = float_of_int s *. h.dt in
+        let y = log e in
+        sx := !sx +. x;
+        sy := !sy +. y;
+        sxx := !sxx +. (x *. x);
+        sxy := !sxy +. (x *. y))
+      pairs;
+    let denom = (n *. !sxx) -. (!sx *. !sx) in
+    if Float.abs denom < 1e-300 then None
+    else Some (((n *. !sxy) -. (!sx *. !sy)) /. denom /. 2.0)
+  end
+
+(** Unstable growth rate gamma/wp of the cold symmetric two-stream
+    instability at normalised wavenumber [kv] = k v0 / wp, found by
+    bisection on the dispersion function along the imaginary axis;
+    None for k v0 >= wp (stable). *)
+let theoretical_growth_rate ~kv =
+  if kv >= 1.0 || kv <= 0.0 then None
+  else begin
+    (* with w = i g: D(g) = 1 - 1/2 [ 1/(ig - kv)^2 + 1/(ig + kv)^2 ]
+       = 1 + (g^2 - kv^2) / (g^2 + kv^2)^2  ... real-valued *)
+    let d g =
+      let g2 = g *. g and k2 = kv *. kv in
+      1.0 +. ((g2 -. k2) /. ((g2 +. k2) ** 2.0))
+    in
+    (* D(0) = 1 - 1/kv^2 < 0 for kv < 1; D grows to > 0 as g grows *)
+    let lo = ref 0.0 and hi = ref 2.0 in
+    if d !lo >= 0.0 then None
+    else begin
+      for _ = 1 to 80 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if d mid < 0.0 then lo := mid else hi := mid
+      done;
+      Some (0.5 *. (!lo +. !hi))
+    end
+  end
+
+(** The normalised wavenumber of the seeded mode of a configuration. *)
+let seeded_kv (prm : Cabana_params.t) =
+  2.0 *. Float.pi *. float_of_int prm.Cabana_params.mode /. prm.Cabana_params.lz
+  *. prm.Cabana_params.v0

@@ -1,0 +1,22 @@
+(** Physics diagnostics for CabanaPIC: field-energy histories, measured
+    exponential growth rates, and the cold symmetric two-stream
+    dispersion relation to compare against (wp = 1 in the simulation's
+    normalised units). *)
+
+type history
+
+val history : dt:float -> history
+val record : history -> step:int -> e_field:float -> unit
+
+val growth_rate : history -> from_step:int -> to_step:int -> float option
+(** Amplitude growth rate gamma from a least-squares fit of
+    ln(E-field energy) over the window (energy grows at 2 gamma);
+    None with fewer than 3 usable samples. *)
+
+val theoretical_growth_rate : kv:float -> float option
+(** Unstable root gamma/wp at normalised wavenumber [kv] = k v0 / wp;
+    None outside the unstable band 0 < kv < 1. The maximum is
+    wp/(2 sqrt 2) at kv = sqrt(3/8). *)
+
+val seeded_kv : Cabana_params.t -> float
+(** Normalised wavenumber of the configuration's seeded mode. *)

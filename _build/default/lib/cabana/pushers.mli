@@ -1,0 +1,25 @@
+(** The particle-pusher family of paper section 2.3 in non-relativistic
+    (gamma = 1) form: Boris (the de-facto standard), Vay, Higuera-Cary,
+    and Velocity-Verlet (second order only with zero magnetic field).
+    In this limit the three rotational pushers are exact rotations in a
+    pure magnetic field; the tests pin that down along with
+    second-order cyclotron convergence. *)
+
+type t = Boris | Vay | Higuera_cary | Velocity_verlet
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+val push :
+  t ->
+  qmdt2:float ->
+  ex:float ->
+  ey:float ->
+  ez:float ->
+  bx:float ->
+  by:float ->
+  bz:float ->
+  float array ->
+  unit
+(** One velocity update in place; [qmdt2] = (q/m) dt/2. *)

@@ -1,0 +1,243 @@
+(** Structured-mesh reference implementation of CabanaPIC.
+
+    This plays the role of the original (Kokkos, structured-mesh)
+    CabanaPIC in the paper: the hand-written baseline the DSL-generated
+    unstructured version is compared against (Figure 12) and validated
+    against (field energies matching to machine precision). It indexes
+    cells directly by (i, j, k) with modular wrap-around — no DSL, no
+    explicit connectivity — but calls the same {!Cabana.Cabana_phys}
+    numerics in the same order, so results agree bitwise with the
+    sequential DSL run. *)
+
+type t = {
+  prm : Cabana.Cabana_params.t;
+  nx : int;
+  ny : int;
+  nz : int;
+  ncells : int;
+  nparts : int;
+  dt : float;
+  deltas : float array;
+  e : float array;  (** 3 per cell *)
+  b : float array;
+  j : float array;
+  acc : float array;
+  interp : float array;  (** 18 per cell *)
+  p_off : float array;  (** 3 per particle *)
+  p_vel : float array;
+  p_disp : float array;
+  p_w : float array;
+  p_cell : int array;
+  mutable step_count : int;
+}
+
+let cell_id t i j k = (((k * t.ny) + j) * t.nx) + i
+
+let cell_ijk t c =
+  let i = c mod t.nx in
+  let j = c / t.nx mod t.ny in
+  let k = c / (t.nx * t.ny) in
+  (i, j, k)
+
+let wrap v n = ((v mod n) + n) mod n
+
+let neighbour t c ~dx ~dy ~dz =
+  let i, j, k = cell_ijk t c in
+  cell_id t (wrap (i + dx) t.nx) (wrap (j + dy) t.ny) (wrap (k + dz) t.nz)
+
+let create ?(prm = Cabana.Cabana_params.default) () =
+  let nx = prm.Cabana.Cabana_params.nx
+  and ny = prm.Cabana.Cabana_params.ny
+  and nz = prm.Cabana.Cabana_params.nz in
+  let ncells = nx * ny * nz in
+  let ppc = prm.Cabana.Cabana_params.ppc in
+  let nparts = ncells * ppc in
+  let t =
+    {
+      prm;
+      nx;
+      ny;
+      nz;
+      ncells;
+      nparts;
+      dt = Cabana.Cabana_params.dt prm;
+      deltas =
+        [|
+          Cabana.Cabana_params.dx prm; Cabana.Cabana_params.dy prm; Cabana.Cabana_params.dz prm;
+        |];
+      e = Array.make (3 * ncells) 0.0;
+      b = Array.make (3 * ncells) 0.0;
+      j = Array.make (3 * ncells) 0.0;
+      acc = Array.make (3 * ncells) 0.0;
+      interp = Array.make (18 * ncells) 0.0;
+      p_off = Array.make (3 * nparts) 0.0;
+      p_vel = Array.make (3 * nparts) 0.0;
+      p_disp = Array.make (3 * nparts) 0.0;
+      p_w = Array.make nparts 0.0;
+      p_cell = Array.make nparts (-1);
+      step_count = 0;
+    }
+  in
+  (* identical per-cell RNG streams and loop order as the DSL version *)
+  let w = Cabana.Cabana_params.weight prm in
+  let dz = Cabana.Cabana_params.dz prm in
+  for c = 0 to ncells - 1 do
+    let rng = Opp_core.Rng.create (prm.Cabana.Cabana_params.seed + c) in
+    let _, _, k = cell_ijk t c in
+    let z0 = float_of_int k *. dz in
+    for p = 0 to ppc - 1 do
+      let idx = (c * ppc) + p in
+      let off, vel = Cabana.Cabana_phys.two_stream_particle rng ~prm ~idx:p ~z0 ~dz in
+      for d = 0 to 2 do
+        t.p_off.((3 * idx) + d) <- off.(d);
+        t.p_vel.((3 * idx) + d) <- vel.(d)
+      done;
+      t.p_w.(idx) <- w;
+      t.p_cell.(idx) <- c
+    done
+  done;
+  t
+
+let interpolate t =
+  for c = 0 to t.ncells - 1 do
+    let nb_of = function
+      | Cabana.Cabana_phys.Own -> c
+      | Cabana.Cabana_phys.Px -> neighbour t c ~dx:1 ~dy:0 ~dz:0
+      | Cabana.Cabana_phys.Py -> neighbour t c ~dx:0 ~dy:1 ~dz:0
+      | Cabana.Cabana_phys.Pz -> neighbour t c ~dx:0 ~dy:0 ~dz:1
+      | Cabana.Cabana_phys.Pyz -> neighbour t c ~dx:0 ~dy:1 ~dz:1
+      | Cabana.Cabana_phys.Pzx -> neighbour t c ~dx:1 ~dy:0 ~dz:1
+      | Cabana.Cabana_phys.Pxy -> neighbour t c ~dx:1 ~dy:1 ~dz:0
+    in
+    Cabana.Cabana_phys.build_interpolator
+      ~get_e:(fun slot comp -> t.e.((3 * nb_of slot) + comp))
+      ~get_b:(fun slot comp -> t.b.((3 * nb_of slot) + comp))
+      ~set:(fun i v -> t.interp.((18 * c) + i) <- v)
+  done
+
+(* face order 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z, as in Cabana_phys.stream *)
+let face_neighbour t c face =
+  match face with
+  | 0 -> neighbour t c ~dx:(-1) ~dy:0 ~dz:0
+  | 1 -> neighbour t c ~dx:1 ~dy:0 ~dz:0
+  | 2 -> neighbour t c ~dx:0 ~dy:(-1) ~dz:0
+  | 3 -> neighbour t c ~dx:0 ~dy:1 ~dz:0
+  | 4 -> neighbour t c ~dx:0 ~dy:0 ~dz:(-1)
+  | _ -> neighbour t c ~dx:0 ~dy:0 ~dz:1
+
+let move_deposit t =
+  Array.fill t.acc 0 (3 * t.ncells) 0.0;
+  let qmdt2 = Cabana.Cabana_params.qe /. Cabana.Cabana_params.me *. t.dt /. 2.0 in
+  let o = Array.make 3 0.0 and r = Array.make 3 0.0 and trav = Array.make 3 0.0 in
+  let v = Array.make 3 0.0 in
+  for p = 0 to t.nparts - 1 do
+    let c = ref t.p_cell.(p) in
+    for d = 0 to 2 do
+      o.(d) <- t.p_off.((3 * p) + d);
+      v.(d) <- t.p_vel.((3 * p) + d)
+    done;
+    (* push at the particle's cell *)
+    let g i = t.interp.((18 * !c) + i) in
+    let ex, ey, ez, bx, by, bz =
+      Cabana.Cabana_phys.eval_fields ~g ~ox:o.(0) ~oy:o.(1) ~oz:o.(2)
+    in
+    Cabana.Cabana_phys.boris ~qmdt2 ~ex ~ey ~ez ~bx ~by ~bz v;
+    for d = 0 to 2 do
+      t.p_vel.((3 * p) + d) <- v.(d);
+      r.(d) <- 2.0 *. v.(d) *. t.dt /. t.deltas.(d)
+    done;
+    let qw = Cabana.Cabana_params.qe *. t.p_w.(p) in
+    let continue_walk = ref true in
+    while !continue_walk do
+      let face = Cabana.Cabana_phys.stream o r trav in
+      for d = 0 to 2 do
+        t.acc.((3 * !c) + d) <-
+          t.acc.((3 * !c) + d) +. (qw *. (trav.(d) *. t.deltas.(d) /. 2.0) /. t.dt)
+      done;
+      if face < 0 then continue_walk := false
+      else begin
+        (* advance the cell first: the offset already describes the
+           entered neighbour even when the displacement is now spent *)
+        c := face_neighbour t !c face;
+        if Cabana.Cabana_phys.spent r then continue_walk := false
+      end
+    done;
+    for d = 0 to 2 do
+      t.p_off.((3 * p) + d) <- o.(d);
+      t.p_disp.((3 * p) + d) <- r.(d)
+    done;
+    t.p_cell.(p) <- !c
+  done
+
+let accumulate_current t =
+  let inv_vol =
+    1.0 /. (t.deltas.(0) *. t.deltas.(1) *. t.deltas.(2))
+  in
+  for i = 0 to (3 * t.ncells) - 1 do
+    t.j.(i) <- t.acc.(i) *. inv_vol
+  done
+
+let advance_b t ~frac =
+  let dx = t.deltas.(0) and dy = t.deltas.(1) and dz = t.deltas.(2) in
+  let frac_dt = frac *. t.dt in
+  let e' = t.e in
+  for c = 0 to t.ncells - 1 do
+    let nb = function
+      | 0 -> c
+      | 1 -> neighbour t c ~dx:1 ~dy:0 ~dz:0
+      | 2 -> neighbour t c ~dx:0 ~dy:1 ~dz:0
+      | _ -> neighbour t c ~dx:0 ~dy:0 ~dz:1
+    in
+    let ge slot comp = e'.((3 * nb slot) + comp) in
+    let cx, cy, cz = Cabana.Cabana_phys.curl_e_forward ~ge ~dx ~dy ~dz in
+    t.b.(3 * c) <- t.b.(3 * c) -. (frac_dt *. cx);
+    t.b.((3 * c) + 1) <- t.b.((3 * c) + 1) -. (frac_dt *. cy);
+    t.b.((3 * c) + 2) <- t.b.((3 * c) + 2) -. (frac_dt *. cz)
+  done
+
+let advance_e t =
+  let dx = t.deltas.(0) and dy = t.deltas.(1) and dz = t.deltas.(2) in
+  for c = 0 to t.ncells - 1 do
+    let nb = function
+      | 0 -> c
+      | 1 -> neighbour t c ~dx:(-1) ~dy:0 ~dz:0
+      | 2 -> neighbour t c ~dx:0 ~dy:(-1) ~dz:0
+      | _ -> neighbour t c ~dx:0 ~dy:0 ~dz:(-1)
+    in
+    let gb slot comp = t.b.((3 * nb slot) + comp) in
+    let cx, cy, cz = Cabana.Cabana_phys.curl_b_backward ~gb ~dx ~dy ~dz in
+    t.e.(3 * c) <- t.e.(3 * c) +. (t.dt *. (cx -. t.j.(3 * c)));
+    t.e.((3 * c) + 1) <- t.e.((3 * c) + 1) +. (t.dt *. (cy -. t.j.((3 * c) + 1)));
+    t.e.((3 * c) + 2) <- t.e.((3 * c) + 2) +. (t.dt *. (cz -. t.j.((3 * c) + 2)))
+  done
+
+let step t =
+  interpolate t;
+  move_deposit t;
+  accumulate_current t;
+  advance_b t ~frac:0.5;
+  advance_e t;
+  advance_b t ~frac:0.5;
+  t.step_count <- t.step_count + 1
+
+let run t ~steps =
+  for _ = 1 to steps do
+    step t
+  done
+
+type energies = { e_field : float; b_field : float; kinetic : float }
+
+let energies t =
+  let half_vol = 0.5 *. t.deltas.(0) *. t.deltas.(1) *. t.deltas.(2) in
+  let ee = ref 0.0 and be = ref 0.0 in
+  for c = 0 to t.ncells - 1 do
+    let sq a i = a.((3 * c) + i) *. a.((3 * c) + i) in
+    ee := !ee +. (half_vol *. (sq t.e 0 +. sq t.e 1 +. sq t.e 2));
+    be := !be +. (half_vol *. (sq t.b 0 +. sq t.b 1 +. sq t.b 2))
+  done;
+  let ke = ref 0.0 in
+  for p = 0 to t.nparts - 1 do
+    let sq i = t.p_vel.((3 * p) + i) *. t.p_vel.((3 * p) + i) in
+    ke := !ke +. (0.5 *. Cabana.Cabana_params.me *. t.p_w.(p) *. (sq 0 +. sq 1 +. sq 2))
+  done;
+  { e_field = !ee; b_field = !be; kinetic = !ke }

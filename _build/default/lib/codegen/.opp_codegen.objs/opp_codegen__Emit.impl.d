@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Fun Ir List Option Printf String Template

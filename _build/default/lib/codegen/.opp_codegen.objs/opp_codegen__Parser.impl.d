@@ -1,0 +1,1 @@
+lib/codegen/parser.ml: Ir List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/template.ml: Buffer List Printf String

@@ -1,0 +1,10 @@
+(** Frontend of the translator: parses the declarative loop manifest
+    (the stand-in for the paper's clang AST walk) into the validated
+    IR. See the module implementation header or
+    [examples/specs/fempic.oppic] for the grammar. *)
+
+exception Parse_error of string
+
+val parse : string -> Ir.program
+(** Parse and validate a manifest; raises {!Parse_error} on syntax
+    errors and {!Ir.Invalid} on semantic ones. *)

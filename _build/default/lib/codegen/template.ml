@@ -1,0 +1,169 @@
+(** A minimal Jinja2-style template engine.
+
+    The paper's translator populates Jinja2 templates with loop
+    information extracted from the application's AST (section 3.4);
+    this engine supports the subset those templates need:
+
+    - [{{ name }}] and [{{ name.field }}] substitution,
+    - [{% for x in list %} ... {% endfor %}] iteration (with
+      [{{ loop.index }}] and [{{ loop.last }}] inside),
+    - [{% if cond %} ... {% else %} ... {% endif %}] on boolean
+      values (a bare name or [name.field]). *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Bool of bool
+  | List of value list
+  | Assoc of (string * value) list
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* --- template AST --- *)
+
+type node =
+  | Text of string
+  | Subst of string list  (* dotted path *)
+  | For of string * string list * node list
+  | If of string list * node list * node list
+
+(* --- lexing: split into Text / {{...}} / {%...%} chunks --- *)
+
+type token = T_text of string | T_subst of string | T_stmt of string
+
+let lex source =
+  let tokens = ref [] in
+  let n = String.length source in
+  let buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      tokens := T_text (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let rec scan i =
+    if i >= n then flush_text ()
+    else if i + 1 < n && source.[i] = '{' && (source.[i + 1] = '{' || source.[i + 1] = '%')
+    then begin
+      let closing = if source.[i + 1] = '{' then "}}" else "%}" in
+      flush_text ();
+      let rec find j =
+        if j + 1 >= n then error "unterminated %s at offset %d" closing i
+        else if source.[j] = closing.[0] && source.[j + 1] = closing.[1] then j
+        else find (j + 1)
+      in
+      let close = find (i + 2) in
+      let inner = String.trim (String.sub source (i + 2) (close - i - 2)) in
+      tokens :=
+        (if source.[i + 1] = '{' then T_subst inner else T_stmt inner) :: !tokens;
+      scan (close + 2)
+    end
+    else begin
+      Buffer.add_char buf source.[i];
+      scan (i + 1)
+    end
+  in
+  scan 0;
+  List.rev !tokens
+
+(* --- parsing into nested nodes --- *)
+
+let path_of s = String.split_on_char '.' (String.trim s)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse source =
+  let tokens = lex source in
+  (* returns nodes and the unconsumed tail starting at a closer *)
+  let rec nodes acc = function
+    | [] -> (List.rev acc, [])
+    | T_text s :: rest -> nodes (Text s :: acc) rest
+    | T_subst s :: rest -> nodes (Subst (path_of s) :: acc) rest
+    | T_stmt s :: rest -> (
+        match split_words s with
+        | [ "for"; var; "in"; list ] ->
+            let body, rest = nodes [] rest in
+            let rest = expect_closer "endfor" rest in
+            nodes (For (var, path_of list, body) :: acc) rest
+        | [ "if"; cond ] ->
+            let then_, rest = nodes [] rest in
+            let else_, rest =
+              match rest with
+              | T_stmt e :: rest' when String.trim e = "else" -> nodes [] rest'
+              | _ -> ([], rest)
+            in
+            let rest = expect_closer "endif" rest in
+            nodes (If (path_of cond, then_, else_) :: acc) rest
+        | [ closer ] when closer = "endfor" || closer = "endif" || closer = "else" ->
+            (List.rev acc, T_stmt s :: rest)
+        | _ -> error "bad statement: {%% %s %%}" s)
+  and expect_closer which = function
+    | T_stmt s :: rest when String.trim s = which -> rest
+    | _ -> error "missing {%% %s %%}" which
+  in
+  match nodes [] tokens with
+  | result, [] -> result
+  | _, T_stmt s :: _ -> error "unexpected {%% %s %%}" s
+  | _, _ -> error "unbalanced template"
+
+(* --- evaluation --- *)
+
+let rec lookup env path =
+  match path with
+  | [] -> error "empty substitution"
+  | name :: rest -> (
+      match List.assoc_opt name env with
+      | None -> error "unknown name '%s'" name
+      | Some v -> follow v rest)
+
+and follow v = function
+  | [] -> v
+  | field :: rest -> (
+      match v with
+      | Assoc fields -> (
+          match List.assoc_opt field fields with
+          | Some v' -> follow v' rest
+          | None -> error "unknown field '%s'" field)
+      | _ -> error "field access '%s' on a non-record value" field)
+
+let to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+  | List _ | Assoc _ -> error "cannot render a structured value"
+
+let to_bool = function
+  | Bool b -> b
+  | Str s -> s <> ""
+  | Int i -> i <> 0
+  | List l -> l <> []
+  | Assoc _ -> true
+
+let rec render_nodes buf env nodes = List.iter (render_node buf env) nodes
+
+and render_node buf env = function
+  | Text s -> Buffer.add_string buf s
+  | Subst path -> Buffer.add_string buf (to_string (lookup env path))
+  | If (cond, then_, else_) ->
+      render_nodes buf env (if to_bool (lookup env cond) then then_ else else_)
+  | For (var, list_path, body) -> (
+      match lookup env list_path with
+      | List items ->
+          let n = List.length items in
+          List.iteri
+            (fun i item ->
+              let loop_info =
+                Assoc [ ("index", Int i); ("index1", Int (i + 1)); ("last", Bool (i = n - 1)) ]
+              in
+              render_nodes buf ((var, item) :: ("loop", loop_info) :: env) body)
+            items
+      | _ -> error "for over a non-list value")
+
+(** Render [source] with the bindings in [env]. *)
+let render source env =
+  let buf = Buffer.create (String.length source * 2) in
+  render_nodes buf env (parse source);
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** A minimal Jinja2-style template engine (the paper's translator uses
+    Jinja2, section 3.4). Supported: [{{ name }}] and
+    [{{ name.field }}] substitution; [{% for x in list %}] with
+    [loop.index]/[loop.index1]/[loop.last]; [{% if cond %}] /
+    [{% else %}] / [{% endif %}] on truthy values. *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Bool of bool
+  | List of value list
+  | Assoc of (string * value) list
+
+exception Error of string
+
+val render : string -> (string * value) list -> string
+(** [render template env] expands the template; raises {!Error} on
+    syntax errors, unknown names, or type mismatches. *)

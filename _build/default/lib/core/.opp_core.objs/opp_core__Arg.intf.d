@@ -1,0 +1,1 @@
+lib/core/arg.mli: Types

@@ -1,0 +1,1 @@
+lib/core/opp.ml: Arg Particle Seq Types View

@@ -1,0 +1,1 @@
+lib/core/particle.ml: Array List Types

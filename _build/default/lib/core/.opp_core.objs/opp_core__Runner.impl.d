@@ -1,0 +1,1 @@
+lib/core/runner.ml: Arg Profile Seq Types

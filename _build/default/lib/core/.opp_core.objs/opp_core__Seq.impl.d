@@ -1,0 +1,1 @@
+lib/core/seq.ml: Arg Array List Particle Printf Profile Types Unix View

@@ -1,0 +1,1 @@
+lib/core/seq.mli: Arg Profile Types View

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Fun Int64 List Particle Printf String Types

@@ -1,0 +1,60 @@
+(** Public façade of the OP-PIC DSL, mirroring the paper's C++ API
+    names ([opp_decl_set], [opp_par_loop], [opp_particle_move], ...).
+
+    {[
+      let ctx = Opp.init () in
+      let cells = Opp.decl_set ctx ~name:"cells" ncells in
+      let nodes = Opp.decl_set ctx ~name:"nodes" nnodes in
+      let c2n = Opp.decl_map ctx ~name:"c2n" ~from:cells ~to_:nodes ~arity:4 (Some data) in
+      let part = Opp.decl_particle_set ctx ~name:"ions" cells in
+      ...
+      Opp.par_loop ~name:"deposit" kernel part Opp.all
+        [ Opp.arg_dat lc Opp.read;
+          Opp.arg_dat_p2c_i charge ~idx:0 ~map:c2n ~p2c Opp.inc ]
+    ]} *)
+
+include Types
+
+type arg = Arg.t
+type view = View.t
+
+let init () = make_ctx ()
+
+(* Re-exported declaration API. *)
+let decl_set = decl_set
+let decl_particle_set = decl_particle_set
+let decl_map = decl_map
+let decl_dat = decl_dat
+
+(* Access modes. *)
+let read = Read
+let write = Write
+let inc = Inc
+let rw = Rw
+
+(* Argument constructors. *)
+let arg_dat = Arg.dat
+let arg_dat_i = Arg.dat_i
+let arg_dat_p2c = Arg.dat_p2c
+let arg_dat_p2c_i = Arg.dat_p2c_i
+let arg_gbl = Arg.gbl
+
+(* Iteration selectors (OPP_ITERATE_ALL / OPP_ITERATE_INJECTED, plus
+   the owned-only core range used by the distributed backend). *)
+let all = Seq.Iterate_all
+let core = Seq.Iterate_core
+let injected = Seq.Iterate_injected
+
+(* Sequential execution (the reference backend). *)
+let par_loop = Seq.par_loop
+let particle_move = Seq.particle_move
+
+(* Particle lifecycle. *)
+let inject = Particle.inject
+let reset_injected = Particle.reset_injected
+let sort_by_cell = Particle.sort_by_cell
+
+(* View accessors, for writing kernels. *)
+let get = View.get
+let set = View.set
+let vinc = View.inc

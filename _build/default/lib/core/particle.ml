@@ -1,0 +1,107 @@
+(** Particle lifecycle: injection, removal with hole filling, and
+    sorting by cell.
+
+    Removal uses the paper's hole-filling scheme (3.2.2): when particles
+    leave the domain or are packed for communication, the holes they
+    leave in the dats are filled by shifting live particles down from
+    the end, keeping storage dense without a full sort. *)
+
+open Types
+
+(** Append [n] zero-initialised particles; returns the index of the
+    first injected particle. Newly injected particles can be iterated
+    with [Iterate_injected] until [reset_injected] is called. *)
+let inject set n =
+  if not (is_particle_set set) then invalid_arg "Particle.inject: not a particle set";
+  if n < 0 then invalid_arg "Particle.inject: negative count";
+  let start = set.s_size in
+  ensure_capacity set (start + n);
+  (* storage beyond s_size may hold stale values from removed particles *)
+  List.iter
+    (fun d -> Array.fill d.d_data (start * d.d_dim) (n * d.d_dim) 0.0)
+    set.s_dats;
+  List.iter
+    (fun m -> Array.fill m.m_data (start * m.m_arity) (n * m.m_arity) (-1))
+    set.s_maps_from;
+  set.s_size <- start + n;
+  set.s_exec_size <- set.s_size;
+  set.s_injected <- set.s_injected + n;
+  start
+
+let reset_injected set = set.s_injected <- 0
+
+(* Move particle [src] into slot [dst] across every dat and map. *)
+let move_slot set ~src ~dst =
+  if src <> dst then begin
+    List.iter
+      (fun d -> Array.blit d.d_data (src * d.d_dim) d.d_data (dst * d.d_dim) d.d_dim)
+      set.s_dats;
+    List.iter
+      (fun m -> Array.blit m.m_data (src * m.m_arity) m.m_data (dst * m.m_arity) m.m_arity)
+      set.s_maps_from
+  end
+
+(** Remove the particles whose index is flagged in [dead] (length >=
+    current size) by filling holes from the tail. Returns the number
+    removed. Slot order of survivors is not preserved. *)
+let remove_flagged set dead =
+  if not (is_particle_set set) then invalid_arg "Particle.remove_flagged: not a particle set";
+  let n = set.s_size in
+  let last = ref (n - 1) in
+  let removed = ref 0 in
+  let i = ref 0 in
+  while !i <= !last do
+    if dead.(!i) then begin
+      (* pull a live particle from the tail into this hole *)
+      while !last > !i && dead.(!last) do
+        decr last;
+        incr removed
+      done;
+      if !last > !i then begin
+        move_slot set ~src:!last ~dst:!i;
+        decr last
+      end;
+      incr removed
+    end;
+    incr i
+  done;
+  set.s_size <- n - !removed;
+  set.s_exec_size <- set.s_size;
+  !removed
+
+(** Permute all particle storage so particles are ordered by ascending
+    cell index in [p2c] (auxiliary sort API of the paper, used for the
+    locality / coloring ablation). *)
+let sort_by_cell set ~(p2c : map) =
+  if p2c.m_from != set then invalid_arg "Particle.sort_by_cell: p2c not on this set";
+  let n = set.s_size in
+  let perm = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare p2c.m_data.(a) p2c.m_data.(b)) perm;
+  let apply_f d =
+    let dim = d.d_dim in
+    let tmp = Array.make (n * dim) 0.0 in
+    for i = 0 to n - 1 do
+      Array.blit d.d_data (perm.(i) * dim) tmp (i * dim) dim
+    done;
+    Array.blit tmp 0 d.d_data 0 (n * dim)
+  in
+  let apply_m m =
+    let ar = m.m_arity in
+    let tmp = Array.make (n * ar) (-1) in
+    for i = 0 to n - 1 do
+      Array.blit m.m_data (perm.(i) * ar) tmp (i * ar) ar
+    done;
+    Array.blit tmp 0 m.m_data 0 (n * ar)
+  in
+  List.iter apply_f set.s_dats;
+  List.iter apply_m set.s_maps_from
+
+(** Number of particles currently residing in each cell, from [p2c]. *)
+let per_cell_counts set ~(p2c : map) =
+  let cells = match set.s_cells with Some c -> c | None -> invalid_arg "per_cell_counts" in
+  let counts = Array.make cells.s_size 0 in
+  for i = 0 to set.s_size - 1 do
+    let c = p2c.m_data.(i) in
+    if c >= 0 && c < cells.s_size then counts.(c) <- counts.(c) + 1
+  done;
+  counts

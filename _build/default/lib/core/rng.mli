@@ -1,0 +1,35 @@
+(** Deterministic, seedable splitmix64 RNG.
+
+    Simulations must be reproducible across backends and partitionings
+    (the validation tests compare seq / threads / GPU-sim / distributed
+    runs), so all stochastic choices go through explicitly threaded
+    states rather than the global [Random]. *)
+
+type t
+
+val create : int -> t
+(** A fresh stream; equal seeds give equal streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF for p in (0,1) (Acklam's
+    approximation, |relative error| < 1.15e-9); used by quiet-start
+    velocity loading. *)
+
+val state : t -> int64
+(** Raw generator state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a checkpointed state. *)

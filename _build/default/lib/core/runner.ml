@@ -1,0 +1,46 @@
+(** Backend dispatch.
+
+    An application declares its solver once against this interface; a
+    runner binds the loops to a parallelization (sequential reference,
+    Domains threads, simulated SIMT device, simulated MPI rank), which
+    is the paper's separation of science source from parallel
+    implementation. *)
+
+type t = {
+  r_name : string;
+  r_par_loop :
+    string (* kernel name *) ->
+    float (* flops per element *) ->
+    Seq.kernel ->
+    Types.set ->
+    Seq.iterate ->
+    Arg.t list ->
+    unit;
+  r_particle_move :
+    string ->
+    float ->
+    (int -> int) option (* direct-hop locator *) ->
+    Seq.move_kernel ->
+    Types.set ->
+    Types.map (* p2c *) ->
+    Arg.t list ->
+    Seq.move_result;
+}
+
+let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
+  r.r_par_loop name flops_per_elem kernel set iterate args
+
+let particle_move r ~name ?(flops_per_elem = 0.0) ?dh kernel set ~p2c args =
+  r.r_particle_move name flops_per_elem dh kernel set p2c args
+
+(** The sequential reference runner, recording into [profile]. *)
+let seq ?(profile = Profile.global) () =
+  {
+    r_name = "seq";
+    r_par_loop =
+      (fun name flops_per_elem kernel set iterate args ->
+        Seq.par_loop ~profile ~flops_per_elem ~name kernel set iterate args);
+    r_particle_move =
+      (fun name flops_per_elem dh kernel set p2c args ->
+        Seq.particle_move ~profile ~flops_per_elem ?dh ~name kernel set ~p2c args);
+  }

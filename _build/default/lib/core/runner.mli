@@ -1,0 +1,48 @@
+(** Backend dispatch.
+
+    An application declares its solver once against this interface; a
+    runner binds the loops to a parallelization (sequential reference,
+    Domains threads, simulated SIMT device, simulated-MPI rank) — the
+    paper's separation of the science source from its parallel
+    implementation. *)
+
+type t = {
+  r_name : string;
+  r_par_loop :
+    string -> float -> Seq.kernel -> Types.set -> Seq.iterate -> Arg.t list -> unit;
+  r_particle_move :
+    string ->
+    float ->
+    (int -> int) option ->
+    Seq.move_kernel ->
+    Types.set ->
+    Types.map ->
+    Arg.t list ->
+    Seq.move_result;
+}
+
+val par_loop :
+  t ->
+  name:string ->
+  ?flops_per_elem:float ->
+  Seq.kernel ->
+  Types.set ->
+  Seq.iterate ->
+  Arg.t list ->
+  unit
+(** Execute a parallel loop under this runner. *)
+
+val particle_move :
+  t ->
+  name:string ->
+  ?flops_per_elem:float ->
+  ?dh:(int -> int) ->
+  Seq.move_kernel ->
+  Types.set ->
+  p2c:Types.map ->
+  Arg.t list ->
+  Seq.move_result
+(** Execute a particle move; [dh] supplies a direct-hop locator. *)
+
+val seq : ?profile:Profile.t -> unit -> t
+(** The sequential reference runner. *)

@@ -1,0 +1,220 @@
+(** Sequential reference backend: [par_loop] over mesh or particle sets
+    and the multi-hop / direct-hop [particle_move] engine.
+
+    Other backends (threads, simulated GPU, simulated MPI) either wrap
+    or re-implement these loops; this one defines the semantics. *)
+
+open Types
+
+type iterate =
+  | Iterate_all  (** every element, including halo copies *)
+  | Iterate_core  (** owned elements only ([0, s_exec_size)) *)
+  | Iterate_injected  (** particles appended since [reset_injected] *)
+
+(** A user kernel: reads/writes its arguments through views, one view
+    per argument, in declaration order. *)
+type kernel = View.t array -> unit
+
+type move_status = Move_done | Need_move | Need_remove
+
+(** Mutable per-particle state threaded through a move kernel. The
+    kernel inspects [cell] (current candidate cell) and [hop] (0 on the
+    first call for a particle, so one-off work like the Boris push of an
+    electromagnetic mover can run exactly once), and before returning
+    sets [status], updating [cell] to the next candidate on
+    [Need_move] (normally via a cell-to-cell map). *)
+type move_ctx = { mutable cell : int; mutable status : move_status; mutable hop : int }
+
+type move_kernel = View.t array -> move_ctx -> unit
+
+type move_result = {
+  mv_moved : int;  (** particles that finished in a new or same cell *)
+  mv_removed : int;  (** particles removed (left the domain) *)
+  mv_sent : int;  (** particles handed to [on_pending] (MPI boundary) *)
+  mv_total_hops : int;
+  mv_max_hops : int;
+}
+
+let now = Unix.gettimeofday
+
+let iter_range set = function
+  | Iterate_all -> (0, set.s_size)
+  | Iterate_core -> (0, set.s_exec_size)
+  | Iterate_injected -> (set.s_size - set.s_injected, set.s_size)
+
+let make_views args =
+  Array.map
+    (fun a ->
+      match a with
+      | Arg.Arg_gbl g -> View.of_array g.buf (Array.length g.buf)
+      | Arg.Arg_dat d -> View.of_array d.dat.d_data d.dat.d_dim)
+    args
+
+(* Refresh the array pointers: particle-set storage may have been
+   reallocated since the views were created. *)
+let refresh_views args views =
+  Array.iteri
+    (fun k a ->
+      match a with
+      | Arg.Arg_gbl _ -> ()
+      | Arg.Arg_dat d -> views.(k).View.data <- d.dat.d_data)
+    args
+
+let loop_bytes args n =
+  float_of_int (n * List.fold_left (fun acc a -> acc + Arg.bytes_per_elem a) 0 args)
+
+(** Execute [kernel] for every element of [set] (the [opp_par_loop] of
+    the paper). [flops_per_elem] feeds the roofline ledger. *)
+let par_loop ?(profile = Profile.global) ?(flops_per_elem = 0.0) ~name kernel set iterate args
+    =
+  List.iter (Arg.validate ~iter_set:set) args;
+  let args_a = Array.of_list args in
+  let views = make_views args_a in
+  let nargs = Array.length args_a in
+  let lo, hi = iter_range set iterate in
+  let t0 = now () in
+  for e = lo to hi - 1 do
+    for k = 0 to nargs - 1 do
+      match args_a.(k) with
+      | Arg.Arg_gbl _ -> ()
+      | Arg.Arg_dat _ as a -> views.(k).View.base <- Arg.offset a e
+    done;
+    kernel views
+  done;
+  let n = hi - lo in
+  Profile.record ~t:profile ~name ~elems:n ~seconds:(now () -. t0)
+    ~flops:(flops_per_elem *. float_of_int n)
+    ~bytes:(loop_bytes args n) ()
+
+(* Point the views of a move loop at particle [p] sitting in candidate
+   cell [cell]. Direct args follow the particle; p2c args follow the
+   candidate cell (single or double indirection). *)
+let set_move_views args views p cell =
+  Array.iteri
+    (fun k (a : Arg.t) ->
+      match a with
+      | Arg.Arg_gbl _ -> ()
+      | Arg.Arg_dat d ->
+          let base =
+            match (d.p2c, d.map) with
+            | None, None -> p * d.dat.d_dim
+            | Some _, None -> cell * d.dat.d_dim
+            | Some _, Some m -> m.m_data.((cell * m.m_arity) + d.idx) * d.dat.d_dim
+            | None, Some _ -> invalid_arg "move arg: mesh map without p2c"
+          in
+          views.(k).View.base <- base)
+    args
+
+exception Move_diverged of string
+
+(** Mutable counters shared by the walk driver; thread backends keep
+    one per worker and merge them. *)
+type move_acc = {
+  mutable acc_moved : int;
+  mutable acc_removed : int;
+  mutable acc_sent : int;
+  mutable acc_total_hops : int;
+  mutable acc_max_hops : int;
+}
+
+let make_move_acc () =
+  { acc_moved = 0; acc_removed = 0; acc_sent = 0; acc_total_hops = 0; acc_max_hops = 0 }
+
+(* Walk a single particle to completion: the common core of the
+   sequential, threaded and SIMT movers. *)
+let walk_one ~name ~max_hops ~(kernel : move_kernel) ~args ~views ~(ctx : move_ctx)
+    ~(p2c : map) ~dh ~stop_at ~on_pending ~on_particle ~(dead : bool array) ~(acc : move_acc) p
+    =
+  let start_cell =
+    match dh with
+    | None -> p2c.m_data.(p)
+    | Some locate ->
+        let c = locate p in
+        if c >= 0 then c else p2c.m_data.(p)
+  in
+  ctx.cell <- start_cell;
+  ctx.status <- Need_move;
+  let hops = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    if ctx.cell < 0 then begin
+      (* walked off the mesh without the kernel flagging removal *)
+      dead.(p) <- true;
+      acc.acc_removed <- acc.acc_removed + 1;
+      finished := true
+    end
+    else if stop_at ctx.cell then begin
+      (match on_pending with Some f -> f ~p ~cell:ctx.cell | None -> ());
+      dead.(p) <- true;
+      acc.acc_sent <- acc.acc_sent + 1;
+      finished := true
+    end
+    else begin
+      set_move_views args views p ctx.cell;
+      ctx.hop <- !hops;
+      kernel views ctx;
+      incr hops;
+      match ctx.status with
+      | Move_done ->
+          p2c.m_data.(p) <- ctx.cell;
+          acc.acc_moved <- acc.acc_moved + 1;
+          finished := true
+      | Need_remove ->
+          dead.(p) <- true;
+          acc.acc_removed <- acc.acc_removed + 1;
+          finished := true
+      | Need_move ->
+          if !hops > max_hops then
+            raise
+              (Move_diverged
+                 (Printf.sprintf "%s: particle %d exceeded %d hops (cell %d)" name p max_hops
+                    ctx.cell))
+    end
+  done;
+  acc.acc_total_hops <- acc.acc_total_hops + !hops;
+  if !hops > acc.acc_max_hops then acc.acc_max_hops <- !hops;
+  match on_particle with Some f -> f ~p ~hops:!hops | None -> ()
+
+(** The [opp_particle_move] special loop (paper section 3.1.3).
+
+    For every particle the kernel is applied at its current cell; while
+    it answers [Need_move] the walk continues at [ctx.cell] (multi-hop).
+    With [dh] the walk starts from the cell returned by the structured
+    overlay locator instead (direct-hop), falling back to multi-hop for
+    the final approach. [should_stop] marks cells outside this
+    partition: reaching one suspends the walk and reports the particle
+    through [on_pending] (used by the distributed backend to pack it
+    for communication); the particle is then removed locally.
+    [on_particle] observes per-particle hop counts (used by the SIMT
+    divergence model). *)
+let particle_move ?(profile = Profile.global) ?(flops_per_elem = 0.0) ?(max_hops = 10_000)
+    ?(iterate = Iterate_all) ?dh ?should_stop ?on_pending ?on_particle ~name
+    (kernel : move_kernel) set ~(p2c : map) args =
+  if not (is_particle_set set) then invalid_arg "particle_move: not a particle set";
+  if p2c.m_from != set then invalid_arg "particle_move: p2c source is not the particle set";
+  List.iter (Arg.validate ~iter_set:set) args;
+  let args_a = Array.of_list args in
+  let views = make_views args_a in
+  let n = set.s_size in
+  let lo, hi = iter_range set iterate in
+  let dead = Array.make (max n 1) false in
+  let ctx = { cell = 0; status = Move_done; hop = 0 } in
+  let acc = make_move_acc () in
+  let stop_at = match should_stop with Some f -> f | None -> fun _ -> false in
+  let t0 = now () in
+  for p = lo to hi - 1 do
+    walk_one ~name ~max_hops ~kernel ~args:args_a ~views ~ctx ~p2c ~dh ~stop_at ~on_pending
+      ~on_particle ~dead ~acc p
+  done;
+  let n_removed = Particle.remove_flagged set dead in
+  assert (n_removed = acc.acc_removed + acc.acc_sent);
+  Profile.record ~t:profile ~name ~elems:(hi - lo) ~seconds:(now () -. t0)
+    ~flops:(flops_per_elem *. float_of_int acc.acc_total_hops)
+    ~bytes:(loop_bytes args acc.acc_total_hops) ();
+  {
+    mv_moved = acc.acc_moved;
+    mv_removed = acc.acc_removed;
+    mv_sent = acc.acc_sent;
+    mv_total_hops = acc.acc_total_hops;
+    mv_max_hops = acc.acc_max_hops;
+  }

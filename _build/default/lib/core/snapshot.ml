@@ -1,0 +1,138 @@
+(** Generic binary snapshots of a DSL context: every set's live size,
+    every dat's live values, every map's live entries, keyed by name.
+
+    This is the library-level state persistence the paper's artifact
+    gets from HDF5: any application declared through the API can be
+    dumped and restored without bespoke code (application-level
+    extras — RNG streams, counters — layer on top, as in
+    {!Fempic.Checkpoint}). The format is endian-fixed big-endian. *)
+
+open Types
+
+exception Corrupt of string
+
+let magic = 0x4F5050534E415053L (* "OPPSNAPS" *)
+
+let write_i64 oc v =
+  for byte = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical v (byte * 8)) land 0xff)
+  done
+
+let rec read_i64_aux ic acc = function
+  | 0 -> acc
+  | k ->
+      read_i64_aux ic (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (input_byte ic))) (k - 1)
+
+let read_i64 ic = try read_i64_aux ic 0L 8 with End_of_file -> raise (Corrupt "truncated file")
+let write_int oc v = write_i64 oc (Int64.of_int v)
+let read_int ic = Int64.to_int (read_i64 ic)
+
+let write_string oc s =
+  write_int oc (String.length s);
+  output_string oc s
+
+let read_string ic =
+  let n = read_int ic in
+  if n < 0 || n > 4096 then raise (Corrupt "bad string length");
+  try really_input_string ic n with End_of_file -> raise (Corrupt "truncated string")
+
+(* sorted by name so the layout is independent of declaration order *)
+let sorted_by name_of entities = List.sort (fun a b -> compare (name_of a) (name_of b)) entities
+
+(** Write every set, dat and map of [ctx] to [path]. *)
+let save (ctx : ctx) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      write_i64 oc magic;
+      let sets = sorted_by (fun s -> s.s_name) ctx.c_sets in
+      write_int oc (List.length sets);
+      List.iter
+        (fun s ->
+          write_string oc s.s_name;
+          write_int oc s.s_size)
+        sets;
+      let dats = sorted_by (fun d -> d.d_name) ctx.c_dats in
+      write_int oc (List.length dats);
+      List.iter
+        (fun d ->
+          write_string oc d.d_name;
+          let n = d.d_set.s_size * d.d_dim in
+          write_int oc n;
+          for i = 0 to n - 1 do
+            write_i64 oc (Int64.bits_of_float d.d_data.(i))
+          done)
+        dats;
+      let maps = sorted_by (fun m -> m.m_name) ctx.c_maps in
+      write_int oc (List.length maps);
+      List.iter
+        (fun m ->
+          write_string oc m.m_name;
+          let n = m.m_from.s_size * m.m_arity in
+          write_int oc n;
+          for i = 0 to n - 1 do
+            write_int oc m.m_data.(i)
+          done)
+        maps)
+
+(** Restore a snapshot into a context with the same declarations
+    (matched by name). Particle sets are resized to the snapshot's
+    populations. Raises [Corrupt] on any mismatch. *)
+let load (ctx : ctx) path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      if read_i64 ic <> magic then raise (Corrupt "bad magic");
+      let find_set name =
+        match List.find_opt (fun s -> s.s_name = name) ctx.c_sets with
+        | Some s -> s
+        | None -> raise (Corrupt ("unknown set " ^ name))
+      in
+      let nsets = read_int ic in
+      for _ = 1 to nsets do
+        let name = read_string ic in
+        let size = read_int ic in
+        let s = find_set name in
+        if is_particle_set s then begin
+          (* resize the population to the snapshot's *)
+          if size > s.s_size then ignore (Particle.inject s (size - s.s_size))
+          else if size < s.s_size then begin
+            let dead = Array.make s.s_size false in
+            for p = size to s.s_size - 1 do
+              dead.(p) <- true
+            done;
+            ignore (Particle.remove_flagged s dead)
+          end;
+          Particle.reset_injected s
+        end
+        else if size <> s.s_size then
+          raise (Corrupt (Printf.sprintf "mesh set %s: size %d <> %d" name size s.s_size))
+      done;
+      let ndats = read_int ic in
+      for _ = 1 to ndats do
+        let name = read_string ic in
+        let n = read_int ic in
+        match List.find_opt (fun d -> d.d_name = name) ctx.c_dats with
+        | None -> raise (Corrupt ("unknown dat " ^ name))
+        | Some d ->
+            if n <> d.d_set.s_size * d.d_dim then
+              raise (Corrupt (Printf.sprintf "dat %s: size mismatch" name));
+            for i = 0 to n - 1 do
+              d.d_data.(i) <- Int64.float_of_bits (read_i64 ic)
+            done
+      done;
+      let nmaps = read_int ic in
+      for _ = 1 to nmaps do
+        let name = read_string ic in
+        let n = read_int ic in
+        match List.find_opt (fun m -> m.m_name = name) ctx.c_maps with
+        | None -> raise (Corrupt ("unknown map " ^ name))
+        | Some m ->
+            if n <> m.m_from.s_size * m.m_arity then
+              raise (Corrupt (Printf.sprintf "map %s: size mismatch" name));
+            for i = 0 to n - 1 do
+              m.m_data.(i) <- read_int ic
+            done
+      done)

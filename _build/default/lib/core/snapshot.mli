@@ -1,0 +1,13 @@
+(** Generic binary snapshots of a DSL context: every set's live size,
+    every dat's live values, every map's live entries, keyed by name.
+    Application-level extras (RNG streams, counters) layer on top, as
+    in [Fempic.Checkpoint]. *)
+
+exception Corrupt of string
+
+val save : Types.ctx -> string -> unit
+
+val load : Types.ctx -> string -> unit
+(** Restore into a context with the same declarations (matched by
+    name); particle sets are resized to the snapshot's populations.
+    Raises {!Corrupt} on any mismatch. *)

@@ -1,0 +1,27 @@
+(** A kernel's window onto one argument of a parallel loop.
+
+    Backends re-point [data]/[base] per iteration, so user kernels are
+    written once against this interface and reused by every
+    parallelization (the paper's separation of concerns). *)
+
+type t = { mutable data : float array; mutable base : int; dim : int }
+
+let make dim = { data = [||]; base = 0; dim }
+let of_array ?(base = 0) data dim = { data; base; dim }
+
+let get v i = v.data.(v.base + i)
+let set v i x = v.data.(v.base + i) <- x
+let inc v i x = v.data.(v.base + i) <- v.data.(v.base + i) +. x
+
+(** Copy the [dim] values under the view into a fresh array. *)
+let to_array v = Array.sub v.data v.base v.dim
+
+let fill v x =
+  for i = 0 to v.dim - 1 do
+    set v i x
+  done
+
+let blit_from v src =
+  for i = 0 to v.dim - 1 do
+    set v i src.(i)
+  done

@@ -1,0 +1,37 @@
+(** A kernel's window onto one argument of a parallel loop.
+
+    Backends re-point [data]/[base] per iteration element, so user
+    kernels are written once against this interface and reused by
+    every parallelization — the paper's separation of the science
+    source from its parallel implementation. *)
+
+type t = {
+  mutable data : float array;  (** backing storage (backends may redirect it) *)
+  mutable base : int;  (** offset of the current element's first value *)
+  dim : int;  (** values per element *)
+}
+
+val make : int -> t
+(** [make dim] is an unbound view (backends bind it before use). *)
+
+val of_array : ?base:int -> float array -> int -> t
+(** [of_array data dim] views [data] starting at [base] (default 0). *)
+
+val get : t -> int -> float
+(** [get v i] reads component [i] of the current element. *)
+
+val set : t -> int -> float -> unit
+(** [set v i x] writes component [i]. Use only on WRITE/RW arguments. *)
+
+val inc : t -> int -> float -> unit
+(** [inc v i x] adds [x] to component [i]. The only legal update on an
+    INC argument: backends intercept it for race-free accumulation. *)
+
+val to_array : t -> float array
+(** Copy of the [dim] values under the view. *)
+
+val fill : t -> float -> unit
+(** Set every component of the current element. *)
+
+val blit_from : t -> float array -> unit
+(** Write [dim] values from the array into the current element. *)

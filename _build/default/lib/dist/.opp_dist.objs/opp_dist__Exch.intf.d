@@ -1,0 +1,1 @@
+lib/dist/exch.mli: Traffic

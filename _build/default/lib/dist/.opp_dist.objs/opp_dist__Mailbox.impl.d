@@ -1,0 +1,1 @@
+lib/dist/mailbox.ml: Array List Traffic

@@ -1,0 +1,1 @@
+lib/dist/mailbox.mli: Traffic

@@ -1,0 +1,1 @@
+lib/dist/partition.ml: Array Fun

@@ -1,0 +1,1 @@
+lib/dist/tet_part.ml: Array Exch Hashtbl List Opp_mesh Option Tet_mesh

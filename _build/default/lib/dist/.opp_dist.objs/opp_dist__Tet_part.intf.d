@@ -1,0 +1,1 @@
+lib/dist/tet_part.mli: Exch Hashtbl Opp_mesh Tet_mesh

@@ -1,0 +1,1 @@
+lib/dist/traffic.ml: Format

@@ -1,0 +1,84 @@
+(** Halo exchange links: the simulated counterpart of OP2/OP-PIC's MPI
+    halo lists.
+
+    A link ties a halo copy on one rank to its owning element on
+    another. [exchange] refreshes halo copies from owners (the forward
+    import of read halos); [reduce] pushes halo contributions back
+    into owners and zeroes the copies (the reverse export after an
+    INC loop). Both count the bytes and neighbour messages a real MPI
+    run would issue. *)
+
+type link = {
+  l_local : int;  (** halo element's local index on the halo-holding rank *)
+  l_owner_rank : int;
+  l_owner_index : int;  (** element's local index on the owner *)
+}
+
+type t = {
+  nranks : int;
+  links : link array array;  (** per halo-holding rank *)
+}
+
+let create ~nranks ~links =
+  if Array.length links <> nranks then invalid_arg "Exch.create: links size mismatch";
+  { nranks; links }
+
+let halo_count t r = Array.length t.links.(r)
+
+(* Message count: one per (halo-holder, owner) neighbour pair with at
+   least one element, in each direction. *)
+let count_messages t =
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun r links ->
+      Array.iter (fun l -> Hashtbl.replace seen (r, l.l_owner_rank) ()) links)
+    t.links;
+  Hashtbl.length seen
+
+let account traffic t ~dim =
+  match traffic with
+  | None -> ()
+  | Some (tr : Traffic.t) ->
+      let elems = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.links in
+      tr.Traffic.halo_bytes <- tr.Traffic.halo_bytes +. float_of_int (elems * dim * 8);
+      tr.Traffic.halo_messages <- tr.Traffic.halo_messages + count_messages t
+
+(** Refresh halo copies from their owners. [data rank] is that rank's
+    local storage of the exchanged dat ([dim] doubles per element). *)
+let exchange ?traffic t ~dim ~data =
+  for r = 0 to t.nranks - 1 do
+    let dst = data r in
+    Array.iter
+      (fun l ->
+        let src = data l.l_owner_rank in
+        Array.blit src (l.l_owner_index * dim) dst (l.l_local * dim) dim)
+      t.links.(r)
+  done;
+  account traffic t ~dim
+
+(** Add halo contributions into the owners and clear the halo copies
+    (after indirect-INC loops: the paper's node-halo update for charge
+    deposits at MPI boundaries). *)
+let reduce ?traffic t ~dim ~data =
+  for r = 0 to t.nranks - 1 do
+    let src = data r in
+    Array.iter
+      (fun l ->
+        let dst = data l.l_owner_rank in
+        for d = 0 to dim - 1 do
+          dst.((l.l_owner_index * dim) + d) <-
+            dst.((l.l_owner_index * dim) + d) +. src.((l.l_local * dim) + d);
+          src.((l.l_local * dim) + d) <- 0.0
+        done)
+      t.links.(r)
+  done;
+  account traffic t ~dim
+
+(** Simulated allreduce over per-rank values (every rank sees the
+    sum). *)
+let allreduce_sum ?traffic ~nranks values =
+  (match traffic with
+  | Some (tr : Traffic.t) -> tr.Traffic.reductions <- tr.Traffic.reductions + 1
+  | None -> ());
+  ignore nranks;
+  Array.fold_left ( +. ) 0.0 values

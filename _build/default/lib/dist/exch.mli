@@ -1,0 +1,31 @@
+(** Halo exchange links: the simulated counterpart of OP2/OP-PIC's MPI
+    halo lists. A link ties a halo copy on one rank to its owning
+    element on another; [exchange] refreshes copies from owners,
+    [reduce] pushes halo contributions back and zeroes the copies.
+    Both count the bytes and neighbour messages a real MPI run would
+    issue. *)
+
+type link = {
+  l_local : int;  (** halo element's local index on the halo-holding rank *)
+  l_owner_rank : int;
+  l_owner_index : int;  (** element's local index on its owner *)
+}
+
+type t
+
+val create : nranks:int -> links:link array array -> t
+(** One link array per rank (its halo elements). *)
+
+val halo_count : t -> int -> int
+val count_messages : t -> int
+
+val exchange : ?traffic:Traffic.t -> t -> dim:int -> data:(int -> float array) -> unit
+(** Refresh halo copies from their owners. [data rank] is that rank's
+    local storage of the exchanged dat ([dim] doubles per element). *)
+
+val reduce : ?traffic:Traffic.t -> t -> dim:int -> data:(int -> float array) -> unit
+(** Add halo contributions into the owners and clear the halo copies
+    (after indirect-INC loops). *)
+
+val allreduce_sum : ?traffic:Traffic.t -> nranks:int -> float array -> float
+(** Simulated allreduce over per-rank values. *)

@@ -1,0 +1,58 @@
+(** Particle migration buffers: the pack/send/unpack path of the
+    paper's distributed particle move (section 3.2.2).
+
+    When a walk reaches a cell owned by another rank, the mover packs
+    the particle's dats and its destination (global) cell into the
+    mailbox; [deliver] hands each destination rank its batch in
+    deterministic order, where the driver appends the particles and
+    resumes their walks. Hole filling on the sending side is the
+    mover's [remove_flagged]. *)
+
+type t = {
+  nranks : int;
+  payload_dim : int;  (** doubles of particle data per migrant *)
+  boxes : (int * float array) list array;  (** per destination, reversed *)
+  counts : int array;
+  mutable sources : (int * int) list;  (** (src, dst) message pairs this round *)
+}
+
+let create ~nranks ~payload_dim =
+  {
+    nranks;
+    payload_dim;
+    boxes = Array.make nranks [];
+    counts = Array.make nranks 0;
+    sources = [];
+  }
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+(** Post one particle: destination rank, destination global cell, and
+    its packed dat payload. *)
+let post t ~src ~dest ~cell ~payload =
+  if Array.length payload <> t.payload_dim then invalid_arg "Mailbox.post: payload size";
+  if dest < 0 || dest >= t.nranks then invalid_arg "Mailbox.post: bad destination rank";
+  t.boxes.(dest) <- (cell, payload) :: t.boxes.(dest);
+  t.counts.(dest) <- t.counts.(dest) + 1;
+  if not (List.mem (src, dest) t.sources) then t.sources <- (src, dest) :: t.sources
+
+(** Deliver all batches ([handler rank batch] with the batch in posting
+    order), count the traffic, and clear the mailbox. Returns how many
+    particles moved rank. *)
+let deliver ?traffic t handler =
+  let delivered = total t in
+  (match traffic with
+  | Some (tr : Traffic.t) ->
+      tr.Traffic.migrated_particles <- tr.Traffic.migrated_particles + delivered;
+      tr.Traffic.migrate_bytes <-
+        tr.Traffic.migrate_bytes +. float_of_int (delivered * ((t.payload_dim * 8) + 4));
+      tr.Traffic.migrate_messages <- tr.Traffic.migrate_messages + List.length t.sources
+  | None -> ());
+  for r = 0 to t.nranks - 1 do
+    let batch = List.rev t.boxes.(r) in
+    t.boxes.(r) <- [];
+    t.counts.(r) <- 0;
+    if batch <> [] then handler r batch
+  done;
+  t.sources <- [];
+  delivered

@@ -1,0 +1,19 @@
+(** Particle migration buffers: the pack/send/unpack path of the
+    paper's distributed particle move (section 3.2.2). *)
+
+type t
+
+val create : nranks:int -> payload_dim:int -> t
+(** [payload_dim] doubles of particle data travel with each migrant. *)
+
+val total : t -> int
+(** Particles currently posted and undelivered. *)
+
+val post : t -> src:int -> dest:int -> cell:int -> payload:float array -> unit
+(** Post one particle: destination rank, destination (global) cell,
+    and its packed dat payload. *)
+
+val deliver : ?traffic:Traffic.t -> t -> (int -> (int * float array) list -> unit) -> int
+(** Hand each destination rank its batch (in posting order), count the
+    traffic, clear the mailbox; returns how many particles moved
+    rank. *)

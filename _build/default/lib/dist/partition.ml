@@ -1,0 +1,96 @@
+(** Mesh partitioners for the simulated-MPI backend.
+
+    The paper bypasses ParMETIS with a custom geometric partitioning
+    "along the principal direction of motion of particles" (after
+    PUMIPic); [columns] implements that — partitions extend along the
+    motion axis so particles rarely change rank. [slab] is the
+    opposite extreme, maximising migration (used to exercise the
+    mover), and [rcb] is the classic recursive coordinate bisection. *)
+
+(* Assign ranks [r0, r0+k) to cells [ids], recursively splitting at
+   coordinate medians. *)
+let rec assign_rcb cell_rank centroid ids r0 k =
+  if k <= 1 then Array.iter (fun c -> cell_rank.(c) <- r0) ids
+  else begin
+    (* split along the axis of largest extent *)
+    let extent axis =
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun c ->
+          let v = (centroid c).(axis) in
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        ids;
+      !hi -. !lo
+    in
+    let axis = ref 0 in
+    if extent 1 > extent !axis then axis := 1;
+    if extent 2 > extent !axis then axis := 2;
+    let sorted = Array.copy ids in
+    Array.sort (fun a b -> compare (centroid a).(!axis) (centroid b).(!axis)) sorted;
+    let k_left = k / 2 in
+    let cut = Array.length sorted * k_left / k in
+    assign_rcb cell_rank centroid (Array.sub sorted 0 cut) r0 k_left;
+    assign_rcb cell_rank centroid
+      (Array.sub sorted cut (Array.length sorted - cut))
+      (r0 + k_left) (k - k_left)
+  end
+
+let rcb ~nranks ~ncells ~centroid =
+  if nranks <= 0 then invalid_arg "Partition.rcb: nranks must be positive";
+  let cell_rank = Array.make ncells 0 in
+  assign_rcb cell_rank centroid (Array.init ncells Fun.id) 0 nranks;
+  cell_rank
+
+(** Slabs of equal cell count ordered by [coord] (e.g. the z
+    centroid). *)
+let slab ~nranks ~ncells ~coord =
+  if nranks <= 0 then invalid_arg "Partition.slab: nranks must be positive";
+  let order = Array.init ncells Fun.id in
+  Array.sort (fun a b -> compare (coord a) (coord b)) order;
+  let cell_rank = Array.make ncells 0 in
+  Array.iteri (fun pos c -> cell_rank.(c) <- pos * nranks / ncells) order;
+  cell_rank
+
+(** Columns parallel to the particle-motion axis: an approximately
+    square px * py grid of partitions in the transverse plane. *)
+let columns ~nranks ~ncells ~x ~y =
+  if nranks <= 0 then invalid_arg "Partition.columns: nranks must be positive";
+  (* largest factor <= sqrt covers prime counts gracefully *)
+  let px = ref 1 in
+  for f = 1 to int_of_float (sqrt (float_of_int nranks)) do
+    if nranks mod f = 0 then px := f
+  done;
+  let px = !px in
+  let py = nranks / px in
+  let order = Array.init ncells Fun.id in
+  Array.sort (fun a b -> compare (x a) (x b)) order;
+  let cell_rank = Array.make ncells 0 in
+  (* split into px strips by x, then each strip into py by y *)
+  for strip = 0 to px - 1 do
+    let lo = strip * ncells / px and hi = (strip + 1) * ncells / px in
+    let strip_cells = Array.sub order lo (hi - lo) in
+    Array.sort (fun a b -> compare (y a) (y b)) strip_cells;
+    let n = Array.length strip_cells in
+    Array.iteri
+      (fun pos c -> cell_rank.(c) <- (strip * py) + (pos * py / max n 1))
+      strip_cells
+  done;
+  cell_rank
+
+(** Cells per rank, for balance checks. *)
+let rank_counts ~nranks cell_rank =
+  let counts = Array.make nranks 0 in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= nranks then invalid_arg "Partition.rank_counts: rank out of range";
+      counts.(r) <- counts.(r) + 1)
+    cell_rank;
+  counts
+
+(** Max/mean cell-count imbalance of a partition (1.0 = perfect). *)
+let imbalance ~nranks cell_rank =
+  let counts = rank_counts ~nranks cell_rank in
+  let mx = Array.fold_left max 0 counts in
+  let mean = float_of_int (Array.length cell_rank) /. float_of_int nranks in
+  float_of_int mx /. mean

@@ -1,0 +1,24 @@
+(** Mesh partitioners for the simulated-MPI backend.
+
+    [columns] is the paper's custom geometric partitioning "along the
+    principal direction of motion of particles" (after PUMIPic):
+    partitions extend along the motion axis so particles rarely change
+    rank. [slab] is the opposite extreme; [rcb] is classic recursive
+    coordinate bisection (the ParMETIS stand-in). All return a
+    cell-to-rank assignment. *)
+
+val rcb : nranks:int -> ncells:int -> centroid:(int -> float array) -> int array
+(** Recursive coordinate bisection along the longest extent; handles
+    non-power-of-two rank counts by uneven splits. *)
+
+val slab : nranks:int -> ncells:int -> coord:(int -> float) -> int array
+(** Equal-count slabs ordered by one coordinate. *)
+
+val columns : nranks:int -> ncells:int -> x:(int -> float) -> y:(int -> float) -> int array
+(** An approximately square grid of transverse columns. *)
+
+val rank_counts : nranks:int -> int array -> int array
+(** Cells per rank; raises [Invalid_argument] on out-of-range ranks. *)
+
+val imbalance : nranks:int -> int array -> float
+(** Max/mean cell count (1.0 = perfectly balanced). *)

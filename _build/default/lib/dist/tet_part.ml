@@ -1,0 +1,193 @@
+(** Partitioning a tetrahedral mesh into rank-local meshes with halos.
+
+    Each rank receives its owned cells plus a one-deep halo of
+    neighbouring cells (enough for the mover to detect rank crossings
+    and for redundant compute over halo cells, the paper's OP2-style
+    race handling), and the nodes those cells touch. Owned elements
+    are numbered first. Node ownership goes to the lowest rank owning
+    an incident cell. Geometry (volumes, barycentric coefficients,
+    node volumes, boundary classification) is copied from the global
+    mesh so rank-local values are exact, not partial. *)
+
+open Opp_mesh
+
+type local_mesh = {
+  lm_mesh : Tet_mesh.t;  (** rank-local mesh: owned elements first, then halo *)
+  lm_cell_g : int array;  (** local cell -> global cell *)
+  lm_node_g : int array;
+  lm_cell_owned : int;
+  lm_node_owned : int;
+}
+
+type t = {
+  nranks : int;
+  global : Tet_mesh.t;
+  cell_rank : int array;
+  node_rank : int array;
+  locals : local_mesh array;
+  cell_exch : Exch.t;
+  node_exch : Exch.t;
+  cell_g2l : (int, int) Hashtbl.t array;  (** per rank: global cell -> local *)
+}
+
+let build (m : Tet_mesh.t) ~cell_rank ~nranks =
+  if Array.length cell_rank <> m.Tet_mesh.ncells then
+    invalid_arg "Tet_part.build: cell_rank size mismatch";
+  (* node owner: lowest rank among incident cells *)
+  let node_rank = Array.make m.Tet_mesh.nnodes max_int in
+  for c = 0 to m.Tet_mesh.ncells - 1 do
+    for i = 0 to 3 do
+      let n = m.Tet_mesh.cell_nodes.((4 * c) + i) in
+      if cell_rank.(c) < node_rank.(n) then node_rank.(n) <- cell_rank.(c)
+    done
+  done;
+  let locals = Array.make nranks None in
+  let cell_g2l = Array.init nranks (fun _ -> Hashtbl.create 64) in
+  let node_g2l = Array.init nranks (fun _ -> Hashtbl.create 64) in
+  for r = 0 to nranks - 1 do
+    (* owned cells in ascending global order, then halo cells *)
+    let owned = ref [] in
+    for c = m.Tet_mesh.ncells - 1 downto 0 do
+      if cell_rank.(c) = r then owned := c :: !owned
+    done;
+    let owned = Array.of_list !owned in
+    let halo_set = Hashtbl.create 64 in
+    Array.iter
+      (fun c ->
+        for i = 0 to 3 do
+          let nb = m.Tet_mesh.cell_cell.((4 * c) + i) in
+          if nb >= 0 && cell_rank.(nb) <> r then Hashtbl.replace halo_set nb ()
+        done)
+      owned;
+    let halo = Hashtbl.fold (fun c () acc -> c :: acc) halo_set [] in
+    let halo = Array.of_list (List.sort compare halo) in
+    let cells_g = Array.append owned halo in
+    Array.iteri (fun l g -> Hashtbl.replace cell_g2l.(r) g l) cells_g;
+    (* local nodes: owned (by this rank) first, then halo copies *)
+    let node_set = Hashtbl.create 256 in
+    Array.iter
+      (fun c ->
+        for i = 0 to 3 do
+          Hashtbl.replace node_set m.Tet_mesh.cell_nodes.((4 * c) + i) ()
+        done)
+      cells_g;
+    let all_nodes = Hashtbl.fold (fun n () acc -> n :: acc) node_set [] in
+    let owned_nodes, halo_nodes = List.partition (fun n -> node_rank.(n) = r) all_nodes in
+    let nodes_g =
+      Array.of_list (List.sort compare owned_nodes @ List.sort compare halo_nodes)
+    in
+    Array.iteri (fun l g -> Hashtbl.replace node_g2l.(r) g l) nodes_g;
+    let nnodes_l = Array.length nodes_g and ncells_l = Array.length cells_g in
+    let node_pos = Array.make (3 * nnodes_l) 0.0 in
+    let node_volume = Array.make nnodes_l 0.0 in
+    let node_kind = Array.make nnodes_l Tet_mesh.Interior in
+    Array.iteri
+      (fun l g ->
+        Array.blit m.Tet_mesh.node_pos (3 * g) node_pos (3 * l) 3;
+        node_volume.(l) <- m.Tet_mesh.node_volume.(g);
+        node_kind.(l) <- m.Tet_mesh.node_kind.(g))
+      nodes_g;
+    let cell_nodes = Array.make (4 * ncells_l) (-1) in
+    let cell_cell = Array.make (4 * ncells_l) (-1) in
+    let cell_volume = Array.make ncells_l 0.0 in
+    let cell_bary = Array.make (16 * ncells_l) 0.0 in
+    let cell_centroid = Array.make (3 * ncells_l) 0.0 in
+    Array.iteri
+      (fun l g ->
+        for i = 0 to 3 do
+          cell_nodes.((4 * l) + i) <-
+            Hashtbl.find node_g2l.(r) m.Tet_mesh.cell_nodes.((4 * g) + i);
+          let nb = m.Tet_mesh.cell_cell.((4 * g) + i) in
+          cell_cell.((4 * l) + i) <-
+            (if nb < 0 then -1
+             else match Hashtbl.find_opt cell_g2l.(r) nb with Some lnb -> lnb | None -> -1)
+        done;
+        cell_volume.(l) <- m.Tet_mesh.cell_volume.(g);
+        Array.blit m.Tet_mesh.cell_bary (16 * g) cell_bary (16 * l) 16;
+        Array.blit m.Tet_mesh.cell_centroid (3 * g) cell_centroid (3 * l) 3)
+      cells_g;
+    (* inlet faces of owned cells, preserving global face identity *)
+    let inlet_faces =
+      Array.of_list
+        (List.filter_map
+           (fun (f : Tet_mesh.face) ->
+             if cell_rank.(f.Tet_mesh.f_cell) = r then
+               Some
+                 {
+                   f with
+                   Tet_mesh.f_cell = Hashtbl.find cell_g2l.(r) f.Tet_mesh.f_cell;
+                   Tet_mesh.f_nodes =
+                     Array.map (fun n -> Hashtbl.find node_g2l.(r) n) f.Tet_mesh.f_nodes;
+                 }
+             else None)
+           (Array.to_list m.Tet_mesh.inlet_faces))
+    in
+    let lm =
+      {
+        lm_mesh =
+          {
+            Tet_mesh.nnodes = nnodes_l;
+            ncells = ncells_l;
+            lx = m.Tet_mesh.lx;
+            ly = m.Tet_mesh.ly;
+            lz = m.Tet_mesh.lz;
+            node_pos;
+            cell_nodes;
+            cell_cell;
+            cell_volume;
+            cell_bary;
+            cell_centroid;
+            node_volume;
+            node_kind;
+            inlet_faces;
+          };
+        lm_cell_g = cells_g;
+        lm_node_g = nodes_g;
+        lm_cell_owned = Array.length owned;
+        lm_node_owned = List.length owned_nodes;
+      }
+    in
+    locals.(r) <- Some lm
+  done;
+  let locals = Array.map Option.get locals in
+  (* exchange links: halo elements -> owner-rank local indices *)
+  let cell_links =
+    Array.init nranks (fun r ->
+        let lm = locals.(r) in
+        Array.init
+          (Array.length lm.lm_cell_g - lm.lm_cell_owned)
+          (fun i ->
+            let l = lm.lm_cell_owned + i in
+            let g = lm.lm_cell_g.(l) in
+            let owner = cell_rank.(g) in
+            {
+              Exch.l_local = l;
+              Exch.l_owner_rank = owner;
+              Exch.l_owner_index = Hashtbl.find cell_g2l.(owner) g;
+            }))
+  in
+  let node_links =
+    Array.init nranks (fun r ->
+        let lm = locals.(r) in
+        Array.init
+          (Array.length lm.lm_node_g - lm.lm_node_owned)
+          (fun i ->
+            let l = lm.lm_node_owned + i in
+            let g = lm.lm_node_g.(l) in
+            let owner = node_rank.(g) in
+            {
+              Exch.l_local = l;
+              Exch.l_owner_rank = owner;
+              Exch.l_owner_index = Hashtbl.find node_g2l.(owner) g;
+            }))
+  in
+  {
+    nranks;
+    global = m;
+    cell_rank;
+    node_rank;
+    locals;
+    cell_exch = Exch.create ~nranks ~links:cell_links;
+    node_exch = Exch.create ~nranks ~links:node_links;
+    cell_g2l;
+  }

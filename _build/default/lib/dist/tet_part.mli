@@ -1,0 +1,28 @@
+(** Partitioning a tetrahedral mesh into rank-local meshes with halos:
+    each rank gets its owned cells plus a one-deep neighbour halo and
+    the nodes those cells touch, owned elements numbered first, node
+    ownership to the lowest incident-cell rank, geometry copied from
+    the global mesh (exact, not partial). *)
+
+open Opp_mesh
+
+type local_mesh = {
+  lm_mesh : Tet_mesh.t;  (** rank-local mesh: owned first, then halo *)
+  lm_cell_g : int array;  (** local cell -> global cell *)
+  lm_node_g : int array;
+  lm_cell_owned : int;
+  lm_node_owned : int;
+}
+
+type t = {
+  nranks : int;
+  global : Tet_mesh.t;
+  cell_rank : int array;
+  node_rank : int array;
+  locals : local_mesh array;
+  cell_exch : Exch.t;
+  node_exch : Exch.t;
+  cell_g2l : (int, int) Hashtbl.t array;  (** per rank: global -> local *)
+}
+
+val build : Tet_mesh.t -> cell_rank:int array -> nranks:int -> t

@@ -1,0 +1,44 @@
+(** Communication accounting for the simulated-MPI backend.
+
+    Every simulated exchange counts the bytes and messages a real MPI
+    run would move; the weak-scaling figures convert these counts into
+    modelled time through {!Opp_perf.Netmodel}. *)
+
+type t = {
+  mutable halo_bytes : float;
+  mutable halo_messages : int;
+  mutable migrate_bytes : float;
+  mutable migrate_messages : int;
+  mutable migrated_particles : int;
+  mutable reductions : int;  (** allreduce-style collectives *)
+  mutable solve_bytes : float;  (** field-solver gather/scatter traffic *)
+}
+
+let create () =
+  {
+    halo_bytes = 0.0;
+    halo_messages = 0;
+    migrate_bytes = 0.0;
+    migrate_messages = 0;
+    migrated_particles = 0;
+    reductions = 0;
+    solve_bytes = 0.0;
+  }
+
+let reset t =
+  t.halo_bytes <- 0.0;
+  t.halo_messages <- 0;
+  t.migrate_bytes <- 0.0;
+  t.migrate_messages <- 0;
+  t.migrated_particles <- 0;
+  t.reductions <- 0;
+  t.solve_bytes <- 0.0
+
+let total_bytes t = t.halo_bytes +. t.migrate_bytes +. t.solve_bytes
+let total_messages t = t.halo_messages + t.migrate_messages
+
+let pp fmt t =
+  Format.fprintf fmt
+    "halo: %.0f B in %d msgs; migration: %.0f B in %d msgs (%d particles); reductions: %d; solve: %.0f B"
+    t.halo_bytes t.halo_messages t.migrate_bytes t.migrate_messages t.migrated_particles
+    t.reductions t.solve_bytes

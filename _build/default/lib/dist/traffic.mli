@@ -1,0 +1,20 @@
+(** Communication accounting for the simulated-MPI backend: every
+    simulated exchange counts the bytes and messages a real MPI run
+    would move; the weak-scaling figures convert these counts into
+    modelled time through [Opp_perf.Netmodel]. *)
+
+type t = {
+  mutable halo_bytes : float;
+  mutable halo_messages : int;
+  mutable migrate_bytes : float;
+  mutable migrate_messages : int;
+  mutable migrated_particles : int;
+  mutable reductions : int;
+  mutable solve_bytes : float;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_bytes : t -> float
+val total_messages : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Apps_dist Config Fempic Float Format Fun List Opp Opp_core Opp_dist Opp_gpu Opp_mesh Opp_perf Opp_thread Profile Runner Seq Types Unix

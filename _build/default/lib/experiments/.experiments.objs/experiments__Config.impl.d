@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Cabana Fempic Opp_mesh

@@ -1,0 +1,1 @@
+lib/experiments/ext_landau.ml: Array Float Format Landau List

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Cabana Cabana_ref Config Format List Opp_core Opp_gpu Opp_perf Unix

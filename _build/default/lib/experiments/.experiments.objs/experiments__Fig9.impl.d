@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Cabana Config Fempic Format List Opp Opp_core Opp_gpu Opp_perf Profile

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Ext_landau Fig12 Fig9 Format List Opp_perf Rooflines Scaling Validate

@@ -1,0 +1,1 @@
+lib/experiments/rooflines.ml: Config Fig9 Format List Opp_gpu Opp_perf

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Apps_dist Config Fig9 Float Format Lazy List Opp_core Opp_dist Opp_perf Printf Systems Traffic Workload

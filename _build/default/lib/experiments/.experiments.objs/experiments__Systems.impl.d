@@ -1,0 +1,1 @@
+lib/experiments/systems.ml: Opp_gpu Opp_perf

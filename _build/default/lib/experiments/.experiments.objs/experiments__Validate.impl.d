@@ -1,0 +1,1 @@
+lib/experiments/validate.ml: Apps_dist Cabana Cabana_ref Config Float Format Opp_core Opp_dist

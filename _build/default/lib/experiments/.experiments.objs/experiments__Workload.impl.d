@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Float Opp_core Opp_dist Opp_gpu Opp_perf

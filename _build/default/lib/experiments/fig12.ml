@@ -1,0 +1,68 @@
+(** Figure 12: OP-PIC CabanaPIC against the original structured-mesh
+    implementation.
+
+    The single-core columns are {e measured wall-clock} on this host:
+    the hand-written structured reference ([Cabana_ref], standing in
+    for the Kokkos original) against the DSL-generated unstructured
+    version, across the paper's three particles-per-cell regimes. The
+    paper sees the DSL within ~15% of (or ahead of) the original; the
+    socket and V100 columns are modelled. *)
+
+type row = {
+  ppc : int;
+  ref_seconds : float;  (** measured, structured reference *)
+  dsl_seconds : float;  (** measured, OP-PIC sequential *)
+  dsl_socket_model : float;  (** modelled 24-core socket *)
+  dsl_v100_model : float;  (** modelled V100 *)
+}
+
+let steps = 5
+
+let measure f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_regime ppc =
+  let prm = Config.cabana_prm ~ppc in
+  let reference = Cabana_ref.create ~prm () in
+  let ref_seconds = measure (fun () -> Cabana_ref.run reference ~steps) in
+  let dsl = Cabana.Cabana_sim.create ~prm ~profile:(Opp_core.Profile.create ()) () in
+  let dsl_seconds = measure (fun () -> Cabana.Cabana_sim.run dsl ~steps) in
+  (* modelled socket: one 8268 socket = half the node's bandwidth *)
+  let socket =
+    {
+      Opp_perf.Device.xeon_8268_node with
+      Opp_perf.Device.mem_bw = Opp_perf.Device.xeon_8268_node.Opp_perf.Device.mem_bw /. 2.0;
+      peak_fp64 = Opp_perf.Device.xeon_8268_node.Opp_perf.Device.peak_fp64 /. 2.0;
+    }
+  in
+  let model device mode =
+    let profile = Opp_core.Profile.create () in
+    let gpu = Opp_gpu.Gpu_runner.create ~profile ~mode device in
+    let sim = Cabana.Cabana_sim.create ~prm ~runner:(Opp_gpu.Gpu_runner.runner gpu) ~profile:(Opp_core.Profile.create ()) () in
+    Cabana.Cabana_sim.run sim ~steps;
+    Opp_core.Profile.total_seconds ~t:profile ()
+  in
+  {
+    ppc;
+    ref_seconds;
+    dsl_seconds;
+    dsl_socket_model = model socket Opp_gpu.Gpu_runner.AT;
+    dsl_v100_model = model Opp_perf.Device.v100 Opp_gpu.Gpu_runner.AT;
+  }
+
+let run fmt =
+  Format.fprintf fmt
+    "Figure 12: CabanaPIC original (structured) vs OP-PIC (unstructured DSL), %d steps@.@."
+    steps;
+  Format.fprintf fmt "%8s %14s %14s %10s %18s %16s@." "ppc" "original(s)" "op-pic(s)"
+    "ratio" "socket model(s)" "V100 model(s)";
+  List.iter
+    (fun ppc ->
+      let r = run_regime ppc in
+      Format.fprintf fmt "%8d %14.3f %14.3f %9.2fx %18.4f %16.4f@." r.ppc r.ref_seconds
+        r.dsl_seconds
+        (r.dsl_seconds /. r.ref_seconds)
+        r.dsl_socket_model r.dsl_v100_model)
+    [ Config.cabana_ppc_low; Config.cabana_ppc_mid; Config.cabana_ppc_high ]

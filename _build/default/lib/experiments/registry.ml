@@ -1,0 +1,36 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, by id (see DESIGN.md's experiment index and
+    EXPERIMENTS.md for paper-vs-measured notes). *)
+
+type t = { id : string; title : string; run : Format.formatter -> unit }
+
+let all =
+  [
+    { id = "tab2"; title = "Table 2: systems"; run = (fun fmt -> Opp_perf.Report.pp_systems fmt Opp_perf.Device.all) };
+    { id = "fig9a"; title = "Figure 9(a): Mini-FEM-PIC breakdown"; run = Fig9.run_fempic };
+    { id = "fig9b"; title = "Figure 9(b): CabanaPIC breakdown"; run = Fig9.run_cabana };
+    { id = "fig10"; title = "Figure 10: Mini-FEM-PIC rooflines"; run = Rooflines.run_fempic };
+    { id = "fig11"; title = "Figure 11: CabanaPIC rooflines"; run = Rooflines.run_cabana };
+    { id = "fig12"; title = "Figure 12: original vs OP-PIC CabanaPIC"; run = Fig12.run };
+    { id = "tab1"; title = "Table 1: GPU utilisation"; run = Scaling.run_utilization };
+    { id = "fig13"; title = "Figure 13: Mini-FEM-PIC weak scaling"; run = Scaling.run_fempic };
+    { id = "fig14"; title = "Figure 14: CabanaPIC weak scaling"; run = Scaling.run_cabana };
+    { id = "fig15"; title = "Figure 15: power-equivalent"; run = Scaling.run_power };
+    { id = "abl_move"; title = "Ablation: MH vs DH mover"; run = Ablations.run_move_strategy };
+    { id = "abl_atomics"; title = "Ablation: AT/UA/SR"; run = Ablations.run_atomics };
+    { id = "abl_holefill"; title = "Ablation: hole filling vs sort"; run = Ablations.run_holefill };
+    { id = "abl_coloring"; title = "Ablation: scatter arrays vs colouring"; run = Ablations.run_coloring };
+    { id = "abl_partition"; title = "Ablation: partitioners"; run = Ablations.run_partitioner };
+    { id = "validate"; title = "Validation vs original"; run = Validate.run };
+    { id = "ext_landau"; title = "Extension: Landau damping vs kinetic theory"; run = Ext_landau.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_one fmt e =
+  Format.fprintf fmt "@.======================================================================@.";
+  Format.fprintf fmt "== %s (%s)@." e.title e.id;
+  Format.fprintf fmt "======================================================================@.@.";
+  e.run fmt
+
+let run_all fmt = List.iter (run_one fmt) all

@@ -1,0 +1,10 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation plus the ablations and extensions, by id (DESIGN.md's
+    experiment index; paper-vs-measured notes in EXPERIMENTS.md). *)
+
+type t = { id : string; title : string; run : Format.formatter -> unit }
+
+val all : t list
+val find : string -> t option
+val run_one : Format.formatter -> t -> unit
+val run_all : Format.formatter -> unit

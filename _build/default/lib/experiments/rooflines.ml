@@ -1,0 +1,53 @@
+(** Figures 10 and 11: roofline placement of every significant kernel
+    of both mini-apps on the Intel 8268 node, the V100 and one MI250X
+    GCD (the paper's three roofline plots per app).
+
+    Arithmetic intensity comes from the loop descriptors (bytes) and
+    the kernels' declared flop counts; the achieved rate divides by
+    the modelled kernel time, so bandwidth-bound kernels sit on the
+    DRAM roof and the latency-bound AMD DepositCharge falls far below
+    it — the paper's qualitative picture. *)
+
+let devices =
+  [
+    (Opp_perf.Device.xeon_8268_node, Opp_gpu.Gpu_runner.AT);
+    (Opp_perf.Device.v100, Opp_gpu.Gpu_runner.AT);
+    (Opp_perf.Device.mi250x_gcd, Opp_gpu.Gpu_runner.UA);
+  ]
+
+(* kernels shown in the paper's roofline plots (data movers and host
+   phases are excluded there too) *)
+let interesting =
+  [
+    "CalcPosVel";
+    "Move";
+    "DepositCharge";
+    "ComputeElectricField";
+    "Interpolate";
+    "Move_Deposit";
+    "AdvanceB";
+    "AdvanceE";
+  ]
+
+let filter_points points =
+  List.filter (fun p -> List.mem p.Opp_perf.Roofline.kernel interesting) points
+
+let pp_device fmt (device : Opp_perf.Device.t) profile =
+  Format.fprintf fmt "@.%s (DRAM %.0f GB/s, FP64 %.1f TF/s):@." device.Opp_perf.Device.name
+    (device.Opp_perf.Device.mem_bw /. 1e9)
+    (device.Opp_perf.Device.peak_fp64 /. 1e12);
+  Opp_perf.Roofline.pp_points fmt
+    (filter_points (Opp_perf.Roofline.points device ~t:profile ()))
+
+let run_fempic fmt =
+  Format.fprintf fmt "Figure 10: Mini-FEM-PIC rooflines@.";
+  List.iter
+    (fun (device, mode) -> pp_device fmt device (Fig9.fempic_on (device, mode)))
+    devices
+
+let run_cabana fmt =
+  Format.fprintf fmt "Figure 11: CabanaPIC rooflines (%d ppc)@." Config.cabana_ppc_low;
+  List.iter
+    (fun (device, mode) ->
+      pp_device fmt device (Fig9.cabana_on ~ppc:Config.cabana_ppc_low (device, mode)))
+    devices

@@ -1,0 +1,198 @@
+(** Figures 13/14 (weak scaling), Table 1 (GPU utilisation) and
+    Figure 15 (power-equivalent performance).
+
+    Compute per rank comes from the same modelled single-device runs
+    as Figure 9; communication per rank is {e measured} from genuine
+    simulated-MPI executions (halo bytes/messages, migrated particles,
+    collectives) and projected to the paper's problem scale by surface
+    scaling, then priced by the interconnect model of each system. *)
+
+open Opp_dist
+
+type comm_profile = Workload.comm
+
+(* surface-to-volume: a rank's halo grows with the 2/3 power of its
+   workload when the problem scales up *)
+let surface_scale work_scale = Float.pow work_scale (2.0 /. 3.0)
+
+let scale_comm (c : comm_profile) ~work_scale ~migrate_extra ~imbalance =
+  let s = surface_scale work_scale in
+  {
+    Workload.halo_bytes = c.Workload.halo_bytes *. s;
+    halo_messages = c.Workload.halo_messages;
+    migrate_bytes = c.Workload.migrate_bytes *. s *. migrate_extra;
+    migrate_messages = c.Workload.migrate_messages;
+    reductions = c.Workload.reductions;
+    solve_bytes = c.Workload.solve_bytes *. work_scale;
+    imbalance;
+  }
+
+(* --- measured communication profiles --- *)
+
+let fempic_comm =
+  lazy
+    (let ranks = 4 and steps = 5 in
+     let profile = Opp_core.Profile.create () in
+     let dist =
+       Apps_dist.Fempic_dist.create
+         ~prm:(Config.fempic_scaled_prm ~ranks)
+         ~nranks:ranks ~profile
+         (Config.fempic_scaled_mesh ~ranks)
+     in
+     (* let the duct fill before measuring *)
+     Apps_dist.Fempic_dist.run dist ~steps:20;
+     Traffic.reset dist.Apps_dist.Fempic_dist.traffic;
+     Apps_dist.Fempic_dist.run dist ~steps;
+     let comm =
+       Workload.comm_of_traffic dist.Apps_dist.Fempic_dist.traffic ~ranks ~steps
+     in
+     scale_comm comm ~work_scale:Config.fempic_work_scale
+       ~migrate_extra:(1.0 /. Config.fempic_scaling_ppc_fraction)
+       ~imbalance:(Apps_dist.Fempic_dist.particle_imbalance dist))
+
+let cabana_comm ~ppc =
+  let ranks = 4 and steps = 5 in
+  let profile = Opp_core.Profile.create () in
+  let dist =
+    Apps_dist.Cabana_dist.create
+      ~prm:(Config.cabana_scaled_prm ~ranks ~ppc:Config.cabana_scaling_ppc)
+      ~nranks:ranks ~profile ()
+  in
+  Apps_dist.Cabana_dist.run dist ~steps:5;
+  Traffic.reset dist.Apps_dist.Cabana_dist.traffic;
+  Apps_dist.Cabana_dist.run dist ~steps;
+  let comm = Workload.comm_of_traffic dist.Apps_dist.Cabana_dist.traffic ~ranks ~steps in
+  scale_comm comm ~work_scale:Config.cabana_work_scale
+    ~migrate_extra:(float_of_int ppc /. float_of_int Config.cabana_scaling_ppc)
+    ~imbalance:(Apps_dist.Cabana_dist.particle_imbalance dist)
+
+let cabana_comm_mid = lazy (cabana_comm ~ppc:Config.cabana_ppc_mid)
+
+(* --- modelled per-device compute (reusing the Figure 9 ledgers) --- *)
+
+let compute_per_step profile ~steps =
+  Opp_core.Profile.total_seconds ~t:profile () /. float_of_int steps
+
+let fempic_compute (sys : Systems.t) =
+  compute_per_step
+    (Fig9.fempic_on (sys.Systems.device, sys.Systems.best_atomic))
+    ~steps:Config.fempic_steps
+
+let cabana_compute ~ppc (sys : Systems.t) =
+  compute_per_step
+    (Fig9.cabana_on ~ppc (sys.Systems.device, sys.Systems.best_atomic))
+    ~steps:Config.cabana_steps
+
+(* --- weak-scaling series --- *)
+
+let systems = [ Systems.archer2; Systems.bede; Systems.lumi_g ]
+
+let series ~compute ~comm ~rank_counts (sys : Systems.t) =
+  List.map
+    (fun ranks ->
+      {
+        Opp_perf.Report.sp_ranks = ranks;
+        sp_compute = compute;
+        sp_comm =
+          Workload.comm_time comm sys.Systems.net ~ranks
+          +. Workload.sync_time comm ~compute ~ranks;
+        sp_label = "";
+      })
+    rank_counts
+
+let run_fempic fmt =
+  let comm = Lazy.force fempic_comm in
+  let rank_counts = [ 1; 2; 4; 8; 16; 32; 64; 128 ] in
+  Opp_perf.Report.pp_scaling fmt
+    ~title:
+      "Figure 13: Mini-FEM-PIC weak scaling (48k cells / ~70M particles per device, per step)"
+    (List.map
+       (fun sys ->
+         (sys.Systems.sys_name, series ~compute:(fempic_compute sys) ~comm ~rank_counts sys))
+       systems)
+
+let run_cabana fmt =
+  let comm = Lazy.force cabana_comm_mid in
+  Opp_perf.Report.pp_scaling fmt
+    ~title:
+      "Figure 14: CabanaPIC weak scaling (96k cells / 144M particles per device, per step)"
+    (List.map
+       (fun sys ->
+         let rank_counts =
+           if Opp_perf.Device.is_gpu sys.Systems.device then
+             [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+           else [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+         in
+         ( sys.Systems.sys_name,
+           series
+             ~compute:(cabana_compute ~ppc:Config.cabana_ppc_mid sys)
+             ~comm ~rank_counts sys ))
+       systems)
+
+(* --- Table 1: GPU utilisation --- *)
+
+let run_utilization fmt =
+  Format.fprintf fmt "Table 1: modelled GPU utilisation (compute / (compute + comm))@.@.";
+  let cab_comm = Lazy.force cabana_comm_mid in
+  let fem_comm = Lazy.force fempic_comm in
+  let rows =
+    List.concat_map
+      (fun (label, sys, compute, comm) ->
+        List.map
+          (fun devices ->
+            ( Printf.sprintf "%s on %s" label sys.Systems.sys_name,
+              devices,
+              compute,
+              Workload.comm_time comm sys.Systems.net ~ranks:devices
+              +. Workload.sync_time comm ~compute ~ranks:devices ))
+          [ 1; (if Opp_perf.Device.warp_size sys.Systems.device = 64 then 8 else 4) ])
+      [
+        ("CabanaPIC 96k/72M", Systems.lumi_g, cabana_compute ~ppc:Config.cabana_ppc_low Systems.lumi_g, cab_comm);
+        ("CabanaPIC 96k/144M", Systems.lumi_g, cabana_compute ~ppc:Config.cabana_ppc_mid Systems.lumi_g, cab_comm);
+        ("CabanaPIC 96k/144M", Systems.bede, cabana_compute ~ppc:Config.cabana_ppc_mid Systems.bede, cab_comm);
+        ("Mini-FEM-PIC 48k/70M", Systems.bede, fempic_compute Systems.bede, fem_comm);
+        ("Mini-FEM-PIC 48k/70M", Systems.lumi_g, fempic_compute Systems.lumi_g, fem_comm);
+      ]
+  in
+  Opp_perf.Report.pp_utilization fmt rows
+
+(* --- Figure 15: power-equivalent runtimes --- *)
+
+(* ~12 kW configurations, as in the paper *)
+let power_configs = [ (Systems.archer2, 18); (Systems.bede, 32); (Systems.lumi_g, 40) ]
+
+let power_row ~units ~compute_per_unit ~comm (sys : Systems.t) ~devices =
+  (* strong scaling: [units] device-sized work units spread over
+     [devices] ranks *)
+  let per_device_work = float_of_int units /. float_of_int devices in
+  let compute = compute_per_unit sys *. per_device_work in
+  let t =
+    compute
+    +. Workload.comm_time comm sys.Systems.net ~ranks:devices
+    +. Workload.sync_time comm ~compute ~ranks:devices
+  in
+  (sys.Systems.sys_name, devices, Systems.power sys ~devices, t)
+
+let run_power fmt =
+  let fem_comm = Lazy.force fempic_comm in
+  Opp_perf.Report.pp_power_equivalent fmt
+    ~title:
+      "Figure 15: power-equivalent runtimes, Mini-FEM-PIC 1.536M cells / ~2.5B particles (per step)"
+    (List.map
+       (fun (sys, devices) ->
+         power_row ~units:32 ~compute_per_unit:fempic_compute ~comm:fem_comm sys ~devices)
+       power_configs);
+  Format.fprintf fmt "@.";
+  let cab_comm = Lazy.force cabana_comm_mid in
+  List.iter
+    (fun (label, ppc, units) ->
+      Opp_perf.Report.pp_power_equivalent fmt
+        ~title:(Printf.sprintf "Figure 15: power-equivalent runtimes, CabanaPIC %s (per step)" label)
+        (List.map
+           (fun (sys, devices) ->
+             power_row ~units ~compute_per_unit:(cabana_compute ~ppc) ~comm:cab_comm sys
+               ~devices)
+           power_configs);
+      Format.fprintf fmt "@.")
+    [ ("3.072M cells / ~2.3B particles", Config.cabana_ppc_low, 32);
+      ("3.072M cells / ~4.6B particles", Config.cabana_ppc_mid, 32) ]

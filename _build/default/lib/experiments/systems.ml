@@ -1,0 +1,61 @@
+(** The four clusters of the paper's Table 2, assembled from the
+    device and interconnect models. *)
+
+type t = {
+  sys_name : string;
+  device : Opp_perf.Device.t;  (** the unit that owns one MPI rank *)
+  net : Opp_perf.Netmodel.t;
+  devices_per_node : int;
+  node_power : float;  (** watts *)
+  best_atomic : Opp_gpu.Gpu_runner.atomic_mode;
+}
+
+(* Avon: Intel Xeon 8268 nodes, InfiniBand HDR100 *)
+let avon =
+  {
+    sys_name = "Avon (2x Xeon 8268)";
+    device = Opp_perf.Device.xeon_8268_node;
+    net = Opp_perf.Netmodel.infiniband;
+    devices_per_node = 1;
+    node_power = 475.0;
+    best_atomic = Opp_gpu.Gpu_runner.AT;
+  }
+
+(* ARCHER2: AMD EPYC 7742 nodes, Slingshot *)
+let archer2 =
+  {
+    sys_name = "ARCHER2 (2x EPYC 7742)";
+    device = Opp_perf.Device.epyc_7742_node;
+    net = Opp_perf.Netmodel.slingshot_cpu;
+    devices_per_node = 1;
+    node_power = 660.0;
+    best_atomic = Opp_gpu.Gpu_runner.AT;
+  }
+
+(* Bede: 4x V100 per node, InfiniBand EDR *)
+let bede =
+  {
+    sys_name = "Bede (V100)";
+    device = Opp_perf.Device.v100;
+    net = Opp_perf.Netmodel.infiniband;
+    devices_per_node = 4;
+    node_power = 1500.0;
+    best_atomic = Opp_gpu.Gpu_runner.AT;
+  }
+
+(* LUMI-G: 4x MI250X per node = 8 GCDs, Slingshot *)
+let lumi_g =
+  {
+    sys_name = "LUMI-G (MI250X GCD)";
+    device = Opp_perf.Device.mi250x_gcd;
+    net = Opp_perf.Netmodel.slingshot_gpu;
+    devices_per_node = 8;
+    node_power = 2390.0;
+    best_atomic = Opp_gpu.Gpu_runner.UA;
+  }
+
+let all = [ avon; archer2; bede; lumi_g ]
+
+(** Power drawn by [devices] ranks of this system. *)
+let power t ~devices =
+  float_of_int devices /. float_of_int t.devices_per_node *. t.node_power

@@ -1,0 +1,65 @@
+(** Turning executed runs into modelled times.
+
+    Compute time per device comes from replaying the application
+    through the SIMT cost model ({!Opp_gpu.Gpu_runner}); communication
+    time comes from the byte/message counts of a genuinely executed
+    simulated-MPI run fed into the interconnect model. The two
+    combine into the weak-scaling and power-equivalent projections. *)
+
+(* Per-rank, per-step communication quantities. *)
+type comm = {
+  halo_bytes : float;
+  halo_messages : float;
+  migrate_bytes : float;
+  migrate_messages : float;
+  reductions : float;
+  solve_bytes : float;
+  imbalance : float;
+      (** particle load imbalance (max/mean - 1): idle time at the
+          move-finalisation barrier, as a fraction of compute *)
+}
+
+let comm_of_traffic (tr : Opp_dist.Traffic.t) ~ranks ~steps =
+  let per v = v /. float_of_int (ranks * steps) in
+  {
+    halo_bytes = per tr.Opp_dist.Traffic.halo_bytes;
+    halo_messages = per (float_of_int tr.Opp_dist.Traffic.halo_messages);
+    migrate_bytes = per tr.Opp_dist.Traffic.migrate_bytes;
+    migrate_messages = per (float_of_int tr.Opp_dist.Traffic.migrate_messages);
+    reductions = per (float_of_int tr.Opp_dist.Traffic.reductions) *. float_of_int ranks;
+    solve_bytes = per tr.Opp_dist.Traffic.solve_bytes;
+    imbalance = 0.0;
+  }
+
+(** Synchronisation seconds lost to particle imbalance at the
+    move-finalisation barrier. *)
+let sync_time (c : comm) ~compute ~ranks = if ranks > 1 then c.imbalance *. compute else 0.0
+
+(** Modelled communication seconds per step per rank at [ranks]. *)
+let comm_time (c : comm) (net : Opp_perf.Netmodel.t) ~ranks =
+  if ranks <= 1 then 0.0
+  else
+    let p2p =
+      Opp_perf.Netmodel.p2p_time net
+        ~messages:(int_of_float (Float.ceil (c.halo_messages +. c.migrate_messages)))
+        ~bytes:(int_of_float (c.halo_bytes +. c.migrate_bytes))
+    in
+    let collectives =
+      c.reductions *. Opp_perf.Netmodel.allreduce_time net ~ranks ~bytes:8
+    in
+    let solve = c.solve_bytes /. net.Opp_perf.Netmodel.bandwidth in
+    (* finalising the particle move synchronises all ranks (section 4.2) *)
+    let sync = Opp_perf.Netmodel.barrier_time net ~ranks in
+    p2p +. collectives +. solve +. sync
+
+(** Modelled compute seconds per step of [run] (which executes the
+    application for [steps] steps against the given runner) on
+    [device]: the application is replayed through the SIMT cost model
+    so atomic serialization and warp divergence are included. *)
+let compute_time_on ~device ~mode run =
+  let profile = Opp_core.Profile.create () in
+  let gpu = Opp_gpu.Gpu_runner.create ~profile ~mode device in
+  run (Opp_gpu.Gpu_runner.runner gpu);
+  (Opp_core.Profile.total_seconds ~t:profile (), profile)
+
+let per_step seconds ~steps = seconds /. float_of_int steps

@@ -1,0 +1,1 @@
+lib/fempic/checkpoint.ml: Array Fempic_sim Fun Int64 Opp_core Particle Printf Rng

@@ -1,0 +1,1 @@
+lib/fempic/checkpoint.mli: Fempic_sim

@@ -1,0 +1,1 @@
+lib/fempic/collisions.ml: Arg Array List Opp_core Particle Rng Runner Seq View

@@ -1,0 +1,1 @@
+lib/fempic/collisions.mli: Opp_core Rng Runner Types

@@ -1,0 +1,1 @@
+lib/fempic/fempic_sim.ml: Array Field_solver Opp Opp_core Opp_mesh Params Profile Rng Runner Seq View

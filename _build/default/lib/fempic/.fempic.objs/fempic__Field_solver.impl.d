@@ -1,0 +1,1 @@
+lib/fempic/field_solver.ml: Array Float Fun Opp_la Params

@@ -1,0 +1,1 @@
+lib/fempic/field_solver.mli: Params

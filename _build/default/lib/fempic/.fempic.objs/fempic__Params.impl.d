@@ -1,0 +1,1 @@
+lib/fempic/params.ml:

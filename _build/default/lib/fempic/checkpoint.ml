@@ -1,0 +1,132 @@
+(** Binary checkpoint / restart for Mini-FEM-PIC — the stand-in for
+    the artifact's HDF5 state files.
+
+    The snapshot carries everything that makes a resumed run continue
+    {e bit-for-bit} like the uninterrupted one: fields, particle dats,
+    the particle-to-cell map, the per-face injection RNG states and
+    carry accumulators, and the step counter. The format is
+    self-describing (magic + sizes) and endian-fixed (big-endian IEEE
+    doubles / 64-bit ints). *)
+
+open Opp_core
+open Opp_core.Types
+
+let magic = 0x4F50504943ABCDEFL (* "OPPIC" + tag *)
+
+exception Corrupt of string
+
+let write_i64 oc v =
+  for byte = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical v (byte * 8)) land 0xff)
+  done
+
+let rec read_i64_aux ic acc = function
+  | 0 -> acc
+  | k -> read_i64_aux ic (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (input_byte ic))) (k - 1)
+
+let read_i64 ic = try read_i64_aux ic 0L 8 with End_of_file -> raise (Corrupt "truncated file")
+
+let write_int oc v = write_i64 oc (Int64.of_int v)
+
+let read_int ic =
+  let v = read_i64 ic in
+  Int64.to_int v
+
+let write_float oc v = write_i64 oc (Int64.bits_of_float v)
+let read_float ic = Int64.float_of_bits (read_i64 ic)
+
+let write_floats oc a =
+  write_int oc (Array.length a);
+  Array.iter (write_float oc) a
+
+let read_floats ic =
+  let n = read_int ic in
+  if n < 0 || n > 1 lsl 40 then raise (Corrupt "bad array length");
+  Array.init n (fun _ -> read_float ic)
+
+let write_ints oc a =
+  write_int oc (Array.length a);
+  Array.iter (write_int oc) a
+
+let read_ints ic =
+  let n = read_int ic in
+  if n < 0 || n > 1 lsl 40 then raise (Corrupt "bad array length");
+  Array.init n (fun _ -> read_int ic)
+
+(* slice of a dat covering only the live elements *)
+let dat_slice (d : dat) = Array.sub d.d_data 0 (d.d_set.s_size * d.d_dim)
+
+let restore_dat (d : dat) a =
+  if Array.length a <> d.d_set.s_size * d.d_dim then
+    raise (Corrupt (Printf.sprintf "dat %s: size mismatch" d.d_name));
+  Array.blit a 0 d.d_data 0 (Array.length a)
+
+(** Write the simulation state to [path]. *)
+let save (sim : Fempic_sim.t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      write_i64 oc magic;
+      write_int oc sim.Fempic_sim.step_count;
+      write_int oc sim.Fempic_sim.cells.s_size;
+      write_int oc sim.Fempic_sim.nodes.s_size;
+      write_int oc sim.Fempic_sim.parts.s_size;
+      (* fields *)
+      write_floats oc (dat_slice sim.Fempic_sim.node_phi);
+      write_floats oc (dat_slice sim.Fempic_sim.node_charge);
+      write_floats oc (dat_slice sim.Fempic_sim.node_charge_den);
+      write_floats oc (dat_slice sim.Fempic_sim.cell_ef);
+      (* particles *)
+      write_floats oc (dat_slice sim.Fempic_sim.part_pos);
+      write_floats oc (dat_slice sim.Fempic_sim.part_vel);
+      write_floats oc (dat_slice sim.Fempic_sim.part_lc);
+      write_ints oc (Array.sub sim.Fempic_sim.p2c.m_data 0 sim.Fempic_sim.parts.s_size);
+      (* injection state, for bit-exact resume *)
+      write_floats oc sim.Fempic_sim.face_carry;
+      write_int oc (Array.length sim.Fempic_sim.face_rng);
+      Array.iter (fun rng -> write_i64 oc (Rng.state rng)) sim.Fempic_sim.face_rng)
+
+(** Restore a snapshot into a freshly created simulation on the same
+    mesh and parameters. Raises [Corrupt] on format or shape
+    mismatches. *)
+let load (sim : Fempic_sim.t) path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      if read_i64 ic <> magic then raise (Corrupt "bad magic");
+      let step = read_int ic in
+      let ncells = read_int ic and nnodes = read_int ic and nparts = read_int ic in
+      if ncells <> sim.Fempic_sim.cells.s_size then raise (Corrupt "cell count mismatch");
+      if nnodes <> sim.Fempic_sim.nodes.s_size then raise (Corrupt "node count mismatch");
+      (* size the particle population before restoring its dats *)
+      let have = sim.Fempic_sim.parts.s_size in
+      if nparts > have then ignore (Particle.inject sim.Fempic_sim.parts (nparts - have))
+      else if nparts < have then begin
+        let dead = Array.make have false in
+        for p = nparts to have - 1 do
+          dead.(p) <- true
+        done;
+        ignore (Particle.remove_flagged sim.Fempic_sim.parts dead)
+      end;
+      Particle.reset_injected sim.Fempic_sim.parts;
+      restore_dat sim.Fempic_sim.node_phi (read_floats ic);
+      restore_dat sim.Fempic_sim.node_charge (read_floats ic);
+      restore_dat sim.Fempic_sim.node_charge_den (read_floats ic);
+      restore_dat sim.Fempic_sim.cell_ef (read_floats ic);
+      restore_dat sim.Fempic_sim.part_pos (read_floats ic);
+      restore_dat sim.Fempic_sim.part_vel (read_floats ic);
+      restore_dat sim.Fempic_sim.part_lc (read_floats ic);
+      let cells = read_ints ic in
+      if Array.length cells <> nparts then raise (Corrupt "p2c size mismatch");
+      Array.blit cells 0 sim.Fempic_sim.p2c.m_data 0 nparts;
+      let carry = read_floats ic in
+      if Array.length carry <> Array.length sim.Fempic_sim.face_carry then
+        raise (Corrupt "face count mismatch");
+      Array.blit carry 0 sim.Fempic_sim.face_carry 0 (Array.length carry);
+      let nrng = read_int ic in
+      if nrng <> Array.length sim.Fempic_sim.face_rng then raise (Corrupt "rng count mismatch");
+      Array.iter (fun rng -> Rng.set_state rng (read_i64 ic)) sim.Fempic_sim.face_rng;
+      sim.Fempic_sim.step_count <- step;
+      step)

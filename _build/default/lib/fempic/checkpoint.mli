@@ -1,0 +1,13 @@
+(** Binary checkpoint / restart for Mini-FEM-PIC (the artifact's HDF5
+    state files). A snapshot carries fields, particles, the
+    particle-to-cell map, per-face injection RNG states and carries,
+    and the step counter, so a resumed run continues bit-for-bit. *)
+
+exception Corrupt of string
+
+val save : Fempic_sim.t -> string -> unit
+
+val load : Fempic_sim.t -> string -> int
+(** Restore into a freshly created simulation on the same mesh and
+    parameters; returns the checkpointed step count. Raises
+    {!Corrupt} on format or shape mismatches. *)

@@ -1,0 +1,210 @@
+(** Nonlinear Poisson field solver for Mini-FEM-PIC.
+
+    Solves the electrostatic potential with Boltzmann electrons,
+
+      eps0 K phi = b(rho_ion) - qe n0 exp((phi - phi0)/kTe) V
+
+    by Newton iteration; each linear step J dphi = -F uses the
+    Jacobi-CG solver of [opp_la] (the PETSc KSP substitute). The
+    stiffness matrix K comes from linear tetrahedral elements,
+    K_ij = sum_cells V_c (g_i . g_j), with the constant shape-function
+    gradients g of {!Opp_mesh.Geom.bary_coefficients}.
+
+    The solver is communication-agnostic: distributed runs pass halo
+    exchange / reduction hooks in [comm]; sequential runs use
+    {!comm_seq}. Vectors are indexed by local nodes (owned first);
+    Dirichlet nodes are masked out of the Krylov space rather than
+    eliminated, which keeps the operator symmetric. *)
+
+type comm = {
+  owned_nodes : int;  (** nodes [0, owned) are owned by this rank *)
+  exchange : float array -> unit;  (** refresh halo copies from owners *)
+  reduce : float array -> unit;  (** add halo contributions into owners *)
+  allreduce : float -> float;
+}
+
+let comm_seq ~nnodes =
+  { owned_nodes = nnodes; exchange = ignore; reduce = ignore; allreduce = Fun.id }
+
+type t = {
+  nnodes : int;
+  stiffness : Opp_la.Csr.t;  (** local K, assembled once *)
+  node_volume : float array;
+  active : bool array;  (** false at Dirichlet nodes *)
+  comm : comm;
+  prm : Params.t;
+  (* scratch *)
+  f : float array;
+  dphi : float array;
+  jac_diag : float array;  (** diagonal Boltzmann term of the Jacobian *)
+  kphi : float array;
+}
+
+type stats = { newton_iterations : int; cg_iterations : int; residual : float; converged : bool }
+
+let assemble_stiffness ~nnodes ~ncells ~cell_nodes ~cell_bary ~cell_volume =
+  let triplets = ref [] in
+  for c = 0 to ncells - 1 do
+    let v = cell_volume.(c) in
+    for i = 0 to 3 do
+      let ni = cell_nodes.((4 * c) + i) in
+      for j = 0 to 3 do
+        let nj = cell_nodes.((4 * c) + j) in
+        let gg = ref 0.0 in
+        for d = 1 to 3 do
+          gg := !gg +. (cell_bary.((16 * c) + (4 * i) + d) *. cell_bary.((16 * c) + (4 * j) + d))
+        done;
+        triplets := (ni, nj, v *. !gg) :: !triplets
+      done
+    done
+  done;
+  Opp_la.Csr.of_triplets nnodes !triplets
+
+let create ~nnodes ~ncells ~cell_nodes ~cell_bary ~cell_volume ~node_volume ~active
+    ~(comm : comm) (prm : Params.t) =
+  if Array.length active <> nnodes then invalid_arg "Field_solver.create: active size";
+  let stiffness = assemble_stiffness ~nnodes ~ncells ~cell_nodes ~cell_bary ~cell_volume in
+  {
+    nnodes;
+    stiffness;
+    node_volume;
+    active;
+    comm;
+    prm;
+    f = Array.make nnodes 0.0;
+    dphi = Array.make nnodes 0.0;
+    jac_diag = Array.make nnodes 0.0;
+    kphi = Array.make nnodes 0.0;
+  }
+
+(* Distributed SpMV: local rows, then halo-row contributions are pushed
+   to owners and owner values copied back out. *)
+let spmv_k t x y =
+  t.comm.exchange x;
+  Opp_la.Csr.spmv t.stiffness x y;
+  t.comm.reduce y;
+  t.comm.exchange y
+
+let mask t x =
+  for i = 0 to t.nnodes - 1 do
+    if not t.active.(i) then x.(i) <- 0.0
+  done
+
+let dot_owned t x y =
+  let s = ref 0.0 in
+  for i = 0 to t.comm.owned_nodes - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  t.comm.allreduce !s
+
+(* Boltzmann electron number density, with the exponent clamped so
+   vacuum regions (phi << phi0) cannot overflow. *)
+let electron_density prm phi =
+  let arg = Float.min ((phi -. prm.Params.phi0) /. prm.Params.kte) 25.0 in
+  prm.Params.plasma_den *. exp arg
+
+(* Nonlinear residual F(phi) on active nodes; also fills the Jacobian's
+   Boltzmann diagonal for the subsequent linear solve. *)
+let residual t ~phi ~ion_charge_density =
+  spmv_k t phi t.kphi;
+  for i = 0 to t.nnodes - 1 do
+    if t.active.(i) then begin
+      let prm = t.prm in
+      let ne = electron_density prm phi.(i) in
+      let rho = ion_charge_density.(i) -. (Params.qe *. ne) in
+      t.f.(i) <- (Params.eps0 *. t.kphi.(i)) -. (rho *. t.node_volume.(i));
+      t.jac_diag.(i) <- Params.qe *. ne /. prm.Params.kte *. t.node_volume.(i)
+    end
+    else begin
+      t.f.(i) <- 0.0;
+      t.jac_diag.(i) <- 0.0
+    end
+  done
+
+(* One masked Jacobi-CG solve of J dphi = -F with
+   J x = eps0 K x + diag x. *)
+let linear_solve t =
+  let n = t.nnodes in
+  let x = t.dphi in
+  Array.fill x 0 n 0.0;
+  let r = Array.map (fun v -> -.v) t.f in
+  mask t r;
+  let inv_diag =
+    Array.init n (fun i ->
+        let d = (Params.eps0 *. Opp_la.Csr.get t.stiffness i i) +. t.jac_diag.(i) in
+        if Float.abs d > 0.0 then 1.0 /. d else 1.0)
+  in
+  let z = Array.make n 0.0 and p = Array.make n 0.0 and jp = Array.make n 0.0 in
+  Opp_la.Vec.mul_pointwise inv_diag r z;
+  mask t z;
+  Array.blit z 0 p 0 n;
+  let rz = ref (dot_owned t r z) in
+  let r0 = sqrt (dot_owned t r r) in
+  let tol = Float.max (t.prm.Params.cg_rtol *. r0) 1e-300 in
+  let res = ref r0 in
+  let iters = ref 0 in
+  let max_iter = 20 * n in
+  while !res > tol && !iters < max_iter do
+    spmv_k t p jp;
+    for i = 0 to n - 1 do
+      jp.(i) <- (Params.eps0 *. jp.(i)) +. (t.jac_diag.(i) *. p.(i))
+    done;
+    mask t jp;
+    let pjp = dot_owned t p jp in
+    if pjp <= 0.0 then iters := max_iter
+    else begin
+      let alpha = !rz /. pjp in
+      Opp_la.Vec.axpy alpha p x;
+      Opp_la.Vec.axpy (-.alpha) jp r;
+      Opp_la.Vec.mul_pointwise inv_diag r z;
+      mask t z;
+      let rz' = dot_owned t r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      Opp_la.Vec.aypx beta z p;
+      res := sqrt (dot_owned t r r);
+      incr iters
+    end
+  done;
+  !iters
+
+(** Newton-solve the potential in place. [phi] must carry the Dirichlet
+    values at inactive nodes on entry (they are never modified).
+    [ion_charge_density] is the node charge density deposited by
+    particles, C/m^3. *)
+let solve t ~(phi : float array) ~(ion_charge_density : float array) =
+  let cg_total = ref 0 in
+  let newton = ref 0 in
+  let fnorm = ref infinity in
+  let first_fnorm = ref 0.0 in
+  let converged = ref false in
+  while (not !converged) && !newton < t.prm.Params.max_newton do
+    residual t ~phi ~ion_charge_density;
+    fnorm := sqrt (dot_owned t t.f t.f);
+    if !newton = 0 then first_fnorm := !fnorm;
+    (* tolerance relative to the problem's charge scale and to the
+       initial residual (the latter keeps linear problems -- zero
+       Boltzmann density -- convergent) *)
+    let charge_scale =
+      Params.qe
+      *. Float.max t.prm.Params.plasma_den 1.0
+      *. sqrt (dot_owned t t.node_volume t.node_volume)
+    in
+    let scale = Float.max charge_scale !first_fnorm in
+    if !fnorm <= t.prm.Params.newton_tol *. scale then converged := true
+    else begin
+      cg_total := !cg_total + linear_solve t;
+      for i = 0 to t.nnodes - 1 do
+        if t.active.(i) then phi.(i) <- phi.(i) +. t.dphi.(i)
+      done;
+      t.comm.exchange phi;
+      incr newton
+    end
+  done;
+  { newton_iterations = !newton; cg_iterations = !cg_total; residual = !fnorm; converged = !converged }
+
+(** Size of the assembled stiffness matrix (nonzeros), for the
+    communication/compute models of the evaluation harness. *)
+let stiffness_nnz t = Opp_la.Csr.nnz t.stiffness
+
+let node_count t = t.nnodes

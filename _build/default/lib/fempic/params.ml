@@ -1,0 +1,60 @@
+(** Physical constants and configuration for Mini-FEM-PIC.
+
+    Defaults follow the paper's artifact (plasma density 1e18 m^-3,
+    duct geometry, constant-rate inlet injection) scaled to sizes a
+    single host executes in seconds; ratios such as particles-per-cell
+    are preserved by construction. *)
+
+let qe = 1.602176565e-19 (* elementary charge, C *)
+let amu = 1.660538921e-27 (* atomic mass unit, kg *)
+let eps0 = 8.85418782e-12 (* vacuum permittivity, F/m *)
+
+type t = {
+  plasma_den : float;  (** inlet plasma density, m^-3 *)
+  ion_velocity : float;  (** injection drift velocity along +z, m/s *)
+  ion_charge : float;  (** ion charge, C *)
+  ion_mass : float;  (** ion mass, kg *)
+  thermal_velocity : float;  (** 1-sigma thermal spread added at injection, m/s *)
+  dt : float;  (** time step, s *)
+  kte : float;  (** electron temperature, eV (= volts) *)
+  phi0 : float;  (** Boltzmann reference potential, V *)
+  wall_potential : float;  (** Dirichlet potential on duct walls, V *)
+  inlet_potential : float;  (** Dirichlet potential on inlet nodes, V *)
+  target_particles : float;  (** steady-state macro-particle count to aim for *)
+  max_newton : int;
+  newton_tol : float;
+  cg_rtol : float;
+  seed : int;
+}
+
+(* duct of 10x10 um cells: comparable to the Debye length at 1e18 m^-3,
+   2 eV, as in the mesh regime of the paper's artifact *)
+let default =
+  {
+    plasma_den = 1e18;
+    ion_velocity = 7000.0;
+    ion_charge = qe;
+    ion_mass = 16.0 *. amu;
+    thermal_velocity = 300.0;
+    dt = 2e-10;
+    kte = 2.0;
+    phi0 = 0.0;
+    wall_potential = 5.0;
+    inlet_potential = 0.0;
+    target_particles = 50_000.0;
+    max_newton = 20;
+    newton_tol = 1e-8;
+    cg_rtol = 1e-8;
+    seed = 1234;
+  }
+
+(** Macro-particle injection rate (particles per step) needed to reach
+    [target_particles] at steady state in a duct of length [lz]:
+    particles transit in lz / (v dt) steps. *)
+let injection_rate t ~lz = t.target_particles *. t.ion_velocity *. t.dt /. lz
+
+(** Macro-particle weight making the injected flux match the physical
+    flux n0 * v * A through inlet area [area]. *)
+let macro_weight t ~area ~lz =
+  let rate = injection_rate t ~lz in
+  t.plasma_den *. t.ion_velocity *. area *. t.dt /. rate

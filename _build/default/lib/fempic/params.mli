@@ -1,0 +1,40 @@
+(** Physical constants and configuration for Mini-FEM-PIC. Defaults
+    follow the paper's artifact regime (1e18 m^-3 plasma density,
+    constant-rate inlet injection) at laptop scale. *)
+
+val qe : float
+(** Elementary charge, C. *)
+
+val amu : float
+(** Atomic mass unit, kg. *)
+
+val eps0 : float
+(** Vacuum permittivity, F/m. *)
+
+type t = {
+  plasma_den : float;  (** inlet plasma density, m^-3 *)
+  ion_velocity : float;  (** injection drift along +z, m/s *)
+  ion_charge : float;
+  ion_mass : float;
+  thermal_velocity : float;  (** 1-sigma spread added at injection, m/s *)
+  dt : float;
+  kte : float;  (** electron temperature, eV *)
+  phi0 : float;  (** Boltzmann reference potential, V *)
+  wall_potential : float;  (** Dirichlet value on duct walls, V *)
+  inlet_potential : float;
+  target_particles : float;  (** steady-state macro-particle count *)
+  max_newton : int;
+  newton_tol : float;
+  cg_rtol : float;
+  seed : int;
+}
+
+val default : t
+
+val injection_rate : t -> lz:float -> float
+(** Macro-particles per step reaching [target_particles] at steady
+    state in a duct of length [lz]. *)
+
+val macro_weight : t -> area:float -> lz:float -> float
+(** Macro-particle weight matching the physical flux n0 v A through
+    inlet area [area]. *)

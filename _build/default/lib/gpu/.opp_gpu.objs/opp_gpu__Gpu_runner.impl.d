@@ -1,0 +1,1 @@
+lib/gpu/gpu_runner.ml: Arg Array Fun List Opp_core Opp_perf Printf Profile Runner Segmented Seq View

@@ -1,0 +1,1 @@
+lib/gpu/gpu_runner.mli: Arg Opp_core Opp_perf Profile Runner Segmented Seq Types

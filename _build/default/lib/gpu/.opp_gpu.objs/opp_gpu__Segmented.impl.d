@@ -1,0 +1,1 @@
+lib/gpu/segmented.ml: Array

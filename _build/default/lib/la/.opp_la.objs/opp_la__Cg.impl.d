@@ -1,0 +1,1 @@
+lib/la/cg.ml: Array Csr Float Vec

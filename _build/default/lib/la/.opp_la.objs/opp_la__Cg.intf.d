@@ -1,0 +1,1 @@
+lib/la/cg.mli: Csr

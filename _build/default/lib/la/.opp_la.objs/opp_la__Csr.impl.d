@@ -1,0 +1,1 @@
+lib/la/csr.ml: Array Float List Printf

@@ -1,0 +1,45 @@
+(** Jacobi-preconditioned conjugate-gradient solver — the stand-in for
+    the PETSc KSP solve used by Mini-FEM-PIC's field solver. *)
+
+type stats = { iterations : int; residual : float; converged : bool }
+
+(** Solve A x = b in place (x holds the initial guess on entry and the
+    solution on exit). A must be symmetric positive definite, which the
+    FEM Laplacian with Dirichlet rows eliminated is. *)
+let solve ?(rtol = 1e-10) ?(atol = 1e-50) ?(max_iter = 10_000) (a : Csr.t) ~(b : float array)
+    ~(x : float array) =
+  let n = Csr.nrows a in
+  if Array.length b <> n || Array.length x <> n then invalid_arg "Cg.solve: size mismatch";
+  let inv_diag = Csr.inv_diagonal a in
+  let r = Vec.create n and z = Vec.create n and p = Vec.create n and ap = Vec.create n in
+  Csr.spmv a x ap;
+  for i = 0 to n - 1 do
+    r.(i) <- b.(i) -. ap.(i)
+  done;
+  let b_norm = Vec.norm2 b in
+  let tol = Float.max (rtol *. (if b_norm > 0.0 then b_norm else 1.0)) atol in
+  Vec.mul_pointwise inv_diag r z;
+  Array.blit z 0 p 0 n;
+  let rz = ref (Vec.dot r z) in
+  let res = ref (Vec.norm2 r) in
+  let iter = ref 0 in
+  while !res > tol && !iter < max_iter do
+    Csr.spmv a p ap;
+    let pap = Vec.dot p ap in
+    if pap <= 0.0 then (
+      (* matrix not SPD (or p in its null space): bail out with what we have *)
+      iter := max_iter)
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy alpha p x;
+      Vec.axpy (-.alpha) ap r;
+      Vec.mul_pointwise inv_diag r z;
+      let rz' = Vec.dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      Vec.aypx beta z p;
+      res := Vec.norm2 r;
+      incr iter
+    end
+  done;
+  { iterations = !iter; residual = !res; converged = !res <= tol }

@@ -1,0 +1,15 @@
+(** Jacobi-preconditioned conjugate gradients — the stand-in for the
+    PETSc KSP solve used by Mini-FEM-PIC's field solver. *)
+
+type stats = { iterations : int; residual : float; converged : bool }
+
+val solve :
+  ?rtol:float ->
+  ?atol:float ->
+  ?max_iter:int ->
+  Csr.t ->
+  b:float array ->
+  x:float array ->
+  stats
+(** Solve A x = b in place ([x] holds the initial guess on entry and
+    the solution on exit). A must be symmetric positive definite. *)

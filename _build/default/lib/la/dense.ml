@@ -1,0 +1,83 @@
+(** Small dense-matrix helpers for tetrahedral FEM geometry. *)
+
+let det3 a b c d e f g h i = (a *. ((e *. i) -. (f *. h))) -. (b *. ((d *. i) -. (f *. g))) +. (c *. ((d *. h) -. (e *. g)))
+
+(** Determinant of a 4x4 matrix given as rows. *)
+let det4 (m : float array array) =
+  let minor r0 r1 r2 c0 c1 c2 =
+    det3 m.(r0).(c0) m.(r0).(c1) m.(r0).(c2) m.(r1).(c0) m.(r1).(c1) m.(r1).(c2) m.(r2).(c0)
+      m.(r2).(c1) m.(r2).(c2)
+  in
+  (m.(0).(0) *. minor 1 2 3 1 2 3)
+  -. (m.(0).(1) *. minor 1 2 3 0 2 3)
+  +. (m.(0).(2) *. minor 1 2 3 0 1 3)
+  -. (m.(0).(3) *. minor 1 2 3 0 1 2)
+
+(** Solve the 3x3 system A x = b by Cramer's rule; raises
+    [Failure "singular"] when |det A| is tiny. *)
+let solve3 (a : float array array) (b : float array) =
+  let d =
+    det3 a.(0).(0) a.(0).(1) a.(0).(2) a.(1).(0) a.(1).(1) a.(1).(2) a.(2).(0) a.(2).(1)
+      a.(2).(2)
+  in
+  if Float.abs d < 1e-300 then failwith "singular";
+  let dx =
+    det3 b.(0) a.(0).(1) a.(0).(2) b.(1) a.(1).(1) a.(1).(2) b.(2) a.(2).(1) a.(2).(2)
+  in
+  let dy =
+    det3 a.(0).(0) b.(0) a.(0).(2) a.(1).(0) b.(1) a.(1).(2) a.(2).(0) b.(2) a.(2).(2)
+  in
+  let dz =
+    det3 a.(0).(0) a.(0).(1) b.(0) a.(1).(0) a.(1).(1) b.(1) a.(2).(0) a.(2).(1) b.(2)
+  in
+  [| dx /. d; dy /. d; dz /. d |]
+
+(** Cross product of 3-vectors. *)
+let cross a b =
+  [|
+    (a.(1) *. b.(2)) -. (a.(2) *. b.(1));
+    (a.(2) *. b.(0)) -. (a.(0) *. b.(2));
+    (a.(0) *. b.(1)) -. (a.(1) *. b.(0));
+  |]
+
+let dot3 a b = (a.(0) *. b.(0)) +. (a.(1) *. b.(1)) +. (a.(2) *. b.(2))
+let sub3 a b = [| a.(0) -. b.(0); a.(1) -. b.(1); a.(2) -. b.(2) |]
+
+(** Inverse of a small n x n matrix by Gauss-Jordan elimination with
+    partial pivoting; raises [Failure "singular"] on rank deficiency. *)
+let inv (a : float array array) =
+  let n = Array.length a in
+  let m = Array.init n (fun i -> Array.copy a.(i)) in
+  let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  for col = 0 to n - 1 do
+    (* pivot selection *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!pivot).(col) then pivot := r
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-300 then failwith "singular";
+    if !pivot <> col then begin
+      let t = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- t;
+      let t = id.(col) in
+      id.(col) <- id.(!pivot);
+      id.(!pivot) <- t
+    end;
+    let inv_p = 1.0 /. m.(col).(col) in
+    for j = 0 to n - 1 do
+      m.(col).(j) <- m.(col).(j) *. inv_p;
+      id.(col).(j) <- id.(col).(j) *. inv_p
+    done;
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let f = m.(r).(col) in
+        if f <> 0.0 then
+          for j = 0 to n - 1 do
+            m.(r).(j) <- m.(r).(j) -. (f *. m.(col).(j));
+            id.(r).(j) <- id.(r).(j) -. (f *. id.(col).(j))
+          done
+      end
+    done
+  done;
+  id

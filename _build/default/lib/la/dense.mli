@@ -1,0 +1,19 @@
+(** Small dense-matrix helpers for tetrahedral FEM geometry. *)
+
+val det3 :
+  float -> float -> float -> float -> float -> float -> float -> float -> float -> float
+(** Determinant of a 3x3 matrix given row-major. *)
+
+val det4 : float array array -> float
+(** Determinant of a 4x4 matrix given as rows. *)
+
+val solve3 : float array array -> float array -> float array
+(** Cramer solve of a 3x3 system; raises [Failure "singular"]. *)
+
+val cross : float array -> float array -> float array
+val dot3 : float array -> float array -> float
+val sub3 : float array -> float array -> float array
+
+val inv : float array array -> float array array
+(** Gauss-Jordan inverse with partial pivoting of a small n x n
+    matrix; raises [Failure "singular"] on rank deficiency. *)

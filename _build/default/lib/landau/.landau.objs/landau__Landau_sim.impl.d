@@ -1,0 +1,1 @@
+lib/landau/landau_sim.ml: Array Cabana Float List Opp Opp_core Rng Runner Seq View

@@ -1,0 +1,1 @@
+lib/landau/landau_sim.mli: Opp_core Runner Seq Types

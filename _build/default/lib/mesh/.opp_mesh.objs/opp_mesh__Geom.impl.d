@@ -1,0 +1,1 @@
+lib/mesh/geom.ml: Array Float Opp_core Opp_la

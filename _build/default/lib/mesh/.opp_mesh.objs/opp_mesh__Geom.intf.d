@@ -1,0 +1,1 @@
+lib/mesh/geom.mli: Opp_core

@@ -1,0 +1,1 @@
+lib/mesh/hex_mesh.ml: Array

@@ -1,0 +1,1 @@
+lib/mesh/mesh_io.ml: Array Fun Printf Scanf String Tet_mesh

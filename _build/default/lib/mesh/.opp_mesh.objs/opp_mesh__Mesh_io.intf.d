@@ -1,0 +1,1 @@
+lib/mesh/mesh_io.mli: Tet_mesh

@@ -1,0 +1,1 @@
+lib/mesh/overlay.ml: Array Float Tet_mesh

@@ -1,0 +1,1 @@
+lib/mesh/overlay.mli: Tet_mesh

@@ -1,0 +1,1 @@
+lib/mesh/tet_mesh.ml: Array Float Geom Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/mesh/tet_mesh.mli:

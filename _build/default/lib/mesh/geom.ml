@@ -1,0 +1,97 @@
+(** Tetrahedral cell geometry: volumes and the affine barycentric
+    coefficients used for point location, charge weighting, and
+    electric-field reconstruction.
+
+    For a tet with vertices v0..v3 the linear shape functions are the
+    barycentric coordinates lc_i(x) = a_i + g_i . x with lc_i(v_j) =
+    delta_ij. The 16 coefficients (a_i, g_i) per cell are the "cell
+    determinants" dat of Mini-FEM-PIC; g_i doubles as the constant
+    shape-function gradient used for E = -sum phi_i g_i. *)
+
+(** Signed volume of the tet (v0, v1, v2, v3). *)
+let tet_volume_signed p0 p1 p2 p3 =
+  let d1 = Opp_la.Dense.sub3 p1 p0 and d2 = Opp_la.Dense.sub3 p2 p0 and d3 = Opp_la.Dense.sub3 p3 p0 in
+  Opp_la.Dense.dot3 d1 (Opp_la.Dense.cross d2 d3) /. 6.0
+
+let tet_volume p0 p1 p2 p3 = Float.abs (tet_volume_signed p0 p1 p2 p3)
+
+(** Barycentric coefficients of a tet: a 16-element array laid out as
+    [a_0 gx_0 gy_0 gz_0  a_1 gx_1 ...]. Computed as the inverse of the
+    vertex matrix [[1 x_j y_j z_j]]. *)
+let bary_coefficients verts =
+  if Array.length verts <> 4 then invalid_arg "bary_coefficients: need 4 vertices";
+  let v =
+    Array.map (fun p -> [| 1.0; p.(0); p.(1); p.(2) |]) verts
+  in
+  (* coefficients C with C . V^T = I, i.e. C = inv(V)^T read row-wise *)
+  let vinv = Opp_la.Dense.inv v in
+  let out = Array.make 16 0.0 in
+  for i = 0 to 3 do
+    for k = 0 to 3 do
+      (* lc_i coefficient k is entry (k, i) of inv(V) *)
+      out.((i * 4) + k) <- vinv.(k).(i)
+    done
+  done;
+  out
+
+(** Evaluate the 4 barycentric coordinates of point (x,y,z) given the
+    coefficient block [coeff] at offset [off]. Writes into [lc]. *)
+let barycentric coeff ~off ~x ~y ~z (lc : float array) =
+  for i = 0 to 3 do
+    let b = off + (i * 4) in
+    lc.(i) <- coeff.(b) +. (coeff.(b + 1) *. x) +. (coeff.(b + 2) *. y) +. (coeff.(b + 3) *. z)
+  done
+
+(** True when all barycentric coordinates are within [-eps, 1+eps]. *)
+let inside ?(eps = 1e-12) (lc : float array) =
+  lc.(0) >= -.eps && lc.(1) >= -.eps && lc.(2) >= -.eps && lc.(3) >= -.eps
+  && lc.(0) <= 1.0 +. eps
+  && lc.(1) <= 1.0 +. eps
+  && lc.(2) <= 1.0 +. eps
+  && lc.(3) <= 1.0 +. eps
+
+(** Index of the most negative barycentric coordinate: the face to exit
+    through (face i is opposite vertex i). *)
+let most_negative (lc : float array) =
+  let m = ref 0 in
+  for i = 1 to 3 do
+    if lc.(i) < lc.(!m) then m := i
+  done;
+  !m
+
+(** Area and unit normal of a triangle. *)
+let triangle_area_normal p0 p1 p2 =
+  let c = Opp_la.Dense.cross (Opp_la.Dense.sub3 p1 p0) (Opp_la.Dense.sub3 p2 p0) in
+  let a2 = sqrt (Opp_la.Dense.dot3 c c) in
+  let area = 0.5 *. a2 in
+  let n = if a2 > 0.0 then [| c.(0) /. a2; c.(1) /. a2; c.(2) /. a2 |] else [| 0.; 0.; 0. |] in
+  (area, n)
+
+(** Deterministically sample a point uniformly inside a triangle. *)
+let sample_triangle rng p0 p1 p2 =
+  let u = Opp_core.Rng.float rng and v = Opp_core.Rng.float rng in
+  let u, v = if u +. v > 1.0 then (1.0 -. u, 1.0 -. v) else (u, v) in
+  let w = 1.0 -. u -. v in
+  [|
+    (w *. p0.(0)) +. (u *. p1.(0)) +. (v *. p2.(0));
+    (w *. p0.(1)) +. (u *. p1.(1)) +. (v *. p2.(1));
+    (w *. p0.(2)) +. (u *. p1.(2)) +. (v *. p2.(2));
+  |]
+
+(** Deterministically sample a point uniformly inside a tetrahedron
+    (Rocchini & Cignoni's folding construction). *)
+let sample_tet rng v0 v1 v2 v3 =
+  let s = Opp_core.Rng.float rng and t = Opp_core.Rng.float rng in
+  let u = Opp_core.Rng.float rng in
+  let s, t = if s +. t > 1.0 then (1.0 -. s, 1.0 -. t) else (s, t) in
+  let s, t, u =
+    if t +. u > 1.0 then (s, 1.0 -. u, 1.0 -. s -. t)
+    else if s +. t +. u > 1.0 then (1.0 -. t -. u, t, s +. t +. u -. 1.0)
+    else (s, t, u)
+  in
+  let a = 1.0 -. s -. t -. u in
+  [|
+    (a *. v0.(0)) +. (s *. v1.(0)) +. (t *. v2.(0)) +. (u *. v3.(0));
+    (a *. v0.(1)) +. (s *. v1.(1)) +. (t *. v2.(1)) +. (u *. v3.(1));
+    (a *. v0.(2)) +. (s *. v1.(2)) +. (t *. v2.(2)) +. (u *. v3.(2));
+  |]

@@ -1,0 +1,39 @@
+(** Tetrahedral cell geometry: volumes and the affine barycentric
+    coefficients used for point location, charge weighting, and
+    electric-field reconstruction. For a tet with vertices v0..v3 the
+    linear shape functions are the barycentric coordinates
+    lc_i(x) = a_i + g_i . x; the 16 coefficients per cell are
+    Mini-FEM-PIC's "cell determinants" dat. *)
+
+val tet_volume_signed : float array -> float array -> float array -> float array -> float
+(** Signed volume of (v0, v1, v2, v3); positive for right-handed
+    vertex order. *)
+
+val tet_volume : float array -> float array -> float array -> float array -> float
+
+val bary_coefficients : float array array -> float array
+(** 16 coefficients laid out as [a_0 gx_0 gy_0 gz_0 a_1 ...]; raises
+    [Failure "singular"] for degenerate tets. *)
+
+val barycentric :
+  float array -> off:int -> x:float -> y:float -> z:float -> float array -> unit
+(** Evaluate the 4 barycentric coordinates of a point given the
+    coefficient block at [off]; writes into the 4-element output. *)
+
+val inside : ?eps:float -> float array -> bool
+(** All barycentric coordinates within [-eps, 1+eps]. *)
+
+val most_negative : float array -> int
+(** Index of the most negative coordinate: the face to exit through
+    (face i is opposite vertex i). *)
+
+val triangle_area_normal : float array -> float array -> float array -> float * float array
+(** Area and unit normal of a triangle. *)
+
+val sample_triangle :
+  Opp_core.Rng.t -> float array -> float array -> float array -> float array
+(** Uniform point inside a triangle (deterministic given the stream). *)
+
+val sample_tet :
+  Opp_core.Rng.t -> float array -> float array -> float array -> float array -> float array
+(** Uniform point inside a tetrahedron (Rocchini & Cignoni folding). *)

@@ -1,0 +1,93 @@
+(** Periodic cuboid mesh for CabanaPIC.
+
+    nx*ny*nz cuboid cells over [0,lx] x [0,ly] x [0,lz] with periodic
+    boundaries in every direction. Treated as an unstructured mesh by
+    the DSL: connectivity is an explicit 27-point neighbour map (the
+    full 3x3x3 stencil; slot (dx+1)*9 + (dy+1)*3 + (dz+1)). Field
+    kernels pick the slots they need (e.g. +x/+y/+z for one curl,
+    -x/-y/-z for the other, as in the Yee leap-frog of CabanaPIC). *)
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  lx : float;
+  ly : float;
+  lz : float;
+  dx : float;
+  dy : float;
+  dz : float;
+  ncells : int;
+  cell_cell27 : int array;  (** 27 per cell *)
+  cell_centroid : float array;  (** 3 per cell *)
+}
+
+let cell_id m i j k = (((k * m.ny) + j) * m.nx) + i
+
+let cell_ijk m c =
+  let i = c mod m.nx in
+  let j = c / m.nx mod m.ny in
+  let k = c / (m.nx * m.ny) in
+  (i, j, k)
+
+(** Stencil slot for offset (dx, dy, dz), each in -1..1. *)
+let slot ~dx ~dy ~dz = (((dx + 1) * 9) + ((dy + 1) * 3)) + (dz + 1)
+
+let neighbour m c ~dx ~dy ~dz = m.cell_cell27.((27 * c) + slot ~dx ~dy ~dz)
+
+let build ~nx ~ny ~nz ~lx ~ly ~lz =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Hex_mesh.build: grid dims must be positive";
+  let ncells = nx * ny * nz in
+  let dx = lx /. float_of_int nx and dy = ly /. float_of_int ny and dz = lz /. float_of_int nz in
+  let m =
+    {
+      nx;
+      ny;
+      nz;
+      lx;
+      ly;
+      lz;
+      dx;
+      dy;
+      dz;
+      ncells;
+      cell_cell27 = Array.make (27 * ncells) (-1);
+      cell_centroid = Array.make (3 * ncells) 0.0;
+    }
+  in
+  let wrap v n = ((v mod n) + n) mod n in
+  for k = 0 to nz - 1 do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx - 1 do
+        let c = cell_id m i j k in
+        m.cell_centroid.(3 * c) <- (float_of_int i +. 0.5) *. dx;
+        m.cell_centroid.((3 * c) + 1) <- (float_of_int j +. 0.5) *. dy;
+        m.cell_centroid.((3 * c) + 2) <- (float_of_int k +. 0.5) *. dz;
+        for ox = -1 to 1 do
+          for oy = -1 to 1 do
+            for oz = -1 to 1 do
+              let ni = wrap (i + ox) nx and nj = wrap (j + oy) ny and nk = wrap (k + oz) nz in
+              m.cell_cell27.((27 * c) + slot ~dx:ox ~dy:oy ~dz:oz) <- cell_id m ni nj nk
+            done
+          done
+        done
+      done
+    done
+  done;
+  m
+
+(** The 6-neighbour face-adjacency map (arity 6, order -x +x -y +y -z
+    +z), for the particle mover. *)
+let face_neighbours m =
+  let out = Array.make (6 * m.ncells) (-1) in
+  for c = 0 to m.ncells - 1 do
+    out.(6 * c) <- neighbour m c ~dx:(-1) ~dy:0 ~dz:0;
+    out.((6 * c) + 1) <- neighbour m c ~dx:1 ~dy:0 ~dz:0;
+    out.((6 * c) + 2) <- neighbour m c ~dx:0 ~dy:(-1) ~dz:0;
+    out.((6 * c) + 3) <- neighbour m c ~dx:0 ~dy:1 ~dz:0;
+    out.((6 * c) + 4) <- neighbour m c ~dx:0 ~dy:0 ~dz:(-1);
+    out.((6 * c) + 5) <- neighbour m c ~dx:0 ~dy:0 ~dz:1
+  done;
+  out
+
+let cell_volume m = m.dx *. m.dy *. m.dz

@@ -1,0 +1,33 @@
+(** Periodic cuboid mesh for CabanaPIC, treated as an unstructured
+    mesh by the DSL: connectivity is an explicit 27-point stencil map
+    (slot (dx+1)*9 + (dy+1)*3 + (dz+1)). *)
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  lx : float;
+  ly : float;
+  lz : float;
+  dx : float;
+  dy : float;
+  dz : float;
+  ncells : int;
+  cell_cell27 : int array;  (** 27 per cell, periodic *)
+  cell_centroid : float array;  (** 3 per cell *)
+}
+
+val cell_id : t -> int -> int -> int -> int
+val cell_ijk : t -> int -> int * int * int
+
+val slot : dx:int -> dy:int -> dz:int -> int
+(** Stencil slot for an offset with each component in -1..1. *)
+
+val neighbour : t -> int -> dx:int -> dy:int -> dz:int -> int
+
+val build : nx:int -> ny:int -> nz:int -> lx:float -> ly:float -> lz:float -> t
+
+val face_neighbours : t -> int array
+(** The arity-6 face map (order -x +x -y +y -z +z) for the mover. *)
+
+val cell_volume : t -> float

@@ -1,0 +1,82 @@
+(** ASCII mesh file I/O.
+
+    Mini-FEM-PIC in the paper reads ASCII [.dat] mesh files (or HDF5);
+    we implement the ASCII path. Format:
+
+    {v
+    nodes <count>
+    <x> <y> <z>          (one line per node)
+    cells <count>
+    <n0> <n1> <n2> <n3>  (one line per tetrahedron)
+    v} *)
+
+let write_tet (m : Tet_mesh.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "nodes %d\n" m.Tet_mesh.nnodes;
+      for n = 0 to m.Tet_mesh.nnodes - 1 do
+        Printf.fprintf oc "%.17g %.17g %.17g\n" m.Tet_mesh.node_pos.(3 * n)
+          m.Tet_mesh.node_pos.((3 * n) + 1)
+          m.Tet_mesh.node_pos.((3 * n) + 2)
+      done;
+      Printf.fprintf oc "cells %d\n" m.Tet_mesh.ncells;
+      for c = 0 to m.Tet_mesh.ncells - 1 do
+        Printf.fprintf oc "%d %d %d %d\n" m.Tet_mesh.cell_nodes.(4 * c)
+          m.Tet_mesh.cell_nodes.((4 * c) + 1)
+          m.Tet_mesh.cell_nodes.((4 * c) + 2)
+          m.Tet_mesh.cell_nodes.((4 * c) + 3)
+      done)
+
+type raw = { nnodes : int; ncells : int; node_pos : float array; cell_nodes : int array }
+
+exception Parse_error of string
+
+let read_raw path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line_no = ref 0 in
+      let next_line () =
+        incr line_no;
+        try input_line ic
+        with End_of_file -> raise (Parse_error (Printf.sprintf "%s: unexpected EOF" path))
+      in
+      let fail msg = raise (Parse_error (Printf.sprintf "%s:%d: %s" path !line_no msg)) in
+      let header expected =
+        let l = next_line () in
+        match String.split_on_char ' ' (String.trim l) with
+        | [ kw; n ] when kw = expected -> (
+            match int_of_string_opt n with
+            | Some v when v >= 0 -> v
+            | _ -> fail ("bad count after " ^ expected))
+        | _ -> fail (Printf.sprintf "expected '%s <count>'" expected)
+      in
+      let nnodes = header "nodes" in
+      let node_pos = Array.make (3 * nnodes) 0.0 in
+      for n = 0 to nnodes - 1 do
+        let l = next_line () in
+        match Scanf.sscanf_opt l " %f %f %f" (fun a b c -> (a, b, c)) with
+        | Some (x, y, z) ->
+            node_pos.(3 * n) <- x;
+            node_pos.((3 * n) + 1) <- y;
+            node_pos.((3 * n) + 2) <- z
+        | None -> fail "bad node line"
+      done;
+      let ncells = header "cells" in
+      let cell_nodes = Array.make (4 * ncells) (-1) in
+      for c = 0 to ncells - 1 do
+        let l = next_line () in
+        match Scanf.sscanf_opt l " %d %d %d %d" (fun a b c d -> (a, b, c, d)) with
+        | Some (a, b, c', d) ->
+            if a < 0 || a >= nnodes || b < 0 || b >= nnodes || c' < 0 || c' >= nnodes || d < 0 || d >= nnodes
+            then fail "cell references node out of range";
+            cell_nodes.(4 * c) <- a;
+            cell_nodes.((4 * c) + 1) <- b;
+            cell_nodes.((4 * c) + 2) <- c';
+            cell_nodes.((4 * c) + 3) <- d
+        | None -> fail "bad cell line"
+      done;
+      { nnodes; ncells; node_pos; cell_nodes })

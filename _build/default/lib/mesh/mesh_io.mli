@@ -1,0 +1,19 @@
+(** ASCII mesh file I/O (Mini-FEM-PIC's [.dat] path in the paper's
+    artifact). Format:
+
+    {v
+    nodes <count>
+    <x> <y> <z>          (one line per node)
+    cells <count>
+    <n0> <n1> <n2> <n3>  (one line per tetrahedron)
+    v} *)
+
+exception Parse_error of string
+
+val write_tet : Tet_mesh.t -> string -> unit
+
+type raw = { nnodes : int; ncells : int; node_pos : float array; cell_nodes : int array }
+
+val read_raw : string -> raw
+(** Raises {!Parse_error} with file/line context on malformed input or
+    out-of-range connectivity. *)

@@ -1,0 +1,112 @@
+(** Structured overlay meshes for the direct-hop particle mover
+    (paper section 3.2.2, after NESO).
+
+    Two regular grids are laid over the unstructured mesh: the
+    {e cell-map} takes a position straight to a nearby unstructured
+    cell, and the {e rank-map} takes a position to the MPI rank owning
+    that region. Direct-hop jumps to the cell-map's cell and finishes
+    with a short multi-hop walk, skipping the cell-by-cell tracking of
+    the pure multi-hop mover. *)
+
+type t = {
+  ox : float;
+  oy : float;
+  oz : float;  (** origin *)
+  bx : float;
+  by : float;
+  bz : float;  (** bin sizes *)
+  nbx : int;
+  nby : int;
+  nbz : int;
+  cell_map : int array;  (** bin -> unstructured cell (-1: empty bin) *)
+  mutable rank_map : int array;  (** bin -> owning rank (empty until assigned) *)
+}
+
+let bin_index t ~x ~y ~z =
+  (* floor, not truncation: slightly negative coordinates must fall
+     outside bin 0, not into it *)
+  let ix = int_of_float (Float.floor ((x -. t.ox) /. t.bx)) in
+  let iy = int_of_float (Float.floor ((y -. t.oy) /. t.by)) in
+  let iz = int_of_float (Float.floor ((z -. t.oz) /. t.bz)) in
+  if ix < 0 || ix >= t.nbx || iy < 0 || iy >= t.nby || iz < 0 || iz >= t.nbz then -1
+  else (((iz * t.nby) + iy) * t.nbx) + ix
+
+(** Nearby unstructured cell for a position; -1 when outside the
+    overlay or in an empty bin (callers fall back to multi-hop). *)
+let locate t ~x ~y ~z =
+  let b = bin_index t ~x ~y ~z in
+  if b < 0 then -1 else t.cell_map.(b)
+
+let rank_of t ~x ~y ~z =
+  let b = bin_index t ~x ~y ~z in
+  if b < 0 || Array.length t.rank_map = 0 then -1 else t.rank_map.(b)
+
+(** Memory footprint of the bookkeeping in bytes (the paper notes
+    direct-hop trades memory for speed; used by the ablation report). *)
+let memory_bytes t =
+  (Array.length t.cell_map * 4) + (Array.length t.rank_map * 4)
+
+(* Generic builder: assign to each bin the cell whose centroid is
+   nearest among the cells overlapping it; exact point-location against
+   candidate cells when a tester is provided. *)
+let build_generic ~bounds:(ox, oy, oz, lx, ly, lz) ~bins:(nbx, nby, nbz) ~ncells ~centroid
+    ?contains () =
+  if nbx <= 0 || nby <= 0 || nbz <= 0 then invalid_arg "Overlay.build: bins must be positive";
+  let bx = lx /. float_of_int nbx and by = ly /. float_of_int nby and bz = lz /. float_of_int nbz in
+  let nbins = nbx * nby * nbz in
+  let cell_map = Array.make nbins (-1) in
+  let best_d2 = Array.make nbins infinity in
+  let t = { ox; oy; oz; bx; by; bz; nbx; nby; nbz; cell_map; rank_map = [||] } in
+  (* pass 1: nearest centroid per bin (cheap, always succeeds) *)
+  for c = 0 to ncells - 1 do
+    let cx, cy, cz = centroid c in
+    let ix = int_of_float ((cx -. ox) /. bx) and iy = int_of_float ((cy -. oy) /. by) in
+    let iz = int_of_float ((cz -. oz) /. bz) in
+    for jx = max 0 (ix - 1) to min (nbx - 1) (ix + 1) do
+      for jy = max 0 (iy - 1) to min (nby - 1) (iy + 1) do
+        for jz = max 0 (iz - 1) to min (nbz - 1) (iz + 1) do
+          let b = (((jz * nby) + jy) * nbx) + jx in
+          let px = ox +. ((float_of_int jx +. 0.5) *. bx) in
+          let py = oy +. ((float_of_int jy +. 0.5) *. by) in
+          let pz = oz +. ((float_of_int jz +. 0.5) *. bz) in
+          let d2 =
+            ((px -. cx) ** 2.0) +. ((py -. cy) ** 2.0) +. ((pz -. cz) ** 2.0)
+          in
+          if d2 < best_d2.(b) then begin
+            best_d2.(b) <- d2;
+            cell_map.(b) <- c
+          end
+        done
+      done
+    done
+  done;
+  (* pass 2: refine with exact containment of bin centres when available *)
+  (match contains with
+  | None -> ()
+  | Some inside ->
+      for b = 0 to nbins - 1 do
+        let jx = b mod nbx and jy = b / nbx mod nby and jz = b / (nbx * nby) in
+        let px = ox +. ((float_of_int jx +. 0.5) *. bx) in
+        let py = oy +. ((float_of_int jy +. 0.5) *. by) in
+        let pz = oz +. ((float_of_int jz +. 0.5) *. bz) in
+        match inside ~x:px ~y:py ~z:pz with Some c -> cell_map.(b) <- c | None -> ()
+      done);
+  t
+
+(** Overlay over a tetrahedral duct mesh; [bins_per_cell] controls
+    resolution relative to the mesh (paper uses a finer grid than the
+    mesh for accuracy). *)
+let of_tet_mesh ?(bins = (16, 16, 32)) (m : Tet_mesh.t) =
+  build_generic
+    ~bounds:(0.0, 0.0, 0.0, m.Tet_mesh.lx, m.Tet_mesh.ly, m.Tet_mesh.lz)
+    ~bins ~ncells:m.Tet_mesh.ncells
+    ~centroid:(fun c ->
+      ( m.Tet_mesh.cell_centroid.(3 * c),
+        m.Tet_mesh.cell_centroid.((3 * c) + 1),
+        m.Tet_mesh.cell_centroid.((3 * c) + 2) ))
+    ~contains:(fun ~x ~y ~z -> Tet_mesh.locate_brute m ~x ~y ~z)
+    ()
+
+(** Assign the rank map from a cell-to-rank ownership array. *)
+let assign_ranks t ~cell_rank =
+  t.rank_map <- Array.map (fun c -> if c >= 0 then cell_rank.(c) else -1) t.cell_map

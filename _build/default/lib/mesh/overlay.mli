@@ -1,0 +1,50 @@
+(** Structured overlay meshes for the direct-hop particle mover (paper
+    section 3.2.2, after NESO): the {e cell-map} takes a position to a
+    nearby unstructured cell, the {e rank-map} to the owning MPI rank.
+    Direct-hop jumps to the cell-map's cell and finishes with a short
+    multi-hop walk. *)
+
+type t = {
+  ox : float;
+  oy : float;
+  oz : float;
+  bx : float;
+  by : float;
+  bz : float;
+  nbx : int;
+  nby : int;
+  nbz : int;
+  cell_map : int array;
+  mutable rank_map : int array;
+}
+
+val bin_index : t -> x:float -> y:float -> z:float -> int
+(** Bin of a position; -1 outside the overlay. *)
+
+val locate : t -> x:float -> y:float -> z:float -> int
+(** Nearby unstructured cell for a position; -1 when outside or in an
+    empty bin (callers fall back to multi-hop). *)
+
+val rank_of : t -> x:float -> y:float -> z:float -> int
+(** Owning rank for a position; -1 outside or before
+    {!assign_ranks}. *)
+
+val memory_bytes : t -> int
+(** Bookkeeping footprint (the direct-hop memory trade-off the paper
+    notes). *)
+
+val build_generic :
+  bounds:float * float * float * float * float * float ->
+  bins:int * int * int ->
+  ncells:int ->
+  centroid:(int -> float * float * float) ->
+  ?contains:(x:float -> y:float -> z:float -> int option) ->
+  unit ->
+  t
+(** Overlay over any cell soup: nearest-centroid assignment refined by
+    exact point location when [contains] is given. *)
+
+val of_tet_mesh : ?bins:int * int * int -> Tet_mesh.t -> t
+
+val assign_ranks : t -> cell_rank:int array -> unit
+(** Derive the rank-map from cell ownership. *)

@@ -1,0 +1,195 @@
+(** Tetrahedral duct mesh for Mini-FEM-PIC.
+
+    A box [0,lx] x [0,ly] x [0,lz] is gridded into nx*ny*nz hexahedra,
+    each split into 6 tetrahedra by the Kuhn (Freudenthal)
+    subdivision, which is conforming across hexes. The duct axis is z:
+    faces at z=0 are the particle inlet, the outer x/y walls carry a
+    fixed potential, the far end is open. *)
+
+type node_kind = Interior | Inlet | Outlet | Wall
+
+type face = {
+  f_id : int;
+      (** stable global identity of the face (its index in the full
+          mesh's inlet list); preserved in rank-local meshes so
+          injection RNG streams are partition-independent *)
+  f_cell : int;  (** cell owning the boundary face *)
+  f_nodes : int array;  (** 3 node ids *)
+  f_area : float;
+  f_normal : float array;  (** unit, pointing into the domain *)
+}
+
+type t = {
+  nnodes : int;
+  ncells : int;
+  lx : float;
+  ly : float;
+  lz : float;
+  node_pos : float array;  (** 3 per node *)
+  cell_nodes : int array;  (** 4 per cell *)
+  cell_cell : int array;  (** 4 per cell; slot i = neighbour across face opposite vertex i; -1 = boundary *)
+  cell_volume : float array;
+  cell_bary : float array;  (** 16 per cell, see {!Geom.bary_coefficients} *)
+  cell_centroid : float array;  (** 3 per cell *)
+  node_volume : float array;  (** lumped dual volume per node *)
+  node_kind : node_kind array;
+  inlet_faces : face array;
+}
+
+let node_id ~nx ~ny i j k = (((k * (ny + 1)) + j) * (nx + 1)) + i
+
+(* The 6 permutations of axes defining the Kuhn subdivision: each tet's
+   vertices walk from hex corner (0,0,0) to (1,1,1) adding unit steps
+   in the permutation's order. *)
+let kuhn_perms = [| (0, 1, 2); (0, 2, 1); (1, 0, 2); (1, 2, 0); (2, 0, 1); (2, 1, 0) |]
+
+let node_position nodes n = [| nodes.(3 * n); nodes.((3 * n) + 1); nodes.((3 * n) + 2) |]
+
+let build ~nx ~ny ~nz ~lx ~ly ~lz =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Tet_mesh.build: grid dims must be positive";
+  let nnodes = (nx + 1) * (ny + 1) * (nz + 1) in
+  let ncells = 6 * nx * ny * nz in
+  let node_pos = Array.make (3 * nnodes) 0.0 in
+  let dx = lx /. float_of_int nx and dy = ly /. float_of_int ny and dz = lz /. float_of_int nz in
+  for k = 0 to nz do
+    for j = 0 to ny do
+      for i = 0 to nx do
+        let n = node_id ~nx ~ny i j k in
+        node_pos.(3 * n) <- float_of_int i *. dx;
+        node_pos.((3 * n) + 1) <- float_of_int j *. dy;
+        node_pos.((3 * n) + 2) <- float_of_int k *. dz
+      done
+    done
+  done;
+  let cell_nodes = Array.make (4 * ncells) (-1) in
+  let cell = ref 0 in
+  for k = 0 to nz - 1 do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx - 1 do
+        Array.iter
+          (fun (a0, a1, a2) ->
+            (* walk the permutation's path through the hex corners *)
+            let corners = Array.make 4 (0, 0, 0) in
+            corners.(0) <- (i, j, k);
+            let add (ci, cj, ck) axis =
+              match axis with 0 -> (ci + 1, cj, ck) | 1 -> (ci, cj + 1, ck) | _ -> (ci, cj, ck + 1)
+            in
+            corners.(1) <- add corners.(0) a0;
+            corners.(2) <- add corners.(1) a1;
+            corners.(3) <- add corners.(2) a2;
+            let ids = Array.map (fun (ci, cj, ck) -> node_id ~nx ~ny ci cj ck) corners in
+            (* orient positively so signed volumes are positive *)
+            let p = Array.map (node_position node_pos) ids in
+            if Geom.tet_volume_signed p.(0) p.(1) p.(2) p.(3) < 0.0 then begin
+              let t = ids.(2) in
+              ids.(2) <- ids.(3);
+              ids.(3) <- t
+            end;
+            Array.blit ids 0 cell_nodes (4 * !cell) 4;
+            incr cell)
+          kuhn_perms
+      done
+    done
+  done;
+  assert (!cell = ncells);
+  (* adjacency via shared faces; face i of a tet excludes vertex i *)
+  let face_tbl : (int * int * int, (int * int) list) Hashtbl.t = Hashtbl.create (4 * ncells) in
+  let face_key c i =
+    let n = Array.init 3 (fun s -> cell_nodes.((4 * c) + ((i + 1 + s) mod 4))) in
+    Array.sort compare n;
+    (n.(0), n.(1), n.(2))
+  in
+  for c = 0 to ncells - 1 do
+    for i = 0 to 3 do
+      let key = face_key c i in
+      let prev = Option.value (Hashtbl.find_opt face_tbl key) ~default:[] in
+      Hashtbl.replace face_tbl key ((c, i) :: prev)
+    done
+  done;
+  let cell_cell = Array.make (4 * ncells) (-1) in
+  Hashtbl.iter
+    (fun _ entries ->
+      match entries with
+      | [ (c1, i1); (c2, i2) ] ->
+          cell_cell.((4 * c1) + i1) <- c2;
+          cell_cell.((4 * c2) + i2) <- c1
+      | [ _ ] -> () (* boundary face *)
+      | _ -> failwith "Tet_mesh.build: non-manifold face")
+    face_tbl;
+  (* geometry *)
+  let cell_volume = Array.make ncells 0.0 in
+  let cell_bary = Array.make (16 * ncells) 0.0 in
+  let cell_centroid = Array.make (3 * ncells) 0.0 in
+  let node_volume = Array.make nnodes 0.0 in
+  for c = 0 to ncells - 1 do
+    let ids = Array.init 4 (fun i -> cell_nodes.((4 * c) + i)) in
+    let p = Array.map (node_position node_pos) ids in
+    let v = Geom.tet_volume p.(0) p.(1) p.(2) p.(3) in
+    cell_volume.(c) <- v;
+    Array.blit (Geom.bary_coefficients p) 0 cell_bary (16 * c) 16;
+    for d = 0 to 2 do
+      cell_centroid.((3 * c) + d) <-
+        0.25 *. (p.(0).(d) +. p.(1).(d) +. p.(2).(d) +. p.(3).(d))
+    done;
+    Array.iter (fun n -> node_volume.(n) <- node_volume.(n) +. (v /. 4.0)) ids
+  done;
+  (* node classification; walls win over inlet/outlet so the retaining
+     potential covers the full duct wall *)
+  let eps = 1e-9 *. Float.max lx (Float.max ly lz) in
+  let node_kind =
+    Array.init nnodes (fun n ->
+        let x = node_pos.(3 * n) and y = node_pos.((3 * n) + 1) and z = node_pos.((3 * n) + 2) in
+        let on_wall = x < eps || x > lx -. eps || y < eps || y > ly -. eps in
+        if on_wall then Wall
+        else if z < eps then Inlet
+        else if z > lz -. eps then Outlet
+        else Interior)
+  in
+  (* inlet faces: boundary faces with all nodes at z ~ 0 *)
+  let inlet = ref [] in
+  for c = 0 to ncells - 1 do
+    for i = 0 to 3 do
+      if cell_cell.((4 * c) + i) = -1 then begin
+        let nodes3 = Array.init 3 (fun s -> cell_nodes.((4 * c) + ((i + 1 + s) mod 4))) in
+        let all_z0 = Array.for_all (fun n -> node_pos.((3 * n) + 2) < eps) nodes3 in
+        if all_z0 then begin
+          let p = Array.map (node_position node_pos) nodes3 in
+          let area, normal = Geom.triangle_area_normal p.(0) p.(1) p.(2) in
+          (* orient the normal into the domain (+z) *)
+          let normal = if normal.(2) < 0.0 then Array.map (fun v -> -.v) normal else normal in
+          inlet := { f_id = 0; f_cell = c; f_nodes = nodes3; f_area = area; f_normal = normal } :: !inlet
+        end
+      end
+    done
+  done;
+  {
+    nnodes;
+    ncells;
+    lx;
+    ly;
+    lz;
+    node_pos;
+    cell_nodes;
+    cell_cell;
+    cell_volume;
+    cell_bary;
+    cell_centroid;
+    node_volume;
+    node_kind;
+    inlet_faces = Array.of_list (List.rev !inlet) |> Array.mapi (fun i f -> { f with f_id = i });
+  }
+
+(** Locate the cell containing (x,y,z) by brute force; None when the
+    point is outside the mesh. Used for tests and overlay building. *)
+let locate_brute m ~x ~y ~z =
+  let lc = Array.make 4 0.0 in
+  let rec search c =
+    if c >= m.ncells then None
+    else begin
+      Geom.barycentric m.cell_bary ~off:(16 * c) ~x ~y ~z lc;
+      if Geom.inside lc then Some c else search (c + 1)
+    end
+  in
+  search 0
+
+let total_volume m = Array.fold_left ( +. ) 0.0 m.cell_volume

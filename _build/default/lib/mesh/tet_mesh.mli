@@ -1,0 +1,47 @@
+(** Tetrahedral duct mesh for Mini-FEM-PIC: a box gridded into hexes,
+    each split by the conforming Kuhn (Freudenthal) subdivision. The
+    duct axis is z: faces at z=0 are the particle inlet, the outer x/y
+    walls carry a fixed potential, the far end is open. *)
+
+type node_kind = Interior | Inlet | Outlet | Wall
+
+type face = {
+  f_id : int;
+      (** stable global identity (index in the full mesh's inlet
+          list); preserved in rank-local meshes so injection RNG
+          streams are partition-independent *)
+  f_cell : int;
+  f_nodes : int array;  (** 3 node ids *)
+  f_area : float;
+  f_normal : float array;  (** unit, pointing into the domain *)
+}
+
+type t = {
+  nnodes : int;
+  ncells : int;
+  lx : float;
+  ly : float;
+  lz : float;
+  node_pos : float array;  (** 3 per node *)
+  cell_nodes : int array;  (** 4 per cell *)
+  cell_cell : int array;
+      (** 4 per cell; slot i = neighbour across the face opposite
+          vertex i, -1 at the boundary *)
+  cell_volume : float array;
+  cell_bary : float array;  (** 16 per cell, see {!Geom.bary_coefficients} *)
+  cell_centroid : float array;  (** 3 per cell *)
+  node_volume : float array;  (** lumped dual volume per node *)
+  node_kind : node_kind array;
+  inlet_faces : face array;
+}
+
+val node_id : nx:int -> ny:int -> int -> int -> int -> int
+val node_position : float array -> int -> float array
+
+val build : nx:int -> ny:int -> nz:int -> lx:float -> ly:float -> lz:float -> t
+(** [nx * ny * nz] hexes, 6 tets each. *)
+
+val locate_brute : t -> x:float -> y:float -> z:float -> int option
+(** Brute-force point location (tests and overlay construction). *)
+
+val total_volume : t -> float

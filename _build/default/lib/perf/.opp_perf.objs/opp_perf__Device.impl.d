@@ -1,0 +1,1 @@
+lib/perf/device.ml: Float Format Printf

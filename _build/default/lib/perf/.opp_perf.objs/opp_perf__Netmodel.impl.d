@@ -1,0 +1,1 @@
+lib/perf/netmodel.ml: Float

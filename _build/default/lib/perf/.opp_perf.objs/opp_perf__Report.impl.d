@@ -1,0 +1,1 @@
+lib/perf/report.ml: Device Float Format List Opp_core String

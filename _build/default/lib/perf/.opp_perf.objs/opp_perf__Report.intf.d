@@ -1,0 +1,1 @@
+lib/perf/report.mli: Device Format Opp_core

@@ -1,0 +1,1 @@
+lib/perf/roofline.ml: Device Float Format List Opp_core

@@ -1,0 +1,1 @@
+lib/perf/roofline.mli: Device Format Opp_core

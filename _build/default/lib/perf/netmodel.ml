@@ -1,0 +1,38 @@
+(** Interconnect model for the simulated-MPI scaling studies.
+
+    Message time is the classic latency + size/bandwidth model;
+    collectives use a binomial-tree term. The distributed backend
+    counts real bytes and messages; this module turns them into
+    modelled seconds for the weak-scaling figures. *)
+
+type t = {
+  net_name : string;
+  latency : float;  (** seconds per message *)
+  bandwidth : float;  (** bytes/s per endpoint *)
+}
+
+(* HPE Cray Slingshot, 2x100 Gb/s per ARCHER2 node *)
+let slingshot_cpu = { net_name = "Slingshot (CPU node)"; latency = 2.0e-6; bandwidth = 25e9 }
+
+(* LUMI-G: 50 Gb/s bi-directional per GCD *)
+let slingshot_gpu = { net_name = "Slingshot (per GCD)"; latency = 2.0e-6; bandwidth = 6.25e9 }
+
+(* Mellanox HDR100 / EDR InfiniBand, 100 Gb/s *)
+let infiniband = { net_name = "InfiniBand 100Gb"; latency = 1.5e-6; bandwidth = 12.5e9 }
+
+let message_time net ~bytes = net.latency +. (float_of_int bytes /. net.bandwidth)
+
+(** Time for [messages] point-to-point sends moving [bytes] in total,
+    assuming the per-rank sends serialize at the endpoint. *)
+let p2p_time net ~messages ~bytes =
+  (float_of_int messages *. net.latency) +. (float_of_int bytes /. net.bandwidth)
+
+(** Allreduce of [bytes] over [ranks] (recursive doubling). *)
+let allreduce_time net ~ranks ~bytes =
+  if ranks <= 1 then 0.0
+  else
+    let rounds = int_of_float (Float.ceil (Float.log2 (float_of_int ranks))) in
+    float_of_int rounds *. (net.latency +. (float_of_int bytes /. net.bandwidth)) *. 2.0
+
+(** Barrier (the particle-move finalisation sync of section 4.2). *)
+let barrier_time net ~ranks = allreduce_time net ~ranks ~bytes:8

@@ -1,0 +1,19 @@
+(** Interconnect model for the simulated-MPI scaling studies:
+    latency + size/bandwidth messages and binomial-tree collectives,
+    with the fabrics of the paper's Table 2. *)
+
+type t = { net_name : string; latency : float; bandwidth : float }
+
+val slingshot_cpu : t
+(** HPE Cray Slingshot, 2x100 Gb/s per ARCHER2 node. *)
+
+val slingshot_gpu : t
+(** LUMI-G: 50 Gb/s bi-directional per GCD. *)
+
+val infiniband : t
+(** Mellanox HDR100/EDR, 100 Gb/s. *)
+
+val message_time : t -> bytes:int -> float
+val p2p_time : t -> messages:int -> bytes:int -> float
+val allreduce_time : t -> ranks:int -> bytes:int -> float
+val barrier_time : t -> ranks:int -> float

@@ -1,0 +1,106 @@
+(** Text report generators for the evaluation artefacts: runtime
+    breakdowns (Figure 9), scaling series (Figures 13/14), the
+    power-equivalent comparison (Figure 15), the systems table
+    (Table 2) and GPU utilisation (Table 1). *)
+
+let bar width fraction =
+  let n = int_of_float (Float.max 0.0 (Float.min 1.0 fraction) *. float_of_int width) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+(** Per-kernel time breakdown across configurations: one column per
+    (label, ledger); rows are kernels in first-ledger order, times in
+    milliseconds. *)
+let pp_breakdown fmt (columns : (string * Opp_core.Profile.t) list) =
+  match columns with
+  | [] -> ()
+  | (_, first) :: _ ->
+      let kernels = List.map fst (Opp_core.Profile.entries ~t:first ()) in
+      Format.fprintf fmt "%-26s" "kernel (ms)";
+      List.iter (fun (label, _) -> Format.fprintf fmt " %14s" label) columns;
+      Format.fprintf fmt "@.";
+      List.iter
+        (fun kernel ->
+          Format.fprintf fmt "%-26s" kernel;
+          List.iter
+            (fun (_, ledger) ->
+              let ms =
+                match
+                  List.assoc_opt kernel (Opp_core.Profile.entries ~t:ledger ())
+                with
+                | Some e -> e.Opp_core.Profile.seconds *. 1e3
+                | None -> 0.0
+              in
+              Format.fprintf fmt " %14.3f" ms)
+            columns;
+          Format.fprintf fmt "@.")
+        kernels;
+      Format.fprintf fmt "%-26s" "TOTAL";
+      List.iter
+        (fun (_, ledger) ->
+          Format.fprintf fmt " %14.3f" (Opp_core.Profile.total_seconds ~t:ledger () *. 1e3))
+        columns;
+      Format.fprintf fmt "@."
+
+type scaling_point = {
+  sp_ranks : int;
+  sp_compute : float;  (** seconds per step *)
+  sp_comm : float;
+  sp_label : string;
+}
+
+(** Weak-scaling series: time per configuration with a parallel
+    efficiency column relative to the smallest rank count. *)
+let pp_scaling fmt ~title (series : (string * scaling_point list) list) =
+  Format.fprintf fmt "%s@." title;
+  Format.fprintf fmt "%-22s %8s %12s %12s %12s %8s@." "system" "ranks" "compute(ms)"
+    "comm(ms)" "total(ms)" "eff";
+  List.iter
+    (fun (system, points) ->
+      let base =
+        match points with
+        | p :: _ -> p.sp_compute +. p.sp_comm
+        | [] -> 1.0
+      in
+      List.iter
+        (fun p ->
+          let total = p.sp_compute +. p.sp_comm in
+          Format.fprintf fmt "%-22s %8d %12.3f %12.3f %12.3f %7.1f%%  %s@." system p.sp_ranks
+            (p.sp_compute *. 1e3) (p.sp_comm *. 1e3) (total *. 1e3)
+            (100.0 *. base /. total)
+            p.sp_label)
+        points;
+      Format.fprintf fmt "@.")
+    series
+
+(** Power-equivalent comparison: runtimes normalised to the first
+    (baseline) system, as in Figure 15. *)
+let pp_power_equivalent fmt ~title (rows : (string * int * float * float) list) =
+  (* rows: system, device count, total watts, runtime seconds *)
+  Format.fprintf fmt "%s@." title;
+  match rows with
+  | [] -> ()
+  | (_, _, _, base_time) :: _ ->
+      Format.fprintf fmt "%-24s %8s %9s %12s %9s@." "system" "devices" "power(kW)" "runtime(s)"
+        "speed-up";
+      List.iter
+        (fun (system, devices, watts, seconds) ->
+          Format.fprintf fmt "%-24s %8d %9.1f %12.3f %8.2fx  |%s|@." system devices
+            (watts /. 1e3) seconds (base_time /. seconds)
+            (bar 24 (base_time /. seconds /. 4.0)))
+        rows
+
+(** Table 2 analogue: the device database. *)
+let pp_systems fmt devices =
+  Format.fprintf fmt "%-22s %-22s %10s %11s %8s@." "device" "kind" "mem BW" "peak FP64" "power";
+  List.iter (fun d -> Format.fprintf fmt "%a@." Device.pp d) devices
+
+(** Table 1 analogue: modelled GPU utilisation = compute / (compute +
+    communication + synchronisation). *)
+let pp_utilization fmt (rows : (string * int * float * float) list) =
+  (* rows: config, devices, compute seconds, comm seconds *)
+  Format.fprintf fmt "%-36s %8s %12s@." "configuration" "devices" "utilization";
+  List.iter
+    (fun (config, devices, compute, comm) ->
+      let u = if compute +. comm > 0.0 then compute /. (compute +. comm) else 1.0 in
+      Format.fprintf fmt "%-36s %8d %11.0f%%@." config devices (100.0 *. u))
+    rows

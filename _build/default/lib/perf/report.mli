@@ -1,0 +1,30 @@
+(** Text report generators for the evaluation artefacts: runtime
+    breakdowns (Figure 9), scaling series (Figures 13/14), the
+    power-equivalent comparison (Figure 15), the systems table
+    (Table 2) and GPU utilisation (Table 1). *)
+
+val pp_breakdown : Format.formatter -> (string * Opp_core.Profile.t) list -> unit
+(** Per-kernel milliseconds, one column per (label, ledger), rows in
+    first-ledger order, with a TOTAL row. *)
+
+type scaling_point = {
+  sp_ranks : int;
+  sp_compute : float;  (** seconds per step *)
+  sp_comm : float;
+  sp_label : string;
+}
+
+val pp_scaling :
+  Format.formatter -> title:string -> (string * scaling_point list) list -> unit
+(** Weak-scaling series with parallel efficiency against the smallest
+    rank count. *)
+
+val pp_power_equivalent :
+  Format.formatter -> title:string -> (string * int * float * float) list -> unit
+(** Rows of (system, devices, watts, runtime seconds); speed-ups are
+    relative to the first row. *)
+
+val pp_systems : Format.formatter -> Device.t list -> unit
+
+val pp_utilization : Format.formatter -> (string * int * float * float) list -> unit
+(** Rows of (configuration, devices, compute s, comm s). *)

@@ -1,0 +1,72 @@
+(** Roofline analysis from a profiling ledger (paper Figures 10, 11).
+
+    Each kernel becomes one point: arithmetic intensity (flop/byte)
+    against achieved FP64 rate, classified against the DRAM, cache and
+    compute ceilings of a device (the Berkeley ERT roof analogue). *)
+
+type bound = Dram_bound | Cache_bound | Compute_bound | Latency_bound
+
+let bound_to_string = function
+  | Dram_bound -> "DRAM"
+  | Cache_bound -> "L2/L3"
+  | Compute_bound -> "FP64"
+  | Latency_bound -> "latency"
+
+type point = {
+  kernel : string;
+  intensity : float;  (** flop/byte *)
+  gflops : float;  (** achieved GFLOP/s *)
+  roof_gflops : float;  (** attainable at this intensity *)
+  fraction_of_roof : float;
+  bound : bound;
+}
+
+(** Attainable FP64 rate at intensity [ai] under the DRAM roof. *)
+let attainable (d : Device.t) ~ai = Float.min (ai *. d.mem_bw) d.peak_fp64
+
+let classify (d : Device.t) ~ai ~gflops =
+  let dram_roof = attainable d ~ai /. 1e9 in
+  let cache_roof = Float.min (ai *. d.l3_bw) d.peak_fp64 /. 1e9 in
+  (* far below the bandwidth roof on a GPU = serialization, not
+     bandwidth: the paper drops AMD DepositCharge from its rooflines
+     for exactly this reason *)
+  if gflops < 0.2 *. dram_roof then Latency_bound
+  else if ai *. d.mem_bw >= d.peak_fp64 then Compute_bound
+  else if gflops > 1.05 *. dram_roof && gflops <= cache_roof then Cache_bound
+  else Dram_bound
+
+(** Roofline points for every kernel in [profile] that recorded both
+    flops and bytes (pure data movers and host phases are skipped, as
+    in the paper's plots). *)
+let points (d : Device.t) ?(t = Opp_core.Profile.global) () =
+  List.filter_map
+    (fun (kernel, e) ->
+      match Opp_core.Profile.intensity e with
+      | None -> None
+      | Some ai when e.Opp_core.Profile.flops <= 0.0 || e.Opp_core.Profile.seconds <= 0.0 ->
+          ignore ai;
+          None
+      | Some ai ->
+          let gflops = e.Opp_core.Profile.flops /. e.Opp_core.Profile.seconds /. 1e9 in
+          let roof = attainable d ~ai /. 1e9 in
+          Some
+            {
+              kernel;
+              intensity = ai;
+              gflops;
+              roof_gflops = roof;
+              fraction_of_roof = (if roof > 0.0 then gflops /. roof else 0.0);
+              bound = classify d ~ai ~gflops;
+            })
+    (Opp_core.Profile.entries ~t ())
+
+let pp_points fmt pts =
+  Format.fprintf fmt "%-26s %10s %12s %12s %8s %s@." "kernel" "flop/byte" "GFLOP/s"
+    "roof GF/s" "%roof" "bound";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%-26s %10.3f %12.2f %12.1f %7.1f%% %s@." p.kernel p.intensity
+        p.gflops p.roof_gflops
+        (100.0 *. p.fraction_of_roof)
+        (bound_to_string p.bound))
+    pts

@@ -1,0 +1,29 @@
+(** Roofline analysis from a profiling ledger (paper Figures 10/11):
+    each kernel becomes one point — arithmetic intensity against
+    achieved FP64 rate — classified against a device's DRAM, cache and
+    compute ceilings. *)
+
+type bound = Dram_bound | Cache_bound | Compute_bound | Latency_bound
+
+val bound_to_string : bound -> string
+
+type point = {
+  kernel : string;
+  intensity : float;
+  gflops : float;
+  roof_gflops : float;
+  fraction_of_roof : float;
+  bound : bound;
+}
+
+val attainable : Device.t -> ai:float -> float
+(** Attainable FP64 rate (flop/s) at intensity [ai] under the DRAM
+    roof. *)
+
+val classify : Device.t -> ai:float -> gflops:float -> bound
+
+val points : Device.t -> ?t:Opp_core.Profile.t -> unit -> point list
+(** One point per kernel that recorded both flops and bytes (pure data
+    movers and host phases are skipped, as in the paper's plots). *)
+
+val pp_points : Format.formatter -> point list -> unit

@@ -1,0 +1,1 @@
+lib/thread_backend/pool.ml: Array Condition Domain Mutex

@@ -1,0 +1,1 @@
+lib/thread_backend/pool.mli:

@@ -1,0 +1,1 @@
+lib/thread_backend/thread_runner.ml: Arg Array Hashtbl List Opp_core Particle Pool Printf Profile Runner Seq Unix View

@@ -1,0 +1,1 @@
+lib/thread_backend/thread_runner.mli: Arg Opp_core Profile Runner Seq Types

@@ -1,0 +1,94 @@
+(** A fixed pool of OCaml 5 domains executing fork-join jobs.
+
+    [run pool f] executes [f worker] for every worker index in
+    parallel and waits for all of them (the OpenMP-parallel-region
+    analogue the thread backend is built on). *)
+
+type t = {
+  n : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable generation : int;
+  mutable job : int -> unit;
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size t = t.n
+
+let worker_loop t i =
+  let seen_generation = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while t.generation = !seen_generation && not t.shutting_down do
+      Condition.wait t.start t.mutex
+    done;
+    if t.shutting_down then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen_generation := t.generation;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      let error = try job i; None with e -> Some e in
+      Mutex.lock t.mutex;
+      (match error with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create n =
+  if n <= 0 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    {
+      n;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      generation = 0;
+      job = ignore;
+      pending = 0;
+      failure = None;
+      shutting_down = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init n (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t
+
+let run t f =
+  Mutex.lock t.mutex;
+  t.job <- f;
+  t.failure <- None;
+  t.pending <- t.n;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.start;
+  while t.pending > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  let failure = t.failure in
+  Mutex.unlock t.mutex;
+  match failure with Some e -> raise e | None -> ()
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains
+
+(** Split [0, n) into [parts] balanced chunks; chunk [i] is [lo, hi). *)
+let chunk ~n ~parts i =
+  let base = n / parts and rem = n mod parts in
+  let lo = (i * base) + min i rem in
+  let hi = lo + base + if i < rem then 1 else 0 in
+  (lo, hi)

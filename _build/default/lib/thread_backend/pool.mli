@@ -1,0 +1,20 @@
+(** A fixed pool of OCaml 5 domains executing fork-join jobs — the
+    OpenMP parallel-region analogue the thread backend is built on. *)
+
+type t
+
+val create : int -> t
+(** Spawn [n] worker domains; raises [Invalid_argument] for [n <= 0]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f worker_index] on every worker in parallel
+    and waits for all of them; the first worker exception (if any) is
+    re-raised here, and the pool remains usable. *)
+
+val shutdown : t -> unit
+(** Join all workers. The pool must not be used afterwards. *)
+
+val chunk : n:int -> parts:int -> int -> int * int
+(** Balanced chunk [i] of [0, n) split into [parts] ranges. *)

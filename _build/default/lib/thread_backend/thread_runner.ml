@@ -1,0 +1,268 @@
+(** Shared-memory (OpenMP-analogue) backend on OCaml 5 domains.
+
+    Data races on indirectly incremented dats are handled with the
+    paper's CPU strategy: {e scatter arrays} (section 3.3, Figure
+    2(b)) — every worker increments a private copy of the dat, and the
+    copies are reduced into the real dat after the join. Global INC
+    arguments get per-worker buffers reduced the same way. Indirect
+    WRITE/RW arguments are rejected: they cannot be made race-free
+    without colouring, which PIC loops do not need. *)
+
+open Opp_core
+open Opp_core.Types
+
+type t = { pool : Pool.t; profile : Profile.t }
+
+let create ?(profile = Profile.global) ~workers () = { pool = Pool.create workers; profile }
+let shutdown t = Pool.shutdown t.pool
+let workers t = Pool.size t.pool
+
+let is_indirect (a : Arg.t) =
+  match a with
+  | Arg.Arg_gbl _ -> false
+  | Arg.Arg_dat d -> d.map <> None || d.p2c <> None
+
+let check_races name args =
+  List.iter
+    (fun (a : Arg.t) ->
+      match a with
+      | Arg.Arg_dat d when is_indirect a && (d.acc = Write || d.acc = Rw) ->
+          invalid_arg
+            (Printf.sprintf "%s: indirect %s access to %s is racy under threads" name
+               (access_to_string d.acc) d.dat.d_name)
+      | Arg.Arg_gbl g when g.acc = Write || g.acc = Rw ->
+          invalid_arg (Printf.sprintf "%s: global WRITE/RW is racy under threads" name)
+      | _ -> ())
+    args
+
+(* Per-worker argument bindings: private scatter copies for racy INC
+   targets, shared storage otherwise. *)
+type binding =
+  | Shared
+  | Scatter of float array array  (* one private copy per worker *)
+  | Gbl_scatter of float array array
+
+let make_bindings nworkers args =
+  List.map
+    (fun (a : Arg.t) ->
+      match a with
+      | Arg.Arg_dat d when d.acc = Inc && is_indirect a ->
+          Scatter (Array.init nworkers (fun _ -> Array.make (Array.length d.dat.d_data) 0.0))
+      | Arg.Arg_gbl g when g.acc = Inc ->
+          Gbl_scatter (Array.init nworkers (fun _ -> Array.make (Array.length g.buf) 0.0))
+      | _ -> Shared)
+    args
+
+(* Reduce scatter copies into the shared data, in worker order so the
+   result is deterministic for a fixed worker count. *)
+let reduce_bindings args bindings =
+  List.iter2
+    (fun (a : Arg.t) b ->
+      match (a, b) with
+      | Arg.Arg_dat d, Scatter copies ->
+          Array.iter
+            (fun copy ->
+              let dst = d.dat.d_data in
+              for i = 0 to Array.length copy - 1 do
+                if copy.(i) <> 0.0 then dst.(i) <- dst.(i) +. copy.(i)
+              done)
+            copies
+      | Arg.Arg_gbl g, Gbl_scatter copies ->
+          Array.iter
+            (fun copy ->
+              for i = 0 to Array.length copy - 1 do
+                g.buf.(i) <- g.buf.(i) +. copy.(i)
+              done)
+            copies
+      | _ -> ())
+    args bindings
+
+let worker_views args bindings w =
+  Array.of_list
+    (List.map2
+       (fun (a : Arg.t) b ->
+         match (a, b) with
+         | Arg.Arg_dat d, Shared -> View.of_array d.dat.d_data d.dat.d_dim
+         | Arg.Arg_dat d, Scatter copies -> View.of_array copies.(w) d.dat.d_dim
+         | Arg.Arg_gbl g, Gbl_scatter copies -> View.of_array copies.(w) (Array.length g.buf)
+         | Arg.Arg_gbl g, _ -> View.of_array g.buf (Array.length g.buf)
+         | Arg.Arg_dat _, Gbl_scatter _ -> assert false)
+       args bindings)
+
+let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
+  List.iter (Arg.validate ~iter_set:set) args;
+  check_races name args;
+  let lo, hi = Seq.iter_range set iterate in
+  let n = hi - lo in
+  let nworkers = Pool.size t.pool in
+  let bindings = make_bindings nworkers args in
+  let args_a = Array.of_list args in
+  let t0 = Unix.gettimeofday () in
+  Pool.run t.pool (fun w ->
+      let views = worker_views args bindings w in
+      let clo, chi = Pool.chunk ~n ~parts:nworkers w in
+      for e = lo + clo to lo + chi - 1 do
+        Array.iteri
+          (fun k a ->
+            match a with
+            | Arg.Arg_gbl _ -> ()
+            | Arg.Arg_dat _ -> views.(k).View.base <- Arg.offset a e)
+          args_a;
+        kernel views
+      done);
+  reduce_bindings args bindings;
+  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Unix.gettimeofday () -. t0)
+    ~flops:(flops_per_elem *. float_of_int n)
+    ~bytes:(Seq.loop_bytes args n) ()
+
+let particle_move t ~name ?(flops_per_elem = 0.0) ?(max_hops = 10_000) ?dh kernel set
+    ~(p2c : map) args =
+  List.iter (Arg.validate ~iter_set:set) args;
+  check_races name args;
+  let n = set.s_size in
+  let nworkers = Pool.size t.pool in
+  let bindings = make_bindings nworkers args in
+  let dead = Array.make (max n 1) false in
+  let accs = Array.init nworkers (fun _ -> Seq.make_move_acc ()) in
+  let args_a = Array.of_list args in
+  let t0 = Unix.gettimeofday () in
+  Pool.run t.pool (fun w ->
+      let views = worker_views args bindings w in
+      let ctx = { Seq.cell = 0; Seq.status = Seq.Move_done; Seq.hop = 0 } in
+      let clo, chi = Pool.chunk ~n ~parts:nworkers w in
+      for p = clo to chi - 1 do
+        Seq.walk_one ~name ~max_hops ~kernel ~args:args_a ~views ~ctx ~p2c ~dh
+          ~stop_at:(fun _ -> false)
+          ~on_pending:None ~on_particle:None ~dead ~acc:accs.(w) p
+      done);
+  reduce_bindings args bindings;
+  let removed = Particle.remove_flagged set dead in
+  let total =
+    Array.fold_left
+      (fun (m, r, h, mx) a ->
+        ( m + a.Seq.acc_moved,
+          r + a.Seq.acc_removed,
+          h + a.Seq.acc_total_hops,
+          max mx a.Seq.acc_max_hops ))
+      (0, 0, 0, 0) accs
+  in
+  let moved, racc, hops, max_h = total in
+  assert (removed = racc);
+  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Unix.gettimeofday () -. t0)
+    ~flops:(flops_per_elem *. float_of_int hops)
+    ~bytes:(Seq.loop_bytes args hops) ();
+  {
+    Seq.mv_moved = moved;
+    Seq.mv_removed = racc;
+    Seq.mv_sent = 0;
+    Seq.mv_total_hops = hops;
+    Seq.mv_max_hops = max_h;
+  }
+
+(* --- colouring execution (the paper's alternative CPU strategy) --- *)
+
+(* Greedy round-based colouring: in each round every still-uncoloured
+   element tries to claim all its INC targets; claims are granted in
+   element order, so elements of one colour never share a target and
+   can increment directly, without scatter arrays. *)
+let build_coloring ~lo ~hi args =
+  let racy = List.filter is_indirect (List.filter (fun a -> Arg.access a = Inc) args) in
+  let n = hi - lo in
+  let colors = Array.make n (-1) in
+  if racy = [] then begin
+    Array.fill colors 0 n 0;
+    (colors, 1)
+  end
+  else begin
+    let claimed : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let remaining = ref n in
+    let color = ref 0 in
+    while !remaining > 0 do
+      Hashtbl.reset claimed;
+      for e = 0 to n - 1 do
+        if colors.(e) = -1 then begin
+          let elem = lo + e in
+          let free =
+            List.for_all
+              (fun a ->
+                match Hashtbl.find_opt claimed (Arg.offset a elem) with
+                | Some owner -> owner = e
+                | None -> true)
+              racy
+          in
+          if free then begin
+            List.iter (fun a -> Hashtbl.replace claimed (Arg.offset a elem) e) racy;
+            colors.(e) <- !color;
+            decr remaining
+          end
+        end
+      done;
+      incr color
+    done;
+    (colors, !color)
+  end
+
+(** [par_loop] executed colour-by-colour: elements of one colour never
+    share an indirect-INC target, so increments go straight to the
+    shared dat (no scatter arrays, no reduction pass). The paper notes
+    the trade-off: colouring particle loops needs the particles kept
+    sorted to keep the colour count low. *)
+let par_loop_colored t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
+  List.iter (Arg.validate ~iter_set:set) args;
+  check_races name args;
+  let lo, hi = Seq.iter_range set iterate in
+  let n = hi - lo in
+  let nworkers = Pool.size t.pool in
+  let args_a = Array.of_list args in
+  let t0 = Unix.gettimeofday () in
+  let colors, ncolors = build_coloring ~lo ~hi args in
+  (* bucket elements by colour once *)
+  let buckets = Array.make ncolors [] in
+  for e = n - 1 downto 0 do
+    buckets.(colors.(e)) <- (lo + e) :: buckets.(colors.(e))
+  done;
+  (* dats are shared (colouring makes direct increments safe); only
+     global reductions still need per-worker buffers *)
+  let bindings =
+    List.map
+      (fun (a : Arg.t) ->
+        match a with
+        | Arg.Arg_gbl g when g.acc = Inc ->
+            Gbl_scatter (Array.init nworkers (fun _ -> Array.make (Array.length g.buf) 0.0))
+        | _ -> Shared)
+      args
+  in
+  Array.iter
+    (fun bucket ->
+      let elems = Array.of_list bucket in
+      let m = Array.length elems in
+      Pool.run t.pool (fun w ->
+          let views = worker_views args bindings w in
+          let clo, chi = Pool.chunk ~n:m ~parts:nworkers w in
+          for i = clo to chi - 1 do
+            let e = elems.(i) in
+            Array.iteri
+              (fun k a ->
+                match a with
+                | Arg.Arg_gbl _ -> ()
+                | Arg.Arg_dat _ -> views.(k).View.base <- Arg.offset a e)
+              args_a;
+            kernel views
+          done))
+    buckets;
+  reduce_bindings args bindings;
+  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Unix.gettimeofday () -. t0)
+    ~flops:(flops_per_elem *. float_of_int n)
+    ~bytes:(Seq.loop_bytes args n) ()
+
+(** Package as a {!Opp_core.Runner.t} for the application drivers. *)
+let runner t =
+  {
+    Runner.r_name = Printf.sprintf "omp(%d)" (Pool.size t.pool);
+    Runner.r_par_loop =
+      (fun name flops_per_elem kernel set iterate args ->
+        par_loop t ~name ~flops_per_elem kernel set iterate args);
+    Runner.r_particle_move =
+      (fun name flops_per_elem dh kernel set p2c args ->
+        particle_move t ~name ~flops_per_elem ?dh kernel set ~p2c args);
+  }

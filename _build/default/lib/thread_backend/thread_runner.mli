@@ -1,0 +1,58 @@
+(** Shared-memory (OpenMP-analogue) backend on OCaml 5 domains.
+
+    Indirect INC arguments are handled with the paper's CPU strategy —
+    scatter arrays (section 3.3, Figure 2(b)) — or, alternatively,
+    with greedy colouring ({!par_loop_colored}, the option the paper
+    mentions and the colouring ablation prices). Indirect WRITE/RW is
+    rejected as racy. *)
+
+open Opp_core
+
+type t
+
+val create : ?profile:Profile.t -> workers:int -> unit -> t
+val shutdown : t -> unit
+val workers : t -> int
+
+val par_loop :
+  t ->
+  name:string ->
+  ?flops_per_elem:float ->
+  Seq.kernel ->
+  Types.set ->
+  Seq.iterate ->
+  Arg.t list ->
+  unit
+(** Parallel loop with scatter-array race handling. *)
+
+val particle_move :
+  t ->
+  name:string ->
+  ?flops_per_elem:float ->
+  ?max_hops:int ->
+  ?dh:(int -> int) ->
+  Seq.move_kernel ->
+  Types.set ->
+  p2c:Types.map ->
+  Arg.t list ->
+  Seq.move_result
+(** Parallel multi-hop/direct-hop mover; hole filling after the join. *)
+
+val build_coloring : lo:int -> hi:int -> Arg.t list -> int array * int
+(** Greedy conflict colouring of the iteration range against its
+    indirect-INC targets; returns per-element colours and the colour
+    count. *)
+
+val par_loop_colored :
+  t ->
+  name:string ->
+  ?flops_per_elem:float ->
+  Seq.kernel ->
+  Types.set ->
+  Seq.iterate ->
+  Arg.t list ->
+  unit
+(** Colour-by-colour execution: direct increments, no scatter arrays,
+    one parallel region per colour. *)
+
+val runner : t -> Runner.t

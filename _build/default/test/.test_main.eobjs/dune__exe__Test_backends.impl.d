@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Array Cabana Fempic Float Fun Opp Opp_core Opp_gpu Opp_mesh Opp_perf Opp_thread Profile QCheck QCheck_alcotest Rng Runner Seq View

@@ -1,0 +1,1 @@
+test/test_cabana.ml: Alcotest Array Cabana Cabana_params Cabana_phys Cabana_sim Diagnostics Float Opp_core Opp_mesh Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Filename Fun List Opp_codegen Printf Str String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun List Opp Opp_core Particle Profile QCheck QCheck_alcotest Rng Seq

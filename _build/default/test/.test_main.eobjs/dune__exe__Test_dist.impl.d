@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Apps_dist Array Cabana Exch Fempic Float Fun List Mailbox Opp_core Opp_dist Opp_mesh Partition Printf Tet_part Traffic Types

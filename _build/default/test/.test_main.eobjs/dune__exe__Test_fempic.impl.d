@@ -1,0 +1,1 @@
+test/test_fempic.ml: Alcotest Array Checkpoint Collisions Fempic Fempic_sim Field_solver Filename Float Fun Opp Opp_core Opp_mesh Params Printf Profile QCheck QCheck_alcotest Rng Runner Seq Sys Types

@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Array Cg Csr Dense Float List Opp_core Opp_la Printf QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_landau.ml: Alcotest Array Float Landau Landau_sim Opp_core Printf

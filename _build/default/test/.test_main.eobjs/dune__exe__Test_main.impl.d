@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_backends Test_cabana Test_codegen Test_core Test_dist Test_fempic Test_la Test_landau Test_mesh Test_perf Test_pushers Test_snapshot

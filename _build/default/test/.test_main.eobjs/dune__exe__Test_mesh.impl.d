@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Array Filename Float Fun Geom Hex_mesh Mesh_io Opp_core Opp_mesh Overlay Printf QCheck QCheck_alcotest Sys Tet_mesh

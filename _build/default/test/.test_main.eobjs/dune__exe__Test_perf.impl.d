@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Buffer Experiments Float Format List Opp_core Opp_dist Opp_perf Str

@@ -1,0 +1,1 @@
+test/test_pushers.ml: Alcotest Array Cabana Cabana_params Cabana_sim Filename Float Fun List Opp_core Printf Pushers Sys

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Arg Array Filename Fun Opp Opp_core Profile Seq Snapshot Sys View

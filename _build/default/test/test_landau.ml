@@ -1,0 +1,102 @@
+(* The Landau-damping application: quiet-start loading quality and the
+   headline kinetic validation — the measured collisionless damping
+   rate against Landau's analytic result. *)
+
+open Landau
+
+let run_history prm steps =
+  let sim = Landau_sim.create ~prm () in
+  let hist = Array.make steps 0.0 in
+  for s = 0 to steps - 1 do
+    Landau_sim.step sim;
+    hist.(s) <- Landau_sim.field_energy sim
+  done;
+  (sim, hist)
+
+let test_quiet_start_moments () =
+  let prm = Landau_sim.default in
+  let sim = Landau_sim.create ~prm () in
+  let n = sim.Landau_sim.parts.Opp_core.Types.s_size in
+  Alcotest.(check int) "population" (prm.Landau_sim.nz * prm.Landau_sim.ppc) n;
+  (* the antithetic-pair loading leaves essentially no mean drift and a
+     thermal spread at vth *)
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for p = 0 to n - 1 do
+    let v = sim.Landau_sim.part_v.Opp_core.Types.d_data.(p) in
+    sum := !sum +. v;
+    sum2 := !sum2 +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let sigma = sqrt (!sum2 /. float_of_int n) in
+  Alcotest.(check bool) (Printf.sprintf "mean drift %.2e ~ 0" mean) true
+    (Float.abs mean < 0.05 *. prm.Landau_sim.vth);
+  Alcotest.(check bool) (Printf.sprintf "thermal spread %.3f ~ vth" sigma) true
+    (Float.abs (sigma -. prm.Landau_sim.vth) < 0.05 *. prm.Landau_sim.vth)
+
+let test_charge_neutral_deposit () =
+  let sim = Landau_sim.create () in
+  Landau_sim.deposit sim;
+  (* electron charge exactly cancels the ion background on average *)
+  let mean =
+    Array.fold_left ( +. ) 0.0 sim.Landau_sim.cell_rho.Opp_core.Types.d_data
+    /. float_of_int sim.Landau_sim.prm.Landau_sim.nz
+  in
+  Alcotest.(check (float 1e-9)) "mean charge density" 0.0 mean
+
+let test_field_energy_decays () =
+  let _, hist = run_history Landau_sim.default 120 in
+  Alcotest.(check bool)
+    (Printf.sprintf "decayed %.2e -> %.2e" hist.(0) hist.(110))
+    true
+    (hist.(110) < 0.05 *. hist.(0))
+
+let test_landau_damping_rate () =
+  (* the headline: measured gamma vs Landau's kinetic rate at
+     k lambda_D = 0.5, within 10% *)
+  let prm = Landau_sim.default in
+  let _, hist = run_history prm 90 in
+  match Landau_sim.fit_damping_rate ~dt:prm.Landau_sim.dt (Array.sub hist 0 80) with
+  | None -> Alcotest.fail "no damping fit"
+  | Some gamma ->
+      let theory = Landau_sim.theoretical_damping_rate prm in
+      Alcotest.(check bool)
+        (Printf.sprintf "gamma %.4f vs theory %.4f" gamma theory)
+        true
+        (Float.abs (gamma -. theory) < 0.1 *. theory)
+
+let test_stable_long_wavelength () =
+  (* at k lambda_D = 0.2 damping is essentially zero: the wave must
+     persist where the 0.5 case has collapsed *)
+  let prm = { Landau_sim.default with Landau_sim.k_ld = 0.2; ppc = 400 } in
+  Alcotest.(check bool) "theory negligible" true
+    (Landau_sim.theoretical_damping_rate prm < 1e-3);
+  let _, hist = run_history prm 120 in
+  Alcotest.(check bool)
+    (Printf.sprintf "persists %.2e -> %.2e" hist.(0) hist.(110))
+    true
+    (hist.(110) > 0.3 *. hist.(0))
+
+let test_particles_conserved () =
+  let sim, _ = run_history { Landau_sim.default with Landau_sim.ppc = 100 } 50 in
+  Alcotest.(check int) "periodic ring loses nothing"
+    (Landau_sim.default.Landau_sim.nz * 100)
+    sim.Landau_sim.parts.Opp_core.Types.s_size
+
+let test_normal_quantile () =
+  Alcotest.(check (float 1e-8)) "median" 0.0 (Opp_core.Rng.normal_quantile 0.5);
+  Alcotest.(check (float 1e-6)) "97.5%" 1.959964 (Opp_core.Rng.normal_quantile 0.975);
+  Alcotest.(check (float 1e-6)) "2.5%" (-1.959964) (Opp_core.Rng.normal_quantile 0.025);
+  Alcotest.(check (float 1e-5)) "one sigma" 1.0 (Opp_core.Rng.normal_quantile 0.8413447);
+  Alcotest.check_raises "domain" (Invalid_argument "Rng.normal_quantile: p must be in (0,1)")
+    (fun () -> ignore (Opp_core.Rng.normal_quantile 0.0))
+
+let suite =
+  [
+    Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+    Alcotest.test_case "quiet start moments" `Quick test_quiet_start_moments;
+    Alcotest.test_case "charge-neutral deposit" `Quick test_charge_neutral_deposit;
+    Alcotest.test_case "field energy decays" `Slow test_field_energy_decays;
+    Alcotest.test_case "Landau damping rate vs theory" `Slow test_landau_damping_rate;
+    Alcotest.test_case "long wavelength persists" `Slow test_stable_long_wavelength;
+    Alcotest.test_case "particles conserved" `Quick test_particles_conserved;
+  ]

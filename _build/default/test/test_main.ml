@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "op-pic"
+    [
+      ("core", Test_core.suite);
+      ("la", Test_la.suite);
+      ("mesh", Test_mesh.suite);
+      ("backends", Test_backends.suite);
+      ("dist", Test_dist.suite);
+      ("codegen", Test_codegen.suite);
+      ("fempic", Test_fempic.suite);
+      ("cabana", Test_cabana.suite);
+      ("perf", Test_perf.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("pushers", Test_pushers.suite);
+      ("landau", Test_landau.suite);
+    ]

@@ -5,7 +5,12 @@
      dune exec bench/main.exe                 -- all experiments
      dune exec bench/main.exe -- --list       -- list experiment ids
      dune exec bench/main.exe -- --only fig9a -- one experiment
-     dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks
+
+   Observability (see docs/OBSERVABILITY.md): --trace FILE writes a
+   Chrome trace-event timeline, --metrics FILE writes per-step metrics
+   (JSONL, or CSV if FILE ends in .csv), --obs-summary prints span and
+   metric summaries at exit. *)
 
 let list_experiments () =
   List.iter
@@ -135,16 +140,43 @@ let find_flag_value args flag =
 
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--list" args then list_experiments ()
-  else if List.mem "--micro" args then run_micro ()
-  else
-    match find_flag_value args "--only" with
-    | Some id -> (
-        match Experiments.Registry.find id with
-        | Some e -> Experiments.Registry.run_one Format.std_formatter e
-        | None ->
-            Printf.eprintf "unknown experiment '%s'; try --list\n" id;
-            exit 1)
-    | None ->
-        Experiments.Registry.run_all Format.std_formatter;
-        Format.printf "@.(micro-benchmarks: run with --micro)@."
+  let trace = find_flag_value args "--trace" in
+  let metrics = find_flag_value args "--metrics" in
+  let obs_summary = List.mem "--obs-summary" args in
+  if trace <> None || obs_summary then Opp_obs.Trace.enable ();
+  if metrics <> None || obs_summary then Opp_obs.Metrics.enable ();
+  (if List.mem "--list" args then list_experiments ()
+   else if List.mem "--micro" args then run_micro ()
+   else
+     match find_flag_value args "--only" with
+     | Some id -> (
+         match Experiments.Registry.find id with
+         | Some e -> Experiments.Registry.run_one Format.std_formatter e
+         | None ->
+             Printf.eprintf "unknown experiment '%s'; try --list\n" id;
+             exit 1)
+     | None ->
+         Experiments.Registry.run_all Format.std_formatter;
+         Format.printf "@.(micro-benchmarks: run with --micro)@.");
+  let try_write what path f =
+    try f path
+    with Sys_error msg ->
+      Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
+      exit 1
+  in
+  (match trace with
+  | Some path ->
+      try_write "trace" path Opp_obs.Trace.write_chrome;
+      Printf.printf "trace: %d spans written to %s\n%!" (Opp_obs.Trace.span_count ()) path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      try_write "metrics" path (fun p ->
+          if Filename.check_suffix p ".csv" then Opp_obs.Metrics.write_csv p
+          else Opp_obs.Metrics.write_jsonl p);
+      Printf.printf "metrics written to %s\n%!" path
+  | None -> ());
+  if obs_summary then begin
+    Format.printf "@.-- trace summary --@.%a" (fun fmt () -> Opp_obs.Trace.summary fmt ()) ();
+    Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
+  end

@@ -15,7 +15,53 @@ let device_of_name = function
   | "mi250x" -> Some Opp_perf.Device.mi250x_gcd
   | _ -> None
 
-let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
+let obs_setup ~trace ~metrics ~obs_summary =
+  if trace <> None || obs_summary then Opp_obs.Trace.enable ();
+  if metrics <> None || obs_summary then Opp_obs.Metrics.enable ()
+
+let try_write what path f =
+  try f path
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
+    exit 1
+
+let obs_finish ~trace ~metrics ~obs_summary =
+  (match trace with
+  | Some path ->
+      try_write "trace" path Opp_obs.Trace.write_chrome;
+      Printf.printf "trace: %d spans written to %s (open in chrome://tracing or Perfetto)\n%!"
+        (Opp_obs.Trace.span_count ()) path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      try_write "metrics" path (fun p ->
+          if Filename.check_suffix p ".csv" then Opp_obs.Metrics.write_csv p
+          else Opp_obs.Metrics.write_jsonl p);
+      Printf.printf "metrics: %d rows written to %s\n%!"
+        (List.length (Opp_obs.Metrics.rows ()))
+        path
+  | None -> ());
+  if obs_summary then begin
+    Format.printf "@.-- trace summary --@.%a" (fun fmt () -> Opp_obs.Trace.summary fmt ()) ();
+    Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
+  end
+
+(* Per-step energy gauges + tick (energies are three par_loops, so
+   only run them when metrics are on). *)
+let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
+  if !Opp_obs.Metrics.enabled then begin
+    Opp_obs.Metrics.set "energy.e" e.Cabana.Cabana_sim.e_field;
+    Opp_obs.Metrics.set "energy.b" e.Cabana.Cabana_sim.b_field;
+    Opp_obs.Metrics.set "energy.k" e.Cabana.Cabana_sim.kinetic;
+    (match nparticles with
+    | Some n -> Opp_obs.Metrics.set "particles" (float_of_int n)
+    | None -> ());
+    Opp_obs.Metrics.tick ~step
+  end
+
+let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate trace metrics
+    obs_summary =
+  obs_setup ~trace ~metrics ~obs_summary;
   let prm =
     {
       Cabana.Cabana_params.default with
@@ -45,7 +91,8 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
       max_diff := Float.max !max_diff (Float.abs (a -. b));
       if s mod report_every = 0 then Printf.printf "step %4d: E=%.6e |dsl-ref|=%.3e\n%!" s a (Float.abs (a -. b))
     done;
-    Printf.printf "max |E energy difference| over %d steps: %.3e\n%!" steps !max_diff
+    Printf.printf "max |E energy difference| over %d steps: %.3e\n%!" steps !max_diff;
+    obs_finish ~trace ~metrics ~obs_summary
   end
   else
     match backend with
@@ -55,8 +102,15 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
             ?workers:(if hybrid then Some workers else None)
             ~profile ()
         in
+        Opp_obs.Trace.name_track ranks "driver";
         for s = 1 to steps do
-          Apps_dist.Cabana_dist.step dist;
+          Opp_obs.Trace.with_track ranks (fun () ->
+              Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
+                  Apps_dist.Cabana_dist.step dist));
+          if !Opp_obs.Metrics.enabled then
+            tick_energies ~step:s
+              (Apps_dist.Cabana_dist.energies dist)
+              (Some (Apps_dist.Cabana_dist.total_particles dist));
           if s mod report_every = 0 then begin
             let e = Apps_dist.Cabana_dist.energies dist in
             Printf.printf "step %4d: E=%.6e B=%.6e K=%.6e migrated=%d\n%!" s
@@ -66,7 +120,8 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
         done;
         Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
           dist.Apps_dist.Cabana_dist.traffic;
-        Apps_dist.Cabana_dist.shutdown dist
+        Apps_dist.Cabana_dist.shutdown dist;
+        obs_finish ~trace ~metrics ~obs_summary
     | _ ->
         let runner, cleanup =
           match backend with
@@ -86,7 +141,10 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
         in
         let sim = Cabana.Cabana_sim.create ~prm ~runner ~profile () in
         for s = 1 to steps do
-          Cabana.Cabana_sim.step sim;
+          Opp_obs.Trace.with_span ~cat:"step" "step" (fun () -> Cabana.Cabana_sim.step sim);
+          if !Opp_obs.Metrics.enabled then
+            tick_energies ~step:s (Cabana.Cabana_sim.energies sim)
+              (Some sim.Cabana.Cabana_sim.parts.Opp_core.Types.s_size);
           if s mod report_every = 0 then begin
             let e = Cabana.Cabana_sim.energies sim in
             Printf.printf "step %4d: E=%.6e B=%.6e K=%.6e\n%!" s e.Cabana.Cabana_sim.e_field
@@ -94,7 +152,8 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate =
           end
         done;
         cleanup ();
-        Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ()
+        Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
+        obs_finish ~trace ~metrics ~obs_summary
 
 let cmd =
   let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"cells in x") in
@@ -115,10 +174,26 @@ let cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"compare against the structured-mesh original")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace-event JSON timeline to $(docv)")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"write per-step metrics to $(docv) (JSONL, or CSV when $(docv) ends in .csv)")
+  in
+  let obs_summary =
+    Arg.(value & flag & info [ "obs-summary" ] ~doc:"print trace and metrics summaries at exit")
+  in
   Cmd.v
     (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
-      $ validate)
+      $ validate $ trace $ metrics $ obs_summary)
 
 let () = exit (Cmd.eval cmd)

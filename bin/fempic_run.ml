@@ -17,8 +17,44 @@ let device_of_name = function
   | "mi250x" -> Some Opp_perf.Device.mi250x_gcd
   | _ -> None
 
+(* Observability plumbing shared by the backends: enable the global
+   trace/metrics sinks up front, export and summarize at exit. A
+   metrics path ending in [.csv] selects the CSV exporter, anything
+   else gets JSONL. *)
+let obs_setup ~trace ~metrics ~obs_summary =
+  if trace <> None || obs_summary then Opp_obs.Trace.enable ();
+  if metrics <> None || obs_summary then Opp_obs.Metrics.enable ()
+
+let try_write what path f =
+  try f path
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
+    exit 1
+
+let obs_finish ~trace ~metrics ~obs_summary =
+  (match trace with
+  | Some path ->
+      try_write "trace" path Opp_obs.Trace.write_chrome;
+      Printf.printf "trace: %d spans written to %s (open in chrome://tracing or Perfetto)\n%!"
+        (Opp_obs.Trace.span_count ()) path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      try_write "metrics" path (fun p ->
+          if Filename.check_suffix p ".csv" then Opp_obs.Metrics.write_csv p
+          else Opp_obs.Metrics.write_jsonl p);
+      Printf.printf "metrics: %d rows written to %s\n%!"
+        (List.length (Opp_obs.Metrics.rows ()))
+        path
+  | None -> ());
+  if obs_summary then begin
+    Format.printf "@.-- trace summary --@.%a" (fun fmt () -> Opp_obs.Trace.summary fmt ()) ();
+    Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
+  end
+
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
-    seed write_mesh neutral_density =
+    seed write_mesh neutral_density trace metrics obs_summary =
+  obs_setup ~trace ~metrics ~obs_summary;
   let mesh = Opp_mesh.Tet_mesh.build ~nx ~ny ~nz ~lx ~ly ~lz in
   (match write_mesh with
   | Some path ->
@@ -34,7 +70,8 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
     backend;
   let finish profile sim_diag =
     Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
-    sim_diag ()
+    sim_diag ();
+    obs_finish ~trace ~metrics ~obs_summary
   in
   let profile = Opp_core.Profile.create () in
   match backend with
@@ -44,8 +81,14 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
           ?workers:(if hybrid then Some workers else None)
           ~profile mesh
       in
+      (* the step span lives on a dedicated driver track, one past the
+         last rank, so per-rank timelines stay rank-only *)
+      Opp_obs.Trace.name_track ranks "driver";
       for s = 1 to steps do
-        ignore (Apps_dist.Fempic_dist.step dist);
+        Opp_obs.Trace.with_track ranks (fun () ->
+            Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
+                ignore (Apps_dist.Fempic_dist.step dist)));
+        if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.tick ~step:s;
         if s mod 10 = 0 || s = steps then
           Printf.printf "step %4d: particles=%d migrated=%d\n%!" s
             (Apps_dist.Fempic_dist.total_particles dist)
@@ -82,8 +125,17 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
         else None
       in
       for s = 1 to steps do
-        ignore (Fempic.Fempic_sim.step sim);
-        (match mcc with Some m -> ignore (Fempic.Collisions.apply ~runner m) | None -> ());
+        Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
+            ignore (Fempic.Fempic_sim.step sim);
+            match mcc with Some m -> ignore (Fempic.Collisions.apply ~runner m) | None -> ());
+        if !Opp_obs.Metrics.enabled then begin
+          let d = Fempic.Fempic_sim.diagnostics sim in
+          Opp_obs.Metrics.set "particles" (float_of_int d.Fempic.Fempic_sim.particles);
+          Opp_obs.Metrics.set "phi.min" d.Fempic.Fempic_sim.min_potential;
+          Opp_obs.Metrics.set "phi.max" d.Fempic.Fempic_sim.max_potential;
+          Opp_obs.Metrics.set "ef.mean" d.Fempic.Fempic_sim.mean_ef_magnitude;
+          Opp_obs.Metrics.tick ~step:s
+        end;
         if s mod 10 = 0 || s = steps then begin
           let d = Fempic.Fempic_sim.diagnostics sim in
           Printf.printf "step %4d: particles=%7d phi=[%.3f, %.3f] |E|=%.3e\n%!" s
@@ -130,10 +182,27 @@ let cmd =
       & info [ "collisions" ]
           ~doc:"neutral background density (m^-3) for Monte-Carlo collisions; 0 disables")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace-event JSON timeline to $(docv)")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"write per-step metrics to $(docv) (JSONL, or CSV when $(docv) ends in .csv)")
+  in
+  let obs_summary =
+    Arg.(value & flag & info [ "obs-summary" ] ~doc:"print trace and metrics summaries at exit")
+  in
   Cmd.v
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
-      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density)
+      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ trace $ metrics
+      $ obs_summary)
 
 let () = exit (Cmd.eval cmd)

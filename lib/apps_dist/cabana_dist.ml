@@ -147,6 +147,16 @@ let exchange_field t (field : Cabana.Cabana_sim.t -> Types.dat) =
   Exch.exchange ~traffic:t.traffic t.cell_exch ~dim:3 ~data:(fun r ->
       (field t.sims.(r)).Types.d_data)
 
+(* Run one rank's share of a phase with its trace track selected and a
+   phase span opened, so each rank's par-loop spans land nested on its
+   own timeline in the exported trace. *)
+let rank_phase t name f =
+  Array.iteri
+    (fun r sim ->
+      Opp_obs.Trace.with_track r (fun () ->
+          Opp_obs.Trace.with_span ~cat:"phase" name (fun () -> f r sim)))
+    t.sims
+
 (* --- particle migration (mid-walk, with remaining displacement) --- *)
 
 let pack t r mail ~p ~cell =
@@ -178,11 +188,13 @@ let move_deposit t =
   Array.iter Cabana.Cabana_sim.reset_accumulator t.sims;
   let migrated = ref 0 in
   let move_rank r iterate =
-    ignore
-      (Cabana.Cabana_sim.move_deposit
-         ~should_stop:(fun c -> c >= t.owned.(r))
-         ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
-         ~iterate t.sims.(r))
+    Opp_obs.Trace.with_track r (fun () ->
+        Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
+            ignore
+              (Cabana.Cabana_sim.move_deposit
+                 ~should_stop:(fun c -> c >= t.owned.(r))
+                 ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
+                 ~iterate t.sims.(r))))
   in
   for r = 0 to t.nranks - 1 do
     move_rank r Seq.Iterate_all
@@ -212,15 +224,25 @@ let step t =
   (* refresh E and B halos ("Update_Ghosts") before the stencils *)
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);
-  Array.iter Cabana.Cabana_sim.interpolate t.sims;
+  rank_phase t "Interpolate" (fun _ sim -> Cabana.Cabana_sim.interpolate sim);
   ignore (move_deposit t);
-  Array.iter Cabana.Cabana_sim.accumulate_current t.sims;
-  Array.iter (fun sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5) t.sims;
+  rank_phase t "AccumulateCurrent" (fun _ sim -> Cabana.Cabana_sim.accumulate_current sim);
+  rank_phase t "AdvanceB" (fun _ sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5);
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);
-  Array.iter Cabana.Cabana_sim.advance_e t.sims;
+  rank_phase t "AdvanceE" (fun _ sim -> Cabana.Cabana_sim.advance_e sim);
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
-  Array.iter (fun sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5) t.sims;
-  t.step_count <- t.step_count + 1
+  rank_phase t "AdvanceB2" (fun _ sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5);
+  t.step_count <- t.step_count + 1;
+  if !Opp_obs.Metrics.enabled then begin
+    let counts =
+      Array.map (fun sim -> float_of_int sim.Cabana.Cabana_sim.parts.Types.s_size) t.sims
+    in
+    let live = Array.fold_left ( +. ) 0.0 counts in
+    let mx = Array.fold_left Float.max 0.0 counts in
+    let mean = live /. float_of_int t.nranks in
+    Opp_obs.Metrics.set "particles" live;
+    Opp_obs.Metrics.set "imbalance" (if mean > 0.0 then (mx /. mean) -. 1.0 else 0.0)
+  end
 
 let run t ~steps =
   for _ = 1 to steps do

@@ -134,6 +134,16 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     last_migrated = 0;
   }
 
+(* Run one rank's share of a phase with its trace track selected and a
+   phase span opened, so each rank's par-loop spans land nested on its
+   own timeline in the exported trace. *)
+let rank_phase t name f =
+  Array.iteri
+    (fun r sim ->
+      Opp_obs.Trace.with_track r (fun () ->
+          Opp_obs.Trace.with_span ~cat:"phase" name (fun () -> f r sim)))
+    t.sims
+
 (* --- particle migration --- *)
 
 let pack t r mail ~p ~cell =
@@ -205,11 +215,13 @@ let move_particles t =
   let move_rank r iterate =
     let sim = t.sims.(r) in
     let owned = t.part.Tet_part.locals.(r).Tet_part.lm_cell_owned in
-    ignore
-      (Fempic.Fempic_sim.move
-         ~should_stop:(fun c -> c >= owned)
-         ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
-         ~iterate sim)
+    Opp_obs.Trace.with_track r (fun () ->
+        Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
+            ignore
+              (Fempic.Fempic_sim.move
+                 ~should_stop:(fun c -> c >= owned)
+                 ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
+                 ~iterate sim)))
   in
   for r = 0 to t.nranks - 1 do
     move_rank r Seq.Iterate_all
@@ -267,18 +279,29 @@ let solve_field t =
 
 let step t =
   let injected = ref 0 in
-  Array.iter (fun sim -> injected := !injected + Fempic.Fempic_sim.inject_particles sim) t.sims;
-  Array.iter Fempic.Fempic_sim.calc_pos_vel t.sims;
+  rank_phase t "Inject" (fun _ sim ->
+      injected := !injected + Fempic.Fempic_sim.inject_particles sim);
+  rank_phase t "CalcPosVel" (fun _ sim -> Fempic.Fempic_sim.calc_pos_vel sim);
   ignore (move_particles t);
-  Array.iter Fempic.Fempic_sim.deposit_charge t.sims;
+  rank_phase t "Deposit" (fun _ sim -> Fempic.Fempic_sim.deposit_charge sim);
   (* push halo-node deposits to their owners, then refresh the copies *)
   let node_charge r = t.sims.(r).Fempic.Fempic_sim.node_charge.Types.d_data in
   Exch.reduce ~traffic:t.traffic t.part.Tet_part.node_exch ~dim:1 ~data:node_charge;
   Exch.exchange ~traffic:t.traffic t.part.Tet_part.node_exch ~dim:1 ~data:node_charge;
-  Array.iter Fempic.Fempic_sim.compute_charge_density t.sims;
+  rank_phase t "ChargeDensity" (fun _ sim -> Fempic.Fempic_sim.compute_charge_density sim);
   ignore (solve_field t);
-  Array.iter Fempic.Fempic_sim.compute_electric_field t.sims;
+  rank_phase t "ElectricField" (fun _ sim -> Fempic.Fempic_sim.compute_electric_field sim);
   t.step_count <- t.step_count + 1;
+  if !Opp_obs.Metrics.enabled then begin
+    let counts =
+      Array.map (fun sim -> float_of_int sim.Fempic.Fempic_sim.parts.Types.s_size) t.sims
+    in
+    let live = Array.fold_left ( +. ) 0.0 counts in
+    let mx = Array.fold_left Float.max 0.0 counts in
+    let mean = live /. float_of_int t.nranks in
+    Opp_obs.Metrics.set "particles" live;
+    Opp_obs.Metrics.set "imbalance" (if mean > 0.0 then (mx /. mean) -. 1.0 else 0.0)
+  end;
   !injected
 
 let run t ~steps =

@@ -328,8 +328,9 @@ let move_deposit ?should_stop ?on_pending ?iterate t =
         Runner.particle_move t.runner ~name:"Move_Deposit" ~flops_per_elem:70.0 kernel
           t.parts ~p2c:t.p2c args
     | _ ->
-        Seq.particle_move ~profile:t.profile ~flops_per_elem:70.0 ?should_stop ?on_pending
-          ?iterate ~name:"Move_Deposit" kernel t.parts ~p2c:t.p2c args
+        Runner.traced_move ~name:"Move_Deposit" (fun () ->
+            Seq.particle_move ~profile:t.profile ~flops_per_elem:70.0 ?should_stop ?on_pending
+              ?iterate ~name:"Move_Deposit" kernel t.parts ~p2c:t.p2c args)
   in
   t.last_move <- Some r;
   r

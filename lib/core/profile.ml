@@ -38,11 +38,16 @@ let record ?(t = global) ~name ~elems ~seconds ~flops ~bytes () =
   e.bytes <- e.bytes +. bytes
 
 (** Run [f], timing it into the ledger under [name] (used for host-side
-    phases such as the field solver that are not expressed as loops). *)
+    phases such as the field solver that are not expressed as loops).
+    Timed against the monotonic clock — [Unix.gettimeofday] can step
+    backwards under NTP and corrupt the ledger. Also emits a trace
+    span (cat ["host"]) when tracing is enabled. *)
 let timed ?(t = global) ~name ?(elems = 0) ?(flops = 0.0) ?(bytes = 0.0) f =
-  let t0 = Unix.gettimeofday () in
+  Opp_obs.Trace.begin_span ~cat:"host" name;
+  let t0 = Opp_obs.Clock.now_s () in
   let result = f () in
-  record ~t ~name ~elems ~seconds:(Unix.gettimeofday () -. t0) ~flops ~bytes ();
+  record ~t ~name ~elems ~seconds:(Opp_obs.Clock.now_s () -. t0) ~flops ~bytes ();
+  Opp_obs.Trace.end_span ();
   result
 
 (** Add modelled (as opposed to measured) seconds to a kernel entry. *)
@@ -57,6 +62,20 @@ let reset ?(t = global) () =
 let entries ?(t = global) () =
   List.rev_map (fun name -> (name, Hashtbl.find t.table name)) t.order
 
+(** Fold [src] into [into]: entries with the same kernel name have
+    their fields summed; new names append in [src]'s first-recorded
+    order. Used to combine per-rank ledgers into one report. *)
+let merge ~into src =
+  List.iter
+    (fun (name, (e : entry)) ->
+      let dst = find into name in
+      dst.calls <- dst.calls + e.calls;
+      dst.elems <- dst.elems + e.elems;
+      dst.seconds <- dst.seconds +. e.seconds;
+      dst.flops <- dst.flops +. e.flops;
+      dst.bytes <- dst.bytes +. e.bytes)
+    (entries ~t:src ())
+
 let total_seconds ?(t = global) () =
   Hashtbl.fold (fun _ e acc -> acc +. e.seconds) t.table 0.0
 
@@ -65,9 +84,13 @@ let total_seconds ?(t = global) () =
 let intensity e = if e.bytes > 0.0 then Some (e.flops /. e.bytes) else None
 
 let pp fmt ?(t = global) () =
-  Format.fprintf fmt "%-28s %10s %12s %10s %10s@." "kernel" "calls" "elems" "time(s)" "GF/s";
+  Format.fprintf fmt "%-28s %10s %12s %10s %10s %10s %8s@." "kernel" "calls" "elems" "time(s)"
+    "GF/s" "GB/s" "flop/B";
   List.iter
     (fun (name, e) ->
       let gflops = if e.seconds > 0.0 then e.flops /. e.seconds /. 1e9 else 0.0 in
-      Format.fprintf fmt "%-28s %10d %12d %10.4f %10.3f@." name e.calls e.elems e.seconds gflops)
+      let gbytes = if e.seconds > 0.0 then e.bytes /. e.seconds /. 1e9 else 0.0 in
+      let ai = match intensity e with Some i -> Printf.sprintf "%8.3f" i | None -> "       -" in
+      Format.fprintf fmt "%-28s %10d %12d %10.4f %10.3f %10.3f %s@." name e.calls e.elems
+        e.seconds gflops gbytes ai)
     (entries ~t ())

@@ -26,7 +26,9 @@ val record :
 
 val timed : ?t:t -> name:string -> ?elems:int -> ?flops:float -> ?bytes:float -> (unit -> 'a) -> 'a
 (** Run a thunk, timing it into the ledger (host-side phases such as
-    the field solver that are not expressed as loops). *)
+    the field solver that are not expressed as loops). Uses the
+    monotonic clock and emits an [Opp_obs.Trace] span (cat ["host"])
+    when tracing is enabled. *)
 
 val add_seconds : ?t:t -> name:string -> float -> unit
 (** Add modelled (as opposed to measured) seconds to an entry. *)
@@ -36,10 +38,16 @@ val reset : ?t:t -> unit -> unit
 val entries : ?t:t -> unit -> (string * entry) list
 (** Entries in first-recorded order. *)
 
+val merge : into:t -> t -> unit
+(** Fold a ledger into [into], summing entries that share a kernel
+    name (combining per-rank ledgers into one report). *)
+
 val total_seconds : ?t:t -> unit -> float
 
 val intensity : entry -> float option
 (** Arithmetic intensity (flop/byte), when traffic was recorded. *)
 
 val pp : Format.formatter -> ?t:t -> unit -> unit
-(** Table of kernels with calls, elements, seconds and achieved GF/s. *)
+(** Table of kernels with calls, elements, seconds, achieved GF/s and
+    GB/s, and arithmetic intensity (flop/byte; [-] when no traffic was
+    recorded). *)

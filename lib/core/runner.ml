@@ -27,11 +27,37 @@ type t = {
     Seq.move_result;
 }
 
+(* Observability wiring lives at this dispatch point so every backend
+   (sequential, Domains, simulated SIMT, the simulated-MPI rank loops)
+   gets spans and move metrics without per-backend code. When tracing
+   and metrics are disabled the cost is one branch per loop launch. *)
+
 let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
-  r.r_par_loop name flops_per_elem kernel set iterate args
+  if !Opp_obs.Trace.enabled then
+    Opp_obs.Trace.with_span ~cat:"par_loop" name (fun () ->
+        r.r_par_loop name flops_per_elem kernel set iterate args)
+  else r.r_par_loop name flops_per_elem kernel set iterate args
+
+(** Span + metrics wrapper for a particle-move launch. Exposed so
+    call sites that must route around the runner (the distributed
+    movers, which pass [should_stop]/[on_pending] straight to
+    {!Seq.particle_move}) stay observable. *)
+let traced_move ~name run =
+  let result =
+    if !Opp_obs.Trace.enabled then
+      Opp_obs.Trace.with_span ~cat:"particle_move" name run
+    else run ()
+  in
+  if !Opp_obs.Metrics.enabled then begin
+    Opp_obs.Metrics.add "move.total_hops" (float_of_int result.Seq.mv_total_hops);
+    Opp_obs.Metrics.add "move.removed" (float_of_int result.Seq.mv_removed);
+    Opp_obs.Metrics.add "move.sent" (float_of_int result.Seq.mv_sent);
+    Opp_obs.Metrics.set "move.max_hops" (float_of_int result.Seq.mv_max_hops)
+  end;
+  result
 
 let particle_move r ~name ?(flops_per_elem = 0.0) ?dh kernel set ~p2c args =
-  r.r_particle_move name flops_per_elem dh kernel set p2c args
+  traced_move ~name (fun () -> r.r_particle_move name flops_per_elem dh kernel set p2c args)
 
 (** The sequential reference runner, recording into [profile]. *)
 let seq ?(profile = Profile.global) () =

@@ -44,5 +44,12 @@ val particle_move :
   Seq.move_result
 (** Execute a particle move; [dh] supplies a direct-hop locator. *)
 
+val traced_move : name:string -> (unit -> Seq.move_result) -> Seq.move_result
+(** Trace-span and move-metrics wrapper used by {!particle_move}.
+    Call sites that route around the runner (distributed movers
+    passing [should_stop]/[on_pending] straight to
+    {!Seq.particle_move}) should wrap their launch in this to stay
+    observable. *)
+
 val seq : ?profile:Profile.t -> unit -> t
 (** The sequential reference runner. *)

@@ -35,7 +35,7 @@ type move_result = {
   mv_max_hops : int;
 }
 
-let now = Unix.gettimeofday
+let now = Opp_obs.Clock.now_s
 
 let iter_range set = function
   | Iterate_all -> (0, set.s_size)
@@ -201,6 +201,16 @@ let particle_move ?(profile = Profile.global) ?(flops_per_elem = 0.0) ?(max_hops
   let ctx = { cell = 0; status = Move_done; hop = 0 } in
   let acc = make_move_acc () in
   let stop_at = match should_stop with Some f -> f | None -> fun _ -> false in
+  (* feed per-particle hop counts to the metrics histogram (one branch
+     when metrics are off) *)
+  let on_particle =
+    if not !Opp_obs.Metrics.enabled then on_particle
+    else
+      Some
+        (fun ~p ~hops ->
+          Opp_obs.Metrics.observe "move.hops" (float_of_int hops);
+          match on_particle with Some f -> f ~p ~hops | None -> ())
+  in
   let t0 = now () in
   for p = lo to hi - 1 do
     walk_one ~name ~max_hops ~kernel ~args:args_a ~views ~ctx ~p2c ~dh ~stop_at ~on_pending

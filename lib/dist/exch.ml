@@ -36,43 +36,49 @@ let count_messages t =
   Hashtbl.length seen
 
 let account traffic t ~dim =
-  match traffic with
+  let elems () = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.links in
+  (match traffic with
   | None -> ()
   | Some (tr : Traffic.t) ->
-      let elems = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.links in
-      tr.Traffic.halo_bytes <- tr.Traffic.halo_bytes +. float_of_int (elems * dim * 8);
-      tr.Traffic.halo_messages <- tr.Traffic.halo_messages + count_messages t
+      tr.Traffic.halo_bytes <- tr.Traffic.halo_bytes +. float_of_int (elems () * dim * 8);
+      tr.Traffic.halo_messages <- tr.Traffic.halo_messages + count_messages t);
+  if !Opp_obs.Metrics.enabled then begin
+    Opp_obs.Metrics.add "halo.bytes" (float_of_int (elems () * dim * 8));
+    Opp_obs.Metrics.add "halo.msgs" (float_of_int (count_messages t))
+  end
 
 (** Refresh halo copies from their owners. [data rank] is that rank's
     local storage of the exchanged dat ([dim] doubles per element). *)
 let exchange ?traffic t ~dim ~data =
-  for r = 0 to t.nranks - 1 do
-    let dst = data r in
-    Array.iter
-      (fun l ->
-        let src = data l.l_owner_rank in
-        Array.blit src (l.l_owner_index * dim) dst (l.l_local * dim) dim)
-      t.links.(r)
-  done;
-  account traffic t ~dim
+  Opp_obs.Trace.with_span ~cat:"halo" "HaloExchange" (fun () ->
+      for r = 0 to t.nranks - 1 do
+        let dst = data r in
+        Array.iter
+          (fun l ->
+            let src = data l.l_owner_rank in
+            Array.blit src (l.l_owner_index * dim) dst (l.l_local * dim) dim)
+          t.links.(r)
+      done;
+      account traffic t ~dim)
 
 (** Add halo contributions into the owners and clear the halo copies
     (after indirect-INC loops: the paper's node-halo update for charge
     deposits at MPI boundaries). *)
 let reduce ?traffic t ~dim ~data =
-  for r = 0 to t.nranks - 1 do
-    let src = data r in
-    Array.iter
-      (fun l ->
-        let dst = data l.l_owner_rank in
-        for d = 0 to dim - 1 do
-          dst.((l.l_owner_index * dim) + d) <-
-            dst.((l.l_owner_index * dim) + d) +. src.((l.l_local * dim) + d);
-          src.((l.l_local * dim) + d) <- 0.0
-        done)
-      t.links.(r)
-  done;
-  account traffic t ~dim
+  Opp_obs.Trace.with_span ~cat:"halo" "HaloReduce" (fun () ->
+      for r = 0 to t.nranks - 1 do
+        let src = data r in
+        Array.iter
+          (fun l ->
+            let dst = data l.l_owner_rank in
+            for d = 0 to dim - 1 do
+              dst.((l.l_owner_index * dim) + d) <-
+                dst.((l.l_owner_index * dim) + d) +. src.((l.l_local * dim) + d);
+              src.((l.l_local * dim) + d) <- 0.0
+            done)
+          t.links.(r)
+      done;
+      account traffic t ~dim)
 
 (** Simulated allreduce over per-rank values (every rank sees the
     sum). *)
@@ -80,5 +86,6 @@ let allreduce_sum ?traffic ~nranks values =
   (match traffic with
   | Some (tr : Traffic.t) -> tr.Traffic.reductions <- tr.Traffic.reductions + 1
   | None -> ());
+  if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.add "reductions" 1.0;
   ignore nranks;
   Array.fold_left ( +. ) 0.0 values

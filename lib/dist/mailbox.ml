@@ -48,6 +48,12 @@ let deliver ?traffic t handler =
         tr.Traffic.migrate_bytes +. float_of_int (delivered * ((t.payload_dim * 8) + 4));
       tr.Traffic.migrate_messages <- tr.Traffic.migrate_messages + List.length t.sources
   | None -> ());
+  if !Opp_obs.Metrics.enabled then begin
+    Opp_obs.Metrics.add "migrate.particles" (float_of_int delivered);
+    Opp_obs.Metrics.add "migrate.bytes"
+      (float_of_int (delivered * ((t.payload_dim * 8) + 4)));
+    Opp_obs.Metrics.add "migrate.msgs" (float_of_int (List.length t.sources))
+  end;
   for r = 0 to t.nranks - 1 do
     let batch = List.rev t.boxes.(r) in
     t.boxes.(r) <- [];

@@ -86,13 +86,13 @@ let run_holefill fmt =
   let time_with ~sort =
     let sim = Fempic.Fempic_sim.create ~prm ~profile:(Profile.create ()) (Config.fempic_mesh ()) in
     ignore (Fempic.Fempic_sim.prefill sim);
-    let t0 = Unix.gettimeofday () in
+    let t0 = Opp_obs.Clock.now_s () in
     for _ = 1 to 30 do
       ignore (Fempic.Fempic_sim.step sim);
       if sort then
         Opp.sort_by_cell sim.Fempic.Fempic_sim.parts ~p2c:sim.Fempic.Fempic_sim.p2c
     done;
-    Unix.gettimeofday () -. t0
+    Opp_obs.Clock.now_s () -. t0
   in
   let plain = time_with ~sort:false in
   let sorted = time_with ~sort:true in
@@ -137,11 +137,11 @@ let run_coloring fmt =
       in
       let kernel charge = Fempic.Fempic_sim.deposit_kernel ~charge in
       let time f =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Opp_obs.Clock.now_s () in
         for _ = 1 to 20 do
           f ()
         done;
-        Unix.gettimeofday () -. t0
+        Opp_obs.Clock.now_s () -. t0
       in
       let scatter_sim = make_sim (Profile.create ()) in
       let q = scatter_sim.Fempic.Fempic_sim.spwt *. Fempic.Params.qe in

@@ -19,9 +19,9 @@ type row = {
 let steps = 5
 
 let measure f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Opp_obs.Clock.now_s () in
   f ();
-  Unix.gettimeofday () -. t0
+  Opp_obs.Clock.now_s () -. t0
 
 let run_regime ppc =
   let prm = Config.cabana_prm ~ppc in

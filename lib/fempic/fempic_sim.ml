@@ -344,8 +344,9 @@ let move ?should_stop ?on_pending ?iterate t =
         Runner.particle_move t.runner ~name:"Move" ~flops_per_elem:33.0 ?dh:t.dh kernel
           t.parts ~p2c:t.p2c args
     | _ ->
-        Seq.particle_move ~profile:t.profile ~flops_per_elem:33.0 ?dh:t.dh ?should_stop
-          ?on_pending ?iterate ~name:"Move" kernel t.parts ~p2c:t.p2c args
+        Runner.traced_move ~name:"Move" (fun () ->
+            Seq.particle_move ~profile:t.profile ~flops_per_elem:33.0 ?dh:t.dh ?should_stop
+              ?on_pending ?iterate ~name:"Move" kernel t.parts ~p2c:t.p2c args)
   in
   t.last_move <- Some r;
   r

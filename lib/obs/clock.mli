@@ -1,0 +1,9 @@
+(** Monotonic time source shared by the profiling ledger, trace spans
+    and metrics. Never goes backwards (unlike [Unix.gettimeofday],
+    which NTP can step). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (boot-time) epoch. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds; use for durations, not wall-clock dates. *)

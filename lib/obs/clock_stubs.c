@@ -1,0 +1,30 @@
+/* Monotonic clock for the observability layer.
+
+   Unix.gettimeofday can step backwards under NTP adjustment, which
+   corrupts duration ledgers and trace spans; CLOCK_MONOTONIC cannot. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value opp_obs_clock_monotonic_ns(value unit)
+{
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_int64(
+      (int64_t)((double)count.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value opp_obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}
+#endif

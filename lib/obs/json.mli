@@ -1,0 +1,27 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The container has no [yojson]; this covers what the exporters
+    ({!Trace}, {!Metrics}) and the round-trip tests need. Numbers are
+    floats; non-finite values serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (trailing whitespace allowed). The [Error]
+    carries a position-annotated message. *)
+
+(** {2 Accessors} — all return [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val num : t -> float option
+val str : t -> string option

@@ -1,0 +1,203 @@
+type kind = Counter | Gauge
+
+type metric = {
+  m_name : string;
+  m_kind : kind;
+  mutable m_value : float;
+  mutable m_last : float;  (** value at the previous tick *)
+}
+
+let nbuckets = 64
+
+type hist = { h_name : string; h_counts : int array; mutable h_total : int; mutable h_sum : float }
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable m_order : string list;  (** reversed registration order *)
+  hists : (string, hist) Hashtbl.t;
+  mutable h_order : string list;
+  mutable ticked : (int * (string * float) list) list;  (** reversed *)
+}
+
+let enabled = ref false
+
+let g =
+  {
+    metrics = Hashtbl.create 32;
+    m_order = [];
+    hists = Hashtbl.create 8;
+    h_order = [];
+    ticked = [];
+  }
+
+let reset () =
+  Hashtbl.reset g.metrics;
+  g.m_order <- [];
+  Hashtbl.reset g.hists;
+  g.h_order <- [];
+  g.ticked <- []
+
+let enable () =
+  if not !enabled then begin
+    reset ();
+    enabled := true
+  end
+
+let disable () = enabled := false
+
+let metric kind name =
+  match Hashtbl.find_opt g.metrics name with
+  | Some m -> m
+  | None ->
+      let m = { m_name = name; m_kind = kind; m_value = 0.0; m_last = 0.0 } in
+      Hashtbl.add g.metrics name m;
+      g.m_order <- name :: g.m_order;
+      m
+
+let add name v =
+  if !enabled then begin
+    let m = metric Counter name in
+    m.m_value <- m.m_value +. v
+  end
+
+let set name v =
+  if !enabled then begin
+    let m = metric Gauge name in
+    m.m_value <- v
+  end
+
+(* --- log-scale histogram --- *)
+
+let bucket_of v =
+  if not (v > 1.0) then 0
+  else
+    let b = 1 + int_of_float (Float.log2 v) in
+    if b >= nbuckets then nbuckets - 1 else b
+
+let bucket_lo i = if i <= 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1))
+
+let hist_find name =
+  match Hashtbl.find_opt g.hists name with
+  | Some h -> h
+  | None ->
+      let h = { h_name = name; h_counts = Array.make nbuckets 0; h_total = 0; h_sum = 0.0 } in
+      Hashtbl.add g.hists name h;
+      g.h_order <- name :: g.h_order;
+      h
+
+let observe name v =
+  if !enabled then begin
+    let h = hist_find name in
+    let b = bucket_of v in
+    h.h_counts.(b) <- h.h_counts.(b) + 1;
+    h.h_total <- h.h_total + 1;
+    h.h_sum <- h.h_sum +. v
+  end
+
+let hist_counts name =
+  Option.map (fun h -> Array.copy h.h_counts) (Hashtbl.find_opt g.hists name)
+
+let hist_total name = Option.map (fun h -> h.h_total) (Hashtbl.find_opt g.hists name)
+
+(* --- per-step rows --- *)
+
+let tick ~step =
+  if !enabled then begin
+    let row =
+      List.rev_map
+        (fun name ->
+          let m = Hashtbl.find g.metrics name in
+          match m.m_kind with
+          | Gauge -> (name, m.m_value)
+          | Counter ->
+              let delta = m.m_value -. m.m_last in
+              m.m_last <- m.m_value;
+              (name, delta))
+        g.m_order
+    in
+    g.ticked <- (step, row) :: g.ticked
+  end
+
+let rows () = List.rev g.ticked
+
+(* --- export --- *)
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun (step, row) ->
+          let fields =
+            ("step", Json.Num (float_of_int step))
+            :: List.map (fun (name, v) -> (name, Json.Num v)) row
+          in
+          output_string oc (Json.to_string (Json.Obj fields));
+          output_char oc '\n')
+        (rows ());
+      List.iter
+        (fun name ->
+          let h = Hashtbl.find g.hists name in
+          let buckets =
+            Array.to_list h.h_counts
+            |> List.mapi (fun i c -> (i, c))
+            |> List.filter (fun (_, c) -> c > 0)
+            |> List.map (fun (i, c) ->
+                   Json.Obj
+                     [
+                       ("lo", Json.Num (bucket_lo i));
+                       ("count", Json.Num (float_of_int c));
+                     ])
+          in
+          output_string oc
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("histogram", Json.Str h.h_name);
+                    ("total", Json.Num (float_of_int h.h_total));
+                    ("sum", Json.Num h.h_sum);
+                    ("buckets", Json.Arr buckets);
+                  ]));
+          output_char oc '\n')
+        (List.rev g.h_order))
+
+let write_csv path =
+  let names = List.rev g.m_order in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," ("step" :: names));
+      output_char oc '\n';
+      List.iter
+        (fun (step, row) ->
+          let cell name =
+            match List.assoc_opt name row with
+            | Some v ->
+                if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+                else Printf.sprintf "%.12g" v
+            | None -> "0"
+          in
+          output_string oc (String.concat "," (string_of_int step :: List.map cell names));
+          output_char oc '\n')
+        (rows ()))
+
+let summary fmt () =
+  Format.fprintf fmt "%-28s %8s %16s@." "metric" "kind" "value";
+  List.iter
+    (fun name ->
+      let m = Hashtbl.find g.metrics name in
+      let kind = match m.m_kind with Counter -> "counter" | Gauge -> "gauge" in
+      Format.fprintf fmt "%-28s %8s %16.6g@." name kind m.m_value)
+    (List.rev g.m_order);
+  List.iter
+    (fun name ->
+      let h = Hashtbl.find g.hists name in
+      Format.fprintf fmt "@.histogram %s: %d observations, mean %.3f@." h.h_name h.h_total
+        (if h.h_total > 0 then h.h_sum /. float_of_int h.h_total else 0.0);
+      Array.iteri
+        (fun i c ->
+          if c > 0 then Format.fprintf fmt "  [%10.0f, %10.0f)  %8d@." (bucket_lo i) (bucket_lo (i + 1)) c)
+        h.h_counts)
+    (List.rev g.h_order)

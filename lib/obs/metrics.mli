@@ -1,0 +1,68 @@
+(** Metrics registry: named counters, gauges and log-scale histograms
+    with per-step series export (JSONL, CSV).
+
+    Like {!Trace} this is a disabled-by-default process-wide
+    singleton: every record operation first checks {!enabled}, so
+    instrumented code pays one branch when metrics are off. Counters
+    accumulate monotonically ([add]); gauges hold the last [set]
+    value; {!tick} snapshots a per-step row where counters appear as
+    deltas since the previous tick (so ["halo.bytes"] reads as bytes
+    per step) and gauges as absolute values. Histograms bucket
+    observations on a base-2 log scale and are exported with the
+    summary rather than per step. *)
+
+val enabled : bool ref
+val enable : unit -> unit
+val disable : unit -> unit
+val reset : unit -> unit
+
+(** {2 Recording} *)
+
+val add : string -> float -> unit
+(** Increment a counter (created on first use). No-op when disabled. *)
+
+val set : string -> float -> unit
+(** Set a gauge (created on first use). No-op when disabled. *)
+
+val observe : string -> float -> unit
+(** Add one observation to a log-scale histogram. No-op when disabled. *)
+
+(** {2 Per-step series} *)
+
+val tick : step:int -> unit
+(** Append a row: counter deltas since the last tick plus current
+    gauge values. No-op when disabled. *)
+
+val rows : unit -> (int * (string * float) list) list
+(** Ticked rows in step order, each with its (name, value) pairs. *)
+
+(** {2 Histogram buckets} (exposed for the qcheck properties) *)
+
+val nbuckets : int
+
+val bucket_of : float -> int
+(** Log-scale bucket index: 0 holds values [<= 1]; bucket [i >= 1]
+    holds [[2^(i-1), 2^i)]; the last bucket absorbs the overflow.
+    Monotone in its argument. *)
+
+val bucket_lo : int -> float
+(** Inclusive lower bound of a bucket. *)
+
+val hist_counts : string -> int array option
+(** Per-bucket observation counts for a histogram, if it exists. *)
+
+val hist_total : string -> int option
+
+(** {2 Export} *)
+
+val write_jsonl : string -> unit
+(** One JSON object per ticked row: [{"step": s, "<name>": v, ...}],
+    followed by one [{"histogram": name, "buckets": [...]}] object per
+    histogram. *)
+
+val write_csv : string -> unit
+(** Header [step,<name>,...] then one line per ticked row; metrics
+    missing from a row print as 0. *)
+
+val summary : Format.formatter -> unit -> unit
+(** Final counter/gauge values and histogram bucket tables. *)

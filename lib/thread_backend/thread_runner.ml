@@ -97,7 +97,7 @@ let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
   let nworkers = Pool.size t.pool in
   let bindings = make_bindings nworkers args in
   let args_a = Array.of_list args in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Opp_obs.Clock.now_s () in
   Pool.run t.pool (fun w ->
       let views = worker_views args bindings w in
       let clo, chi = Pool.chunk ~n ~parts:nworkers w in
@@ -111,7 +111,7 @@ let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
         kernel views
       done);
   reduce_bindings args bindings;
-  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Unix.gettimeofday () -. t0)
+  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Opp_obs.Clock.now_s () -. t0)
     ~flops:(flops_per_elem *. float_of_int n)
     ~bytes:(Seq.loop_bytes args n) ()
 
@@ -125,7 +125,7 @@ let particle_move t ~name ?(flops_per_elem = 0.0) ?(max_hops = 10_000) ?dh kerne
   let dead = Array.make (max n 1) false in
   let accs = Array.init nworkers (fun _ -> Seq.make_move_acc ()) in
   let args_a = Array.of_list args in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Opp_obs.Clock.now_s () in
   Pool.run t.pool (fun w ->
       let views = worker_views args bindings w in
       let ctx = { Seq.cell = 0; Seq.status = Seq.Move_done; Seq.hop = 0 } in
@@ -148,7 +148,7 @@ let particle_move t ~name ?(flops_per_elem = 0.0) ?(max_hops = 10_000) ?dh kerne
   in
   let moved, racc, hops, max_h = total in
   assert (removed = racc);
-  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Unix.gettimeofday () -. t0)
+  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Opp_obs.Clock.now_s () -. t0)
     ~flops:(flops_per_elem *. float_of_int hops)
     ~bytes:(Seq.loop_bytes args hops) ();
   {
@@ -214,7 +214,7 @@ let par_loop_colored t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
   let n = hi - lo in
   let nworkers = Pool.size t.pool in
   let args_a = Array.of_list args in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Opp_obs.Clock.now_s () in
   let colors, ncolors = build_coloring ~lo ~hi args in
   (* bucket elements by colour once *)
   let buckets = Array.make ncolors [] in
@@ -251,7 +251,7 @@ let par_loop_colored t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
           done))
     buckets;
   reduce_bindings args bindings;
-  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Unix.gettimeofday () -. t0)
+  Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Opp_obs.Clock.now_s () -. t0)
     ~flops:(flops_per_elem *. float_of_int n)
     ~bytes:(Seq.loop_bytes args n) ()
 

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "op-pic"
     [
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
       ("la", Test_la.suite);
       ("mesh", Test_mesh.suite);
       ("backends", Test_backends.suite);

@@ -36,7 +36,18 @@ let micro_tests () =
       ~profile:(Opp_core.Profile.create ())
       ()
   in
+  let fempic_checked_fixture () =
+    let profile = Opp_core.Profile.create () in
+    let runner = Opp_check.checked ~profile (Opp_core.Runner.seq ~profile ()) in
+    let sim =
+      Fempic.Fempic_sim.create ~prm:Experiments.Config.fempic_small_prm ~runner ~profile
+        (Experiments.Config.fempic_mesh ())
+    in
+    ignore (Fempic.Fempic_sim.prefill sim);
+    sim
+  in
   let fempic_sim = fempic_fixture () in
+  let fempic_checked_sim = fempic_checked_fixture () in
   let cabana_sim = cabana_fixture () in
   let cabana_reference = Cabana_ref.create ~prm:(Experiments.Config.cabana_prm ~ppc:64) () in
   let dist_fixture =
@@ -79,6 +90,10 @@ let micro_tests () =
     (* fig9a / fig10 / fig13: the Mini-FEM-PIC step and its mover *)
     Test.make ~name:"fig9a:fempic_step"
       (Staged.stage (fun () -> ignore (Fempic.Fempic_sim.step fempic_sim)));
+    (* sanitizer overhead: the same step under the opp_check runtime
+       checks (docs/ANALYSIS.md targets < 3x over fig9a:fempic_step) *)
+    Test.make ~name:"chk:fempic_step_checked"
+      (Staged.stage (fun () -> ignore (Fempic.Fempic_sim.step fempic_checked_sim)));
     (* fig13/fig14: the communication primitive of the scaling runs *)
     Test.make ~name:"fig13:halo_exchange"
       (Staged.stage (fun () ->

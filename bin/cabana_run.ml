@@ -59,9 +59,10 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
     Opp_obs.Metrics.tick ~step
   end
 
-let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate trace metrics
+let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check trace metrics
     obs_summary =
   obs_setup ~trace ~metrics ~obs_summary;
+  if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
   let prm =
     {
       Cabana.Cabana_params.default with
@@ -100,7 +101,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate trace m
         let dist =
           Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
             ?workers:(if hybrid then Some workers else None)
-            ~profile ()
+            ~checked:check ~profile ()
         in
         Opp_obs.Trace.name_track ranks "driver";
         for s = 1 to steps do
@@ -139,6 +140,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate trace m
                     name;
                   exit 1)
         in
+        let runner = if check then Opp_check.checked ~profile runner else runner in
         let sim = Cabana.Cabana_sim.create ~prm ~runner ~profile () in
         for s = 1 to steps do
           Opp_obs.Trace.with_span ~cat:"step" "step" (fun () -> Cabana.Cabana_sim.step sim);
@@ -174,6 +176,14 @@ let cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"compare against the structured-mesh original")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "run under the opp_check sanitizer backend (instrumented sequential execution; \
+             aborts on the first contract violation)")
+  in
   let trace =
     Arg.(
       value
@@ -194,6 +204,10 @@ let cmd =
     (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
-      $ validate $ trace $ metrics $ obs_summary)
+      $ validate $ check $ trace $ metrics $ obs_summary)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  try exit (Cmd.eval ~catch:false cmd)
+  with Opp_check.Violation v ->
+    prerr_endline (Opp_check.Diag.violation_to_string v);
+    exit 3

@@ -53,8 +53,9 @@ let obs_finish ~trace ~metrics ~obs_summary =
   end
 
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
-    seed write_mesh neutral_density trace metrics obs_summary =
+    seed write_mesh neutral_density check trace metrics obs_summary =
   obs_setup ~trace ~metrics ~obs_summary;
+  if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
   let mesh = Opp_mesh.Tet_mesh.build ~nx ~ny ~nz ~lx ~ly ~lz in
   (match write_mesh with
   | Some path ->
@@ -79,7 +80,7 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       let dist =
         Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
           ?workers:(if hybrid then Some workers else None)
-          ~profile mesh
+          ~checked:check ~profile mesh
       in
       (* the step span lives on a dedicated driver track, one past the
          last rank, so per-rank timelines stay rank-only *)
@@ -114,6 +115,7 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
                 Printf.eprintf "unknown backend '%s' (seq|omp|mpi|v100|h100|mi210|mi250x)\n" name;
                 exit 1)
       in
+      let runner = if check then Opp_check.checked ~profile runner else runner in
       let sim = Fempic.Fempic_sim.create ~prm ~runner ~profile ~use_direct_hop:direct_hop mesh in
       if prefill then Printf.printf "prefilled %d particles\n%!" (Fempic.Fempic_sim.prefill sim);
       let mcc =
@@ -182,6 +184,14 @@ let cmd =
       & info [ "collisions" ]
           ~doc:"neutral background density (m^-3) for Monte-Carlo collisions; 0 disables")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "run under the opp_check sanitizer backend (instrumented sequential execution; \
+             aborts on the first contract violation)")
+  in
   let trace =
     Arg.(
       value
@@ -202,7 +212,11 @@ let cmd =
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
-      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ trace $ metrics
-      $ obs_summary)
+      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ trace
+      $ metrics $ obs_summary)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  try exit (Cmd.eval ~catch:false cmd)
+  with Opp_check.Violation v ->
+    prerr_endline (Opp_check.Diag.violation_to_string v);
+    exit 3

@@ -9,7 +9,7 @@
 
 open Cmdliner
 
-let run input output targets to_stdout =
+let run input output targets to_stdout lint =
   let source =
     let ic = open_in input in
     Fun.protect
@@ -22,6 +22,19 @@ let run input output targets to_stdout =
         Printf.eprintf "%s: %s\n" input msg;
         exit 1
   in
+  if lint then begin
+    let result = Opp_check.analyze_ir program in
+    List.iter
+      (fun d -> prerr_endline (Opp_check.Diag.to_string d))
+      result.Opp_check.Static.res_diags;
+    let errors = List.length (Opp_check.Static.errors result) in
+    let warnings = List.length (Opp_check.Static.warnings result) in
+    if errors > 0 || warnings > 0 then begin
+      Printf.eprintf "%s: lint found %d error(s), %d warning(s); not generating\n" input errors
+        warnings;
+      exit 1
+    end
+  end;
   let targets =
     match targets with
     | [] -> Opp_codegen.Emit.all_targets
@@ -79,8 +92,14 @@ let cmd =
     Arg.(value & opt_all string [] & info [ "target" ] ~doc:"target(s): seq|omp|cuda|hip|mpi|sycl")
   in
   let to_stdout = Arg.(value & flag & info [ "stdout" ] ~doc:"print code instead of writing files") in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"run the opp_check static analysis first; refuse to generate on any warning or error")
+  in
   Cmd.v
     (Cmd.info "oppic_gen" ~doc:"OP-PIC source-to-source translator")
-    Term.(const run $ input $ output $ targets $ to_stdout)
+    Term.(const run $ input $ output $ targets $ to_stdout $ lint)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,72 @@
+(* Static analyzer CLI for OP-PIC loop manifests.
+
+   Runs the opp_check analyses over a .oppic spec and reports
+   diagnostics (stable codes, see docs/ANALYSIS.md) plus the
+   loop-to-loop dependence graph:
+
+     dune exec bin/oppic_lint.exe -- examples/specs/fempic.oppic
+     dune exec bin/oppic_lint.exe -- spec.oppic --json
+     dune exec bin/oppic_lint.exe -- spec.oppic --strict        # warnings fail too
+     dune exec bin/oppic_lint.exe -- spec.oppic --dot deps.dot  # Graphviz graph
+
+   Exit codes: 0 clean (info-level findings never count), 1 errors
+   (or, under --strict, warnings), 2 unparseable input. *)
+
+open Cmdliner
+
+let run input json strict dot_out =
+  let source =
+    let ic = open_in input in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* parse_lax: structural problems become E010 diagnostics instead of
+     stopping at the first Ir.Invalid *)
+  let program =
+    try Opp_codegen.Parser.parse_lax source
+    with Opp_codegen.Parser.Parse_error msg ->
+      Printf.eprintf "%s: %s\n" input msg;
+      exit 2
+  in
+  let desc = Opp_check.Descriptor.of_ir program in
+  let result = Opp_check.Static.analyze desc in
+  (match dot_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Opp_check.Static.to_dot desc result)));
+  let errors = Opp_check.Static.errors result in
+  let warnings = Opp_check.Static.warnings result in
+  if json then print_endline (Opp_obs.Json.to_string (Opp_check.Static.to_json result))
+  else begin
+    List.iter
+      (fun d -> print_endline (Opp_check.Diag.to_string d))
+      result.Opp_check.Static.res_diags;
+    Printf.printf "%s: %d loop(s), %d dependence edge(s); %d error(s), %d warning(s)\n"
+      result.Opp_check.Static.res_program
+      (List.length desc.Opp_check.Descriptor.pr_loops)
+      (List.length result.Opp_check.Static.res_deps)
+      (List.length errors) (List.length warnings)
+  end;
+  if errors <> [] || (strict && warnings <> []) then exit 1
+
+let cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"loop manifest (.oppic)")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"emit diagnostics as JSON") in
+  let strict = Arg.(value & flag & info [ "strict" ] ~doc:"exit nonzero on warnings too") in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"write the loop dependence graph as Graphviz DOT")
+  in
+  Cmd.v
+    (Cmd.info "oppic_lint" ~doc:"static loop-dependence & race analysis for OP-PIC manifests")
+    Term.(const run $ input $ json $ strict $ dot_out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,139 @@
+(** The shared loop descriptor both halves of [opp_check] analyze.
+
+    The static analyzer sees the translator IR ([Opp_codegen.Ir]); the
+    runtime sanitizer sees live [Opp_core.Arg.t] lists bound to real
+    sets and maps. Both are lowered to this one name-based descriptor
+    so every diagnostic rule is written exactly once
+    ({!Static.check_loop}) and fires identically at translation time
+    and at loop-launch time. *)
+
+type access = Opp_core.Types.access = Read | Write | Inc | Rw
+
+type set_d = {
+  sd_name : string;
+  sd_cells : string option;  (** particle sets name their cell set *)
+}
+
+type map_d = { md_name : string; md_from : string; md_to : string; md_arity : int }
+type dat_d = { dd_name : string; dd_set : string; dd_dim : int }
+
+type arg_d = {
+  ad_dat : string option;  (** [None] for a global (reduction buffer) *)
+  ad_idx : int;
+  ad_map : string option;
+  ad_p2c : string option;
+  ad_acc : access;
+}
+
+type loop_kind_d = Par_loop_d | Particle_move_d
+
+type loop_d = {
+  ld_name : string;
+  ld_set : string;
+  ld_kind : loop_kind_d;
+  ld_args : arg_d list;
+}
+
+type t = {
+  pr_name : string;
+  pr_sets : set_d list;
+  pr_maps : map_d list;
+  pr_dats : dat_d list;
+  pr_loops : loop_d list;
+}
+
+let find_set p name = List.find_opt (fun s -> s.sd_name = name) p.pr_sets
+let find_map p name = List.find_opt (fun m -> m.md_name = name) p.pr_maps
+let find_dat p name = List.find_opt (fun d -> d.dd_name = name) p.pr_dats
+
+(* ------------------------------------------------------------------ *)
+(* Lowering from the translator IR.                                    *)
+
+let of_ir (p : Opp_codegen.Ir.program) : t =
+  let open Opp_codegen.Ir in
+  let loop_of (l : loop) =
+    {
+      ld_name = l.l_name;
+      ld_set = l.l_set;
+      ld_kind = (match l.l_kind with Par_loop _ -> Par_loop_d | Particle_move _ -> Particle_move_d);
+      ld_args =
+        List.map
+          (fun (a : arg) ->
+            { ad_dat = Some a.a_dat; ad_idx = a.a_idx; ad_map = a.a_map; ad_p2c = a.a_p2c; ad_acc = a.a_acc })
+          l.l_args;
+    }
+  in
+  {
+    pr_name = p.p_name;
+    pr_sets = List.map (fun (s : set_decl) -> { sd_name = s.set_name; sd_cells = s.set_cells }) p.p_sets;
+    pr_maps =
+      List.map
+        (fun (m : map_decl) ->
+          { md_name = m.map_name; md_from = m.map_from; md_to = m.map_to; md_arity = m.map_arity })
+        p.p_maps;
+    pr_dats =
+      List.map
+        (fun (d : dat_decl) -> { dd_name = d.dat_name; dd_set = d.dat_set; dd_dim = d.dat_dim })
+        p.p_dats;
+    pr_loops = List.map loop_of p.p_loops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lowering from live runtime arguments.                               *)
+
+let arg_of_live (a : Opp_core.Arg.t) : arg_d =
+  match a with
+  | Opp_core.Arg.Arg_gbl g -> { ad_dat = None; ad_idx = 0; ad_map = None; ad_p2c = None; ad_acc = g.acc }
+  | Opp_core.Arg.Arg_dat d ->
+      {
+        ad_dat = Some d.dat.d_name;
+        ad_idx = d.idx;
+        ad_map = (match d.map with Some m -> Some m.m_name | None -> None);
+        ad_p2c = (match d.p2c with Some m -> Some m.m_name | None -> None);
+        ad_acc = d.acc;
+      }
+
+(** Descriptor of one live loop launch: the iteration set, maps, dats
+    and sets actually reachable from the argument list, so
+    {!Static.check_loop} can run against a running application. *)
+let of_live ~name ~(kind : loop_kind_d) ~(set : Opp_core.Types.set) (args : Opp_core.Arg.t list)
+    : t =
+  let open Opp_core.Types in
+  let sets = ref [] and maps = ref [] and dats = ref [] in
+  let add_set (s : set) =
+    if not (List.exists (fun x -> x.sd_name = s.s_name) !sets) then
+      sets :=
+        { sd_name = s.s_name; sd_cells = (match s.s_cells with Some c -> Some c.s_name | None -> None) }
+        :: !sets
+  in
+  let add_map (m : map) =
+    add_set m.m_from;
+    add_set m.m_to;
+    if not (List.exists (fun x -> x.md_name = m.m_name) !maps) then
+      maps :=
+        { md_name = m.m_name; md_from = m.m_from.s_name; md_to = m.m_to.s_name; md_arity = m.m_arity }
+        :: !maps
+  in
+  let add_dat (d : dat) =
+    add_set d.d_set;
+    if not (List.exists (fun x -> x.dd_name = d.d_name) !dats) then
+      dats := { dd_name = d.d_name; dd_set = d.d_set.s_name; dd_dim = d.d_dim } :: !dats
+  in
+  add_set set;
+  List.iter
+    (fun (a : Opp_core.Arg.t) ->
+      match a with
+      | Opp_core.Arg.Arg_gbl _ -> ()
+      | Opp_core.Arg.Arg_dat d ->
+          add_dat d.dat;
+          (match d.map with Some m -> add_map m | None -> ());
+          (match d.p2c with Some m -> add_map m | None -> ()))
+    args;
+  {
+    pr_name = name;
+    pr_sets = List.rev !sets;
+    pr_maps = List.rev !maps;
+    pr_dats = List.rev !dats;
+    pr_loops =
+      [ { ld_name = name; ld_set = set.s_name; ld_kind = kind; ld_args = List.map arg_of_live args } ];
+  }

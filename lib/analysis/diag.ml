@@ -1,0 +1,94 @@
+(** Diagnostics (static analysis) and violations (runtime sanitizer).
+
+    Every finding carries a stable code so scripts and CI can match on
+    it; the code's first letter fixes the severity:
+
+    - [E...] errors — structurally wrong programs (static [E010]) or
+      observed memory/numeric corruption (runtime [E020]-[E060]);
+      always fail a strict lint, always raised by the sanitizer.
+    - [W...] warnings — legal but race-prone or suspicious patterns;
+      fail the lint only under [--strict].
+    - [I...] informational — dead or externally-initialized dats;
+      never affect exit codes (a clean program may legitimately have
+      them: boundary data written by the app outside any loop).
+
+    The full catalogue with offending examples lives in
+    docs/ANALYSIS.md. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable code, e.g. "W001" *)
+  severity : severity;
+  loop : string option;  (** loop name, when the finding is loop-scoped *)
+  dat : string option;  (** dat name, when the finding is dat-scoped *)
+  message : string;
+}
+
+let severity_of_code code =
+  if String.length code = 0 then Info
+  else match code.[0] with 'E' -> Error | 'W' -> Warning | _ -> Info
+
+let make ~code ?loop ?dat fmt =
+  Printf.ksprintf
+    (fun message -> { code; severity = severity_of_code code; loop; dat; message })
+    fmt
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let to_string d =
+  let where =
+    match (d.loop, d.dat) with
+    | Some l, Some dat -> Printf.sprintf " [loop %s, dat %s]" l dat
+    | Some l, None -> Printf.sprintf " [loop %s]" l
+    | None, Some dat -> Printf.sprintf " [dat %s]" dat
+    | None, None -> ""
+  in
+  Printf.sprintf "%s %s:%s %s" (severity_to_string d.severity) d.code where d.message
+
+let opt_str = function Some s -> Opp_obs.Json.Str s | None -> Opp_obs.Json.Null
+
+let to_json d =
+  Opp_obs.Json.Obj
+    [
+      ("code", Str d.code);
+      ("severity", Str (severity_to_string d.severity));
+      ("loop", opt_str d.loop);
+      ("dat", opt_str d.dat);
+      ("message", Str d.message);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime violations.                                                 *)
+
+type violation = {
+  v_code : string;  (** "E020".."E060" *)
+  v_loop : string;  (** loop launch the check fired in *)
+  v_dat : string option;
+  v_elem : int;  (** iteration element (or particle) index; -1 if n/a *)
+  v_message : string;
+}
+
+exception Violation of violation
+
+let violation_to_string v =
+  Printf.sprintf "sanitizer violation %s in loop %s%s%s: %s" v.v_code v.v_loop
+    (match v.v_dat with Some d -> ", dat " ^ d | None -> "")
+    (if v.v_elem >= 0 then Printf.sprintf ", element %d" v.v_elem else "")
+    v.v_message
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (violation_to_string v)
+    | _ -> None)
+
+(** Count (when metrics are on) and raise a {!Violation}. *)
+let violate ~code ~loop ?dat ?(elem = -1) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if !Opp_obs.Metrics.enabled then begin
+        Opp_obs.Metrics.add "check.violations" 1.0;
+        Opp_obs.Metrics.add ("check." ^ code) 1.0
+      end;
+      raise (Violation { v_code = code; v_loop = loop; v_dat = dat; v_elem = elem; v_message = msg }))
+    fmt

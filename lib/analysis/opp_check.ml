@@ -1,0 +1,48 @@
+(** opp_check: static loop-dependence & race analysis for the DSL plus
+    a runtime sanitizer backend.
+
+    Two halves over one shared loop descriptor ({!Descriptor}):
+
+    - {!Static} analyzes a whole translator IR program
+      ([Opp_codegen.Ir.program], via {!Descriptor.of_ir}) — per-loop
+      race diagnostics (W001/W002/W003), structural errors (E010),
+      dat-liveness flags (I101/I102) and the loop-to-loop dependence
+      graph (RAW/WAR/WAW per dat) with Graphviz output. Surfaced by
+      the [oppic_lint] CLI and [oppic_gen --lint].
+    - {!Checked} wraps any {!Opp_core.Runner.t} into a sanitizer
+      backend ({!checked}) that validates each launch with the same
+      rules ({!Descriptor.of_live}) and adds dynamic checks
+      (E020-E060), raising {!Violation} on the first breach.
+
+    Every code is documented with an offending example and its fix in
+    docs/ANALYSIS.md. *)
+
+module Descriptor = Descriptor
+module Diag = Diag
+module Static = Static
+module Checked = Checked
+
+type violation = Diag.violation = {
+  v_code : string;
+  v_loop : string;
+  v_dat : string option;
+  v_elem : int;
+  v_message : string;
+}
+
+exception Violation = Diag.Violation
+
+(** [checked inner] is a drop-in runner executing every loop under
+    instrumented sequential reference semantics; see {!Checked}. *)
+let checked = Checked.runner
+
+(** Static analysis of a translator IR program. *)
+let analyze_ir (p : Opp_codegen.Ir.program) : Static.result = Static.analyze (Descriptor.of_ir p)
+
+(** The static per-loop rules applied to one live argument list (the
+    runtime mirror used by the sanitizer; exposed for tests and
+    ad-hoc checks). *)
+let lint_args ~name ~(kind : Descriptor.loop_kind_d) ~(set : Opp_core.Types.set)
+    (args : Opp_core.Arg.t list) : Diag.t list =
+  let desc = Descriptor.of_live ~name ~kind ~set args in
+  Static.check_loop desc (List.hd desc.pr_loops)

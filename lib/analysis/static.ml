@@ -1,0 +1,270 @@
+(** Static loop-dependence and race analysis over {!Descriptor.t}.
+
+    Per-loop rules ({!check_loop}) fire identically on translator IR
+    and on live argument lists; whole-program analysis ({!analyze})
+    adds dat-liveness flags and the loop-to-loop dependence graph the
+    schedulers (and humans) reason with. Codes are documented in
+    docs/ANALYSIS.md. *)
+
+open Descriptor
+
+(* ------------------------------------------------------------------ *)
+(* Access-footprint helpers.                                           *)
+
+let reads_acc = function Read | Rw | Inc -> true | Write -> false
+let writes_acc = function Write | Rw | Inc -> true | Read -> false
+
+(** Footprint of one loop: [(dat, access, indirect)] per dat argument
+    (globals are skipped — they are loop-local reduction state). *)
+let footprint (l : loop_d) =
+  List.filter_map
+    (fun a ->
+      match a.ad_dat with
+      | None -> None
+      | Some d -> Some (d, a.ad_acc, a.ad_map <> None || a.ad_p2c <> None))
+    l.ld_args
+
+(* ------------------------------------------------------------------ *)
+(* Per-loop rules.                                                     *)
+
+let check_loop (p : t) (l : loop_d) : Diag.t list =
+  let diags = ref [] in
+  let emit ?dat code fmt = Printf.ksprintf (fun m -> diags := Diag.make ~code ~loop:l.ld_name ?dat "%s" m :: !diags) fmt in
+  let iter_set = find_set p l.ld_set in
+  (match iter_set with
+  | None -> emit "E010" "iterates over unknown set '%s'" l.ld_set
+  | Some _ -> ());
+  List.iter
+    (fun (a : arg_d) ->
+      match a.ad_dat with
+      | None -> ()  (* globals carry no aliasing structure *)
+      | Some dname -> (
+          let dat = find_dat p dname in
+          (match dat with
+          | None -> emit ~dat:dname "E010" "references unknown dat '%s'" dname
+          | Some _ -> ());
+          let map = Option.bind a.ad_map (find_map p) in
+          (match (a.ad_map, map) with
+          | Some mname, None -> emit ~dat:dname "E010" "references unknown map '%s'" mname
+          | _ -> ());
+          let p2c = Option.bind a.ad_p2c (find_map p) in
+          (match (a.ad_p2c, p2c) with
+          | Some mname, None -> emit ~dat:dname "E010" "references unknown p2c map '%s'" mname
+          | _ -> ());
+          (* E010: argument inconsistent with the iteration set — the
+             static mirror of the runtime's [Arg.validate]. *)
+          (match (dat, map, a.ad_map) with
+          | Some d, Some m, _ ->
+              if a.ad_idx < 0 || a.ad_idx >= m.md_arity then
+                emit ~dat:dname "E010" "map index %d out of arity %d of map %s" a.ad_idx
+                  m.md_arity m.md_name;
+              if m.md_to <> d.dd_set then
+                emit ~dat:dname "E010" "map %s targets set %s but dat lives on %s" m.md_name
+                  m.md_to d.dd_set
+          | _, _, _ -> ());
+          (match (p2c, iter_set) with
+          | Some pm, Some _ ->
+              if pm.md_from <> l.ld_set then
+                emit ~dat:dname "E010" "p2c map %s is over set %s, not the iteration set %s"
+                  pm.md_name pm.md_from l.ld_set;
+              (match find_set p l.ld_set with
+              | Some s when s.sd_cells = None ->
+                  emit ~dat:dname "E010" "p2c access from a loop over mesh set %s" l.ld_set
+              | _ -> ());
+              (match (map, dat) with
+              | Some m, _ ->
+                  if m.md_from <> pm.md_to then
+                    emit ~dat:dname "E010" "mesh map %s starts at %s but p2c %s lands on %s"
+                      m.md_name m.md_from pm.md_name pm.md_to
+              | None, Some d ->
+                  if d.dd_set <> pm.md_to then
+                    emit ~dat:dname "E010" "dat lives on %s but p2c %s lands on %s" d.dd_set
+                      pm.md_name pm.md_to
+              | None, None -> ())
+          | _ -> ());
+          (match (a.ad_p2c, a.ad_map, map, iter_set) with
+          | None, Some _, Some m, Some _ ->
+              if m.md_from <> l.ld_set then
+                emit ~dat:dname "E010" "map %s is over set %s, not the iteration set %s"
+                  m.md_name m.md_from l.ld_set
+          | None, None, _, Some _ -> (
+              match dat with
+              | Some d when d.dd_set <> l.ld_set && l.ld_kind = Par_loop_d ->
+                  emit ~dat:dname "E010" "direct arg lives on set %s, loop iterates %s" d.dd_set
+                    l.ld_set
+              | _ -> ())
+          | _ -> ());
+          (* W001: indirect write — two source elements sharing a map
+             target race under any parallel backend unless declared
+             Inc (which backends privatize/atomicize). *)
+          (match (a.ad_map, a.ad_p2c, a.ad_acc) with
+          | Some m, None, (Write | Rw) ->
+              emit ~dat:dname "W001"
+                "indirect %s through map %s: concurrent iterations sharing a target element \
+                 race; declare Inc (accumulation) or restructure as a direct loop"
+                (Opp_core.Types.access_to_string a.ad_acc)
+                m
+          | _ -> ());
+          (* W002: double-indirect scatter (particle -> cell -> mesh
+             element) not declared Inc — the canonical PIC deposit
+             race, always many-to-one. *)
+          (match (a.ad_map, a.ad_p2c, a.ad_acc) with
+          | Some m, Some pm, (Write | Rw) ->
+              emit ~dat:dname "W002"
+                "double-indirect %s via p2c %s and map %s: particle-to-mesh scatters are \
+                 many-to-one and must be declared Inc"
+                (Opp_core.Types.access_to_string a.ad_acc)
+                pm m
+          | _ -> ())))
+    l.ld_args;
+  (* W003: same dat Read in one argument and Inc in another of the same
+     loop — the increments become visible to the reads of later
+     iterations sequentially but not under privatized/atomic Inc, so
+     results differ across backends. *)
+  let by_dat = Hashtbl.create 8 in
+  List.iter
+    (fun (a : arg_d) ->
+      match a.ad_dat with
+      | None -> ()
+      | Some d ->
+          let r, i = try Hashtbl.find by_dat d with Not_found -> (false, false) in
+          Hashtbl.replace by_dat d (r || a.ad_acc = Read, i || a.ad_acc = Inc))
+    l.ld_args;
+  Hashtbl.iter
+    (fun d (r, i) ->
+      if r && i then
+        emit ~dat:d "W003"
+          "dat is both Read and Inc in the same loop: reads observe partial increments \
+           sequentially but not under privatized accumulation, so backends disagree")
+    by_dat;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program analysis.                                             *)
+
+type hazard = RAW | WAR | WAW
+
+let hazard_to_string = function RAW -> "RAW" | WAR -> "WAR" | WAW -> "WAW"
+
+type dep = { dep_from : string; dep_to : string; dep_dat : string; dep_hazard : hazard }
+
+type result = { res_program : string; res_diags : Diag.t list; res_deps : dep list }
+
+let errors r = List.filter (fun (d : Diag.t) -> d.severity = Error) r.res_diags
+let warnings r = List.filter (fun (d : Diag.t) -> d.severity = Warning) r.res_diags
+
+(** Loop-to-loop dependence edges: for every ordered pair of loops in
+    program order and every dat touched by both, the strongest hazard
+    (RAW > WAR > WAW). Inc both reads and writes (read-modify-write),
+    so a deposit loop depends on the reset before it and feeds the
+    solve after it — the structure a scheduler must preserve. *)
+let dependences (p : t) : dep list =
+  let fp = List.map (fun l -> (l, footprint l)) p.pr_loops in
+  let touched dat f pred = List.exists (fun (d, acc, _) -> d = dat && pred acc) f in
+  let deps = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | (li, fi) :: rest ->
+        List.iter
+          (fun (lj, fj) ->
+            let dats =
+              List.sort_uniq compare (List.map (fun (d, _, _) -> d) fi)
+              |> List.filter (fun d -> List.exists (fun (d', _, _) -> d' = d) fj)
+            in
+            List.iter
+              (fun dat ->
+                let wi = touched dat fi writes_acc and ri = touched dat fi reads_acc in
+                let wj = touched dat fj writes_acc and rj = touched dat fj reads_acc in
+                let hazard =
+                  if wi && rj then Some RAW
+                  else if ri && wj then Some WAR
+                  else if wi && wj then Some WAW
+                  else None
+                in
+                match hazard with
+                | Some h ->
+                    deps :=
+                      { dep_from = li.ld_name; dep_to = lj.ld_name; dep_dat = dat; dep_hazard = h }
+                      :: !deps
+                | None -> ())
+              dats)
+          rest;
+        pairs rest
+  in
+  pairs fp;
+  List.rev !deps
+
+(** Dat-liveness flags: I101 for dats no loop touches, I102 for dats
+    read by loops but never written by any (initialized outside the
+    loop system — legitimate for boundary/geometry data, hence Info). *)
+let liveness (p : t) : Diag.t list =
+  let all_fp = List.concat_map footprint p.pr_loops in
+  List.filter_map
+    (fun (d : dat_d) ->
+      let accs = List.filter_map (fun (n, acc, _) -> if n = d.dd_name then Some acc else None) all_fp in
+      if accs = [] then
+        Some
+          (Diag.make ~code:"I101" ~dat:d.dd_name
+             "dat is declared but no loop reads or writes it (dead dat)")
+      else if not (List.exists writes_acc accs) then
+        Some
+          (Diag.make ~code:"I102" ~dat:d.dd_name
+             "dat is read by loops but never written by any; it must be initialized outside \
+              the loop system")
+      else None)
+    p.pr_dats
+
+let analyze (p : t) : result =
+  {
+    res_program = p.pr_name;
+    res_diags = List.concat_map (check_loop p) p.pr_loops @ liveness p;
+    res_deps = dependences p;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Renderers.                                                          *)
+
+(** Graphviz rendering of the dependence graph: loops in program order,
+    one edge per (pair, dat) labeled with the hazard; RAW solid, WAR
+    dashed, WAW dotted. *)
+let to_dot (p : t) (r : result) : string =
+  let b = Buffer.create 1024 in
+  let esc s = String.concat "\\\"" (String.split_on_char '"' s) in
+  Printf.bprintf b "digraph \"%s\" {\n  rankdir=TB;\n  node [shape=box, fontname=\"sans\"];\n"
+    (esc r.res_program);
+  List.iter (fun (l : loop_d) ->
+      Printf.bprintf b "  \"%s\"%s;\n" (esc l.ld_name)
+        (match l.ld_kind with Particle_move_d -> " [style=rounded]" | Par_loop_d -> ""))
+    p.pr_loops;
+  List.iter
+    (fun d ->
+      let style = match d.dep_hazard with RAW -> "solid" | WAR -> "dashed" | WAW -> "dotted" in
+      Printf.bprintf b "  \"%s\" -> \"%s\" [label=\"%s %s\", style=%s];\n" (esc d.dep_from)
+        (esc d.dep_to) (esc d.dep_dat)
+        (hazard_to_string d.dep_hazard)
+        style)
+    r.res_deps;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_json (r : result) : Opp_obs.Json.t =
+  let open Opp_obs.Json in
+  Obj
+    [
+      ("program", Str r.res_program);
+      ("errors", Num (float_of_int (List.length (errors r))));
+      ("warnings", Num (float_of_int (List.length (warnings r))));
+      ("diagnostics", Arr (List.map Diag.to_json r.res_diags));
+      ( "dependences",
+        Arr
+          (List.map
+             (fun d ->
+               Obj
+                 [
+                   ("from", Str d.dep_from);
+                   ("to", Str d.dep_to);
+                   ("dat", Str d.dep_dat);
+                   ("hazard", Str (hazard_to_string d.dep_hazard));
+                 ])
+             r.res_deps) );
+    ]

@@ -84,7 +84,7 @@ let build_topology (prm : Cabana.Cabana_params.t) (mesh : Opp_mesh.Hex_mesh.t) ~
   in
   (topology, g2l)
 
-let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers
+let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checked = false)
     ?(profile = Profile.global) () =
   let mesh =
     Opp_mesh.Hex_mesh.build ~nx:prm.Cabana.Cabana_params.nx ~ny:prm.Cabana.Cabana_params.ny
@@ -103,6 +103,9 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers
     | Some th -> Opp_thread.Thread_runner.runner th
     | None -> Runner.seq ~profile ()
   in
+  (* sanitized runs execute every rank's loops under the opp_check
+     instrumented engine (stale-halo reads included; see Freshness) *)
+  let runner = if checked then Opp_check.checked ~profile runner else runner in
   let tops = Array.init nranks (fun r -> build_topology prm mesh ~cell_rank ~r) in
   let sims =
     Array.map
@@ -144,8 +147,10 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers
   }
 
 let exchange_field t (field : Cabana.Cabana_sim.t -> Types.dat) =
-  Exch.exchange ~traffic:t.traffic t.cell_exch ~dim:3 ~data:(fun r ->
-      (field t.sims.(r)).Types.d_data)
+  Exch.exchange ~traffic:t.traffic
+    ~dats:(Array.map (fun sim -> field sim) t.sims)
+    t.cell_exch ~dim:3
+    ~data:(fun r -> (field t.sims.(r)).Types.d_data)
 
 (* Run one rank's share of a phase with its trace track selected and a
    phase span opened, so each rank's par-loop spans land nested on its

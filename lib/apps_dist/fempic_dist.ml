@@ -41,7 +41,7 @@ type t = {
 let payload_dim = 10
 
 let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns)
-    ?(use_direct_hop = false) ?workers ?(profile = Profile.global)
+    ?(use_direct_hop = false) ?workers ?(checked = false) ?(profile = Profile.global)
     (mesh : Opp_mesh.Tet_mesh.t) =
   let centroid c =
     [|
@@ -75,6 +75,9 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     | Some th -> Opp_thread.Thread_runner.runner th
     | None -> Runner.seq ~profile ()
   in
+  (* sanitized runs execute every rank's loops under the opp_check
+     instrumented engine (stale-halo reads included; see Freshness) *)
+  let runner = if checked then Opp_check.checked ~profile runner else runner in
   let sims =
     Array.map
       (fun lm ->
@@ -284,13 +287,20 @@ let step t =
   rank_phase t "CalcPosVel" (fun _ sim -> Fempic.Fempic_sim.calc_pos_vel sim);
   ignore (move_particles t);
   rank_phase t "Deposit" (fun _ sim -> Fempic.Fempic_sim.deposit_charge sim);
-  (* push halo-node deposits to their owners, then refresh the copies *)
+  (* push halo-node deposits to their owners, then refresh the copies
+     (the exchange also clears node_charge's halo-dirty bit) *)
   let node_charge r = t.sims.(r).Fempic.Fempic_sim.node_charge.Types.d_data in
+  let node_charge_dats = Array.map (fun sim -> sim.Fempic.Fempic_sim.node_charge) t.sims in
   Exch.reduce ~traffic:t.traffic t.part.Tet_part.node_exch ~dim:1 ~data:node_charge;
-  Exch.exchange ~traffic:t.traffic t.part.Tet_part.node_exch ~dim:1 ~data:node_charge;
+  Exch.exchange ~traffic:t.traffic ~dats:node_charge_dats t.part.Tet_part.node_exch ~dim:1
+    ~data:node_charge;
   rank_phase t "ChargeDensity" (fun _ sim -> Fempic.Fempic_sim.compute_charge_density sim);
+  (* Iterate_all over replicated fresh inputs recomputes the halo
+     copies locally: no exchange needed, assert freshness instead *)
+  Array.iter (fun sim -> Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge_den) t.sims;
   ignore (solve_field t);
   rank_phase t "ElectricField" (fun _ sim -> Fempic.Fempic_sim.compute_electric_field sim);
+  Array.iter (fun sim -> Freshness.mark_fresh sim.Fempic.Fempic_sim.cell_ef) t.sims;
   t.step_count <- t.step_count + 1;
   if !Opp_obs.Metrics.enabled then begin
     let counts =

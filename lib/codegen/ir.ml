@@ -4,7 +4,11 @@
     collects exactly this information from the API calls; the emitters
     then instantiate backend templates from it. *)
 
-type access = Read | Write | Inc | Rw
+(* One access-mode enum for the whole system: the translator IR aliases
+   the runtime's [Types.access] (with re-exported constructors), so the
+   static analyzer, the runtime argument descriptors and the generated
+   code all agree on a single definition. *)
+type access = Opp_core.Types.access = Read | Write | Inc | Rw
 
 let access_of_string = function
   | "read" -> Some Read
@@ -13,7 +17,7 @@ let access_of_string = function
   | "rw" -> Some Rw
   | _ -> None
 
-let access_to_string = function Read -> "OPP_READ" | Write -> "OPP_WRITE" | Inc -> "OPP_INC" | Rw -> "OPP_RW"
+let access_to_string = Opp_core.Types.access_to_string
 
 type set_decl = { set_name : string; set_cells : string option  (** particle sets name their cell set *) }
 

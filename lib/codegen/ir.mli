@@ -2,7 +2,10 @@
     paper's translator collects from the clang AST of the API calls,
     and what the backend templates are instantiated from. *)
 
-type access = Read | Write | Inc | Rw
+type access = Opp_core.Types.access = Read | Write | Inc | Rw
+(** Alias of the runtime's access-mode enum — one definition shared by
+    the translator IR, the live argument descriptors and the static
+    analyzer ({!Opp_check}). *)
 
 val access_of_string : string -> access option
 val access_to_string : access -> string

@@ -50,7 +50,10 @@ let parse_arg line_no rest =
       consume 0 None None tail
   | [] -> fail line_no "empty arg"
 
-let parse source =
+(* Parse without structural validation: the linter wants the raw
+   program so it can report every inconsistency as a diagnostic
+   instead of stopping at the first [Ir.Invalid]. *)
+let parse_lax source =
   let lines = String.split_on_char '\n' source in
   let name = ref "unnamed" in
   let sets = ref [] and maps = ref [] and dats = ref [] and loops = ref [] in
@@ -124,11 +127,12 @@ let parse source =
   (match !pending with
   | Some (l, _) -> raise (Parse_error (Printf.sprintf "loop %s not closed with 'end'" l.Ir.l_name))
   | None -> ());
-  Ir.validate
-    {
-      Ir.p_name = !name;
-      p_sets = List.rev !sets;
-      p_maps = List.rev !maps;
-      p_dats = List.rev !dats;
-      p_loops = List.rev !loops;
-    }
+  {
+    Ir.p_name = !name;
+    p_sets = List.rev !sets;
+    p_maps = List.rev !maps;
+    p_dats = List.rev !dats;
+    p_loops = List.rev !loops;
+  }
+
+let parse source = Ir.validate (parse_lax source)

@@ -8,3 +8,8 @@ exception Parse_error of string
 val parse : string -> Ir.program
 (** Parse and validate a manifest; raises {!Parse_error} on syntax
     errors and {!Ir.Invalid} on semantic ones. *)
+
+val parse_lax : string -> Ir.program
+(** Parse without structural validation, so a linter can report every
+    inconsistency as a diagnostic rather than stopping at the first
+    {!Ir.Invalid}. Still raises {!Parse_error} on syntax errors. *)

@@ -38,6 +38,11 @@ and dat = {
   d_set : set;
   d_dim : int;
   mutable d_data : float array;  (** [set.capacity * dim] values *)
+  mutable d_halo_dirty : bool;
+      (** owned elements have been written since the halo copies were
+          last refreshed; maintained by the distributed backend's
+          freshness tracking ([Opp_dist.Freshness]) and checked by the
+          sanitizer runner ([Opp_check]) *)
 }
 
 and ctx = {
@@ -108,10 +113,25 @@ let decl_particle_set ctx ~name ?(count = 0) cells =
   s
 
 (** Declare connectivity of arity [arity] from [from] to [to_].
-    [data] lists, for each source element, its [arity] target indices.
+    [data] lists, for each source element, its [arity] target indices
+    (each in [[-1, to_.s_size)]; -1 marks an unset / boundary entry).
     Pass [None] for a particle-to-cell map with no initial particles. *)
 let decl_map ctx ~name ~from ~to_ ~arity data =
   if arity <= 0 then invalid_arg "decl_map: arity must be positive";
+  (* Validate target indices up front: a bad entry would otherwise
+     surface as an off-by-miles array access in the middle of a loop. *)
+  (match data with
+  | None -> ()
+  | Some d ->
+      let limit = min (Array.length d) (from.s_size * arity) in
+      for i = 0 to limit - 1 do
+        if d.(i) < -1 || d.(i) >= to_.s_size then
+          invalid_arg
+            (Printf.sprintf
+               "decl_map %s: entry for element %d slot %d is %d, outside [-1, %d) of target \
+                set %s"
+               name (i / arity) (i mod arity) d.(i) to_.s_size to_.s_name)
+      done);
   let data =
     match data with
     | Some d ->
@@ -147,7 +167,16 @@ let decl_dat ctx ~name ~set ~dim data =
              (Array.length d) (set.s_size * dim));
       Array.blit d 0 store 0 (set.s_size * dim)
   | None -> ());
-  let dat = { d_id = fresh_id ctx; d_name = name; d_set = set; d_dim = dim; d_data = store } in
+  let dat =
+    {
+      d_id = fresh_id ctx;
+      d_name = name;
+      d_set = set;
+      d_dim = dim;
+      d_data = store;
+      d_halo_dirty = false;
+    }
+  in
   ctx.c_dats <- dat :: ctx.c_dats;
   set.s_dats <- dat :: set.s_dats;
   dat

@@ -48,8 +48,10 @@ let account traffic t ~dim =
   end
 
 (** Refresh halo copies from their owners. [data rank] is that rank's
-    local storage of the exchanged dat ([dim] doubles per element). *)
-let exchange ?traffic t ~dim ~data =
+    local storage of the exchanged dat ([dim] doubles per element).
+    [dats] names the per-rank dat records being exchanged so their
+    halo-freshness bit can be cleared (see {!Freshness}). *)
+let exchange ?traffic ?(dats = [||]) t ~dim ~data =
   Opp_obs.Trace.with_span ~cat:"halo" "HaloExchange" (fun () ->
       for r = 0 to t.nranks - 1 do
         let dst = data r in
@@ -59,6 +61,7 @@ let exchange ?traffic t ~dim ~data =
             Array.blit src (l.l_owner_index * dim) dst (l.l_local * dim) dim)
           t.links.(r)
       done;
+      Array.iter Freshness.mark_fresh dats;
       account traffic t ~dim)
 
 (** Add halo contributions into the owners and clear the halo copies

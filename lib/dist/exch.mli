@@ -19,9 +19,17 @@ val create : nranks:int -> links:link array array -> t
 val halo_count : t -> int -> int
 val count_messages : t -> int
 
-val exchange : ?traffic:Traffic.t -> t -> dim:int -> data:(int -> float array) -> unit
+val exchange :
+  ?traffic:Traffic.t ->
+  ?dats:Opp_core.Types.dat array ->
+  t ->
+  dim:int ->
+  data:(int -> float array) ->
+  unit
 (** Refresh halo copies from their owners. [data rank] is that rank's
-    local storage of the exchanged dat ([dim] doubles per element). *)
+    local storage of the exchanged dat ([dim] doubles per element).
+    [dats] names the per-rank dat records being refreshed so their
+    halo-freshness bit is cleared (see {!Freshness}). *)
 
 val reduce : ?traffic:Traffic.t -> t -> dim:int -> data:(int -> float array) -> unit
 (** Add halo contributions into the owners and clear the halo copies

@@ -1,0 +1,27 @@
+(** Halo-freshness tracking: one dirty bit per dat.
+
+    A dat on a set that carries halo copies ([s_exec_size < s_size])
+    goes stale the moment a loop writes it: the owned elements change
+    but the halo copies on neighbouring ranks (and the local copies of
+    remote owners) do not. The distributed drivers refresh copies with
+    {!Exch.exchange}, which marks the dat fresh again when handed the
+    dats being exchanged.
+
+    The bit lives on the dat itself ([Types.dat.d_halo_dirty]); this
+    module is the one place that flips it. The sanitizer runner
+    ([Opp_check.checked]) marks dats dirty on writes and raises a
+    structured violation when a loop reads a halo element of a dirty
+    dat — the stale-halo bugs that otherwise corrupt physics
+    silently. A driver that recomputes halo copies locally instead of
+    exchanging them (e.g. a loop over [Iterate_all] that rewrites
+    every copy from replicated inputs) should assert that with
+    {!mark_fresh}. *)
+
+open Opp_core.Types
+
+(** Does this dat's set carry halo copies at all? *)
+let has_halo (d : dat) = d.d_set.s_size > d.d_set.s_exec_size
+
+let mark_dirty (d : dat) = if has_halo d then d.d_halo_dirty <- true
+let mark_fresh (d : dat) = d.d_halo_dirty <- false
+let is_dirty (d : dat) = d.d_halo_dirty

@@ -8,6 +8,7 @@ let () =
       ("backends", Test_backends.suite);
       ("dist", Test_dist.suite);
       ("codegen", Test_codegen.suite);
+      ("check", Test_check.suite);
       ("fempic", Test_fempic.suite);
       ("cabana", Test_cabana.suite);
       ("perf", Test_perf.suite);

@@ -74,6 +74,21 @@ let micro_tests () =
   in
   let deposit_at = deposit_under Opp_gpu.Gpu_runner.AT in
   let deposit_sr = deposit_under Opp_gpu.Gpu_runner.SR in
+  let chaos_fixture =
+    Apps_dist.Cabana_dist.create
+      ~prm:(Experiments.Config.cabana_scaled_prm ~ranks:2 ~ppc:16)
+      ~nranks:2
+      ~profile:(Opp_core.Profile.create ())
+      ()
+  in
+  let chaos_injector =
+    Opp_resil.Fault.create ~seed:42 ~max_attempts:20
+      [
+        (Opp_resil.Fault.Drop, None, 0.02);
+        (Opp_resil.Fault.Corrupt, None, 0.01);
+        (Opp_resil.Fault.Dup, None, 0.01);
+      ]
+  in
   let spec =
     Opp_codegen.Parser.parse
       (String.concat "\n"
@@ -107,9 +122,21 @@ let micro_tests () =
     (* fig12: the structured original *)
     Test.make ~name:"fig12:cabana_ref_step"
       (Staged.stage (fun () -> Cabana_ref.step cabana_reference));
-    (* tab1 / fig15: a full distributed step (halo exchange + migration) *)
+    (* tab1 / fig15: a full distributed step (halo exchange + migration).
+       With no fault schedule installed this is also the resilience
+       baseline: the envelope's disabled-path overhead must stay < 2%
+       (docs/RESILIENCE.md). *)
     Test.make ~name:"tab1:dist_step"
       (Staged.stage (fun () -> Apps_dist.Cabana_dist.step dist_fixture));
+    (* resil: the same step under an active chaos schedule — every
+       message runs through the checksum/sequence envelope and injected
+       drops and corruptions are healed by retransmission *)
+    Test.make ~name:"resil:dist_step_chaos"
+      (Staged.stage (fun () ->
+           Opp_resil.Fault.install chaos_injector;
+           Fun.protect
+             ~finally:Opp_resil.Fault.uninstall
+             (fun () -> Apps_dist.Cabana_dist.step chaos_fixture)));
     (* abl_atomics: deposits under AT and segmented reduction *)
     Test.make ~name:"abl:deposit_at"
       (Staged.stage (fun () -> Fempic.Fempic_sim.deposit_charge deposit_at));

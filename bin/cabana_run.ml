@@ -59,10 +59,11 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
     Opp_obs.Metrics.tick ~step
   end
 
-let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check trace metrics
-    obs_summary =
+let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check faults
+    ckpt_every ckpt_dir restart trace metrics obs_summary =
   obs_setup ~trace ~metrics ~obs_summary;
   if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
+  Resil_cli.install_faults faults;
   let prm =
     {
       Cabana.Cabana_params.default with
@@ -98,30 +99,36 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check t
   else
     match backend with
     | "mpi" ->
-        let dist =
-          Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
-            ?workers:(if hybrid then Some workers else None)
-            ~checked:check ~profile ()
-        in
         Opp_obs.Trace.name_track ranks "driver";
-        for s = 1 to steps do
-          Opp_obs.Trace.with_track ranks (fun () ->
-              Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
-                  Apps_dist.Cabana_dist.step dist));
-          if !Opp_obs.Metrics.enabled then
-            tick_energies ~step:s
-              (Apps_dist.Cabana_dist.energies dist)
-              (Some (Apps_dist.Cabana_dist.total_particles dist));
-          if s mod report_every = 0 then begin
-            let e = Apps_dist.Cabana_dist.energies dist in
-            Printf.printf "step %4d: E=%.6e B=%.6e K=%.6e migrated=%d\n%!" s
-              e.Cabana.Cabana_sim.e_field e.Cabana.Cabana_sim.b_field
-              e.Cabana.Cabana_sim.kinetic dist.Apps_dist.Cabana_dist.last_migrated
-          end
-        done;
+        let dist =
+          Resil_cli.drive ~steps ~ckpt_every ~ckpt_dir ~restart
+            ~make:(fun () ->
+              Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
+                ?workers:(if hybrid then Some workers else None)
+                ~checked:check ~profile ())
+            ~destroy:Apps_dist.Cabana_dist.shutdown
+            ~step_count:(fun d -> d.Apps_dist.Cabana_dist.step_count)
+            ~save:(fun d ~dir -> Apps_dist.Cabana_dist.save_checkpoint d ~dir)
+            ~restore:(fun d ~dir -> Apps_dist.Cabana_dist.restore_checkpoint d ~dir)
+            ~do_step:(fun dist s ->
+              Opp_obs.Trace.with_track ranks (fun () ->
+                  Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
+                      Apps_dist.Cabana_dist.step dist));
+              if !Opp_obs.Metrics.enabled then
+                tick_energies ~step:s
+                  (Apps_dist.Cabana_dist.energies dist)
+                  (Some (Apps_dist.Cabana_dist.total_particles dist));
+              if s mod report_every = 0 then begin
+                let e = Apps_dist.Cabana_dist.energies dist in
+                Printf.printf "step %4d: E=%.6e B=%.6e K=%.6e migrated=%d\n%!" s
+                  e.Cabana.Cabana_sim.e_field e.Cabana.Cabana_sim.b_field
+                  e.Cabana.Cabana_sim.kinetic dist.Apps_dist.Cabana_dist.last_migrated
+              end)
+        in
         Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
           dist.Apps_dist.Cabana_dist.traffic;
         Apps_dist.Cabana_dist.shutdown dist;
+        Resil_cli.report_faults ();
         obs_finish ~trace ~metrics ~obs_summary
     | _ ->
         let runner, cleanup =
@@ -142,8 +149,18 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check t
         in
         let runner = if check then Opp_check.checked ~profile runner else runner in
         let sim = Cabana.Cabana_sim.create ~prm ~runner ~profile () in
-        for s = 1 to steps do
+        (* sequential checkpointing: a one-shard Opp_resil.Ckpt *)
+        (match restart with
+        | Some dir -> (
+            match Cabana.Cabana_ckpt.load sim ~dir with
+            | Some s -> Printf.printf "restart: resumed at step %d from %s\n%!" s dir
+            | None -> Printf.printf "restart: no valid checkpoint under %s, starting fresh\n%!" dir)
+        | None -> ());
+        let first = sim.Cabana.Cabana_sim.step_count + 1 in
+        for s = first to steps do
           Opp_obs.Trace.with_span ~cat:"step" "step" (fun () -> Cabana.Cabana_sim.step sim);
+          if ckpt_every > 0 && s mod ckpt_every = 0 then
+            Cabana.Cabana_ckpt.save sim ~dir:ckpt_dir;
           if !Opp_obs.Metrics.enabled then
             tick_energies ~step:s (Cabana.Cabana_sim.energies sim)
               (Some sim.Cabana.Cabana_sim.parts.Opp_core.Types.s_size);
@@ -155,6 +172,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check t
         done;
         cleanup ();
         Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
+        Resil_cli.report_faults ();
         obs_finish ~trace ~metrics ~obs_summary
 
 let cmd =
@@ -204,7 +222,8 @@ let cmd =
     (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
-      $ validate $ check $ trace $ metrics $ obs_summary)
+      $ validate $ check $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg
+      $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg $ trace $ metrics $ obs_summary)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -53,9 +53,11 @@ let obs_finish ~trace ~metrics ~obs_summary =
   end
 
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
-    seed write_mesh neutral_density check trace metrics obs_summary =
+    seed write_mesh neutral_density check faults ckpt_every ckpt_dir restart trace metrics
+    obs_summary =
   obs_setup ~trace ~metrics ~obs_summary;
   if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
+  Resil_cli.install_faults faults;
   let mesh = Opp_mesh.Tet_mesh.build ~nx ~ny ~nz ~lx ~ly ~lz in
   (match write_mesh with
   | Some path ->
@@ -72,29 +74,35 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
   let finish profile sim_diag =
     Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
     sim_diag ();
+    Resil_cli.report_faults ();
     obs_finish ~trace ~metrics ~obs_summary
   in
   let profile = Opp_core.Profile.create () in
   match backend with
   | "mpi" ->
-      let dist =
-        Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
-          ?workers:(if hybrid then Some workers else None)
-          ~checked:check ~profile mesh
-      in
       (* the step span lives on a dedicated driver track, one past the
          last rank, so per-rank timelines stay rank-only *)
       Opp_obs.Trace.name_track ranks "driver";
-      for s = 1 to steps do
-        Opp_obs.Trace.with_track ranks (fun () ->
-            Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
-                ignore (Apps_dist.Fempic_dist.step dist)));
-        if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.tick ~step:s;
-        if s mod 10 = 0 || s = steps then
-          Printf.printf "step %4d: particles=%d migrated=%d\n%!" s
-            (Apps_dist.Fempic_dist.total_particles dist)
-            dist.Apps_dist.Fempic_dist.last_migrated
-      done;
+      let dist =
+        Resil_cli.drive ~steps ~ckpt_every ~ckpt_dir ~restart
+          ~make:(fun () ->
+            Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
+              ?workers:(if hybrid then Some workers else None)
+              ~checked:check ~profile mesh)
+          ~destroy:Apps_dist.Fempic_dist.shutdown
+          ~step_count:(fun d -> d.Apps_dist.Fempic_dist.step_count)
+          ~save:(fun d ~dir -> Apps_dist.Fempic_dist.save_checkpoint d ~dir)
+          ~restore:(fun d ~dir -> Apps_dist.Fempic_dist.restore_checkpoint d ~dir)
+          ~do_step:(fun dist s ->
+            Opp_obs.Trace.with_track ranks (fun () ->
+                Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
+                    ignore (Apps_dist.Fempic_dist.step dist)));
+            if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.tick ~step:s;
+            if s mod 10 = 0 || s = steps then
+              Printf.printf "step %4d: particles=%d migrated=%d\n%!" s
+                (Apps_dist.Fempic_dist.total_particles dist)
+                dist.Apps_dist.Fempic_dist.last_migrated)
+      in
       finish profile (fun () ->
           Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
             dist.Apps_dist.Fempic_dist.traffic);
@@ -118,6 +126,16 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       let runner = if check then Opp_check.checked ~profile runner else runner in
       let sim = Fempic.Fempic_sim.create ~prm ~runner ~profile ~use_direct_hop:direct_hop mesh in
       if prefill then Printf.printf "prefilled %d particles\n%!" (Fempic.Fempic_sim.prefill sim);
+      (* sequential checkpointing rides the legacy single-file snapshot *)
+      let ckpt_file dir = Filename.concat dir "fempic.ckpt" in
+      (match restart with
+      | Some dir when Sys.file_exists (ckpt_file dir) ->
+          let s = Fempic.Checkpoint.load sim (ckpt_file dir) in
+          Printf.printf "restart: resumed at step %d from %s\n%!" s (ckpt_file dir)
+      | Some dir ->
+          Printf.printf "restart: no snapshot at %s, starting fresh\n%!" (ckpt_file dir)
+      | None -> ());
+      let first = sim.Fempic.Fempic_sim.step_count + 1 in
       let mcc =
         if neutral_density > 0.0 then
           Some
@@ -126,10 +144,14 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
                ~seed:(seed + 1) ())
         else None
       in
-      for s = 1 to steps do
+      for s = first to steps do
         Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
             ignore (Fempic.Fempic_sim.step sim);
             match mcc with Some m -> ignore (Fempic.Collisions.apply ~runner m) | None -> ());
+        if ckpt_every > 0 && s mod ckpt_every = 0 then begin
+          (try Sys.mkdir ckpt_dir 0o755 with Sys_error _ -> ());
+          Fempic.Checkpoint.save sim (ckpt_file ckpt_dir)
+        end;
         if !Opp_obs.Metrics.enabled then begin
           let d = Fempic.Fempic_sim.diagnostics sim in
           Opp_obs.Metrics.set "particles" (float_of_int d.Fempic.Fempic_sim.particles);
@@ -212,8 +234,9 @@ let cmd =
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
-      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ trace
-      $ metrics $ obs_summary)
+      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check
+      $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
+      $ Resil_cli.restart_arg $ trace $ metrics $ obs_summary)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -1,0 +1,94 @@
+(* Resilience plumbing shared by the drivers: the --faults / --ckpt-*
+   / --restart flags, fault-schedule installation, the end-of-run
+   stats line, and the crash-recovery stepping loop used by the mpi
+   backends. *)
+
+open Cmdliner
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "inject deterministic communication faults, e.g. \
+           $(b,seed=42,drop=halo:0.05,corrupt=migrate:0.02,crash=1\\@7) (grammar in \
+           docs/RESILIENCE.md); detection and recovery keep the run bit-for-bit correct")
+
+let ckpt_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "ckpt-every" ] ~docv:"N"
+        ~doc:"write a checkpoint every $(docv) steps (0 disables)")
+
+let ckpt_dir_arg =
+  Arg.(
+    value & opt string "checkpoints"
+    & info [ "ckpt-dir" ] ~docv:"DIR" ~doc:"directory for checkpoints")
+
+let restart_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restart" ] ~docv:"DIR"
+        ~doc:"resume from the newest valid checkpoint under $(docv)")
+
+(* Parse and install the schedule before any simulation state exists,
+   so every message of the run is subject to it. *)
+let install_faults = function
+  | None -> ()
+  | Some spec -> (
+      match Opp_resil.Fault.parse spec with
+      | Ok inj ->
+          Opp_resil.Fault.install inj;
+          Format.printf "faults: %a@." Opp_resil.Fault.pp inj
+      | Error msg ->
+          Printf.eprintf "error: bad --faults spec: %s\n%!" msg;
+          exit 1)
+
+let report_faults () =
+  match Opp_resil.Fault.active () with
+  | Some inj ->
+      let stats = Opp_resil.Fault.stats inj in
+      if stats <> [] then
+        Printf.printf "resilience: %s\n%!"
+          (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) stats))
+  | None -> ()
+
+(* Step a distributed app to [steps] with checkpointing and crash
+   recovery: a rank crash (fired by the injector at the top of a step,
+   before any state mutates) tears the world down, rebuilds it
+   deterministically, restores the newest valid checkpoint — falling
+   back to the restart directory, then to a cold start — and replays.
+   Because checkpoints resume bit-for-bit and every message fault is
+   healed by the detection envelope, the recovered run's final state
+   equals the fault-free one's. *)
+let drive ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save ~restore
+    ~do_step =
+  let sim = ref (make ()) in
+  let try_restore dirs =
+    List.find_map (fun dir -> Option.map (fun s -> (dir, s)) (restore !sim ~dir)) dirs
+  in
+  (match restart with
+  | Some dir -> (
+      match try_restore [ dir ] with
+      | Some (_, s) -> Printf.printf "restart: resumed at step %d from %s\n%!" s dir
+      | None -> Printf.printf "restart: no valid checkpoint under %s, starting fresh\n%!" dir)
+  | None -> ());
+  let recovery_dirs =
+    ckpt_dir :: (match restart with Some d when d <> ckpt_dir -> [ d ] | _ -> [])
+  in
+  while step_count !sim < steps do
+    let s = step_count !sim + 1 in
+    match do_step !sim s with
+    | () -> if ckpt_every > 0 && s mod ckpt_every = 0 then save !sim ~dir:ckpt_dir
+    | exception Opp_resil.Rank_crash { rank; step } ->
+        Printf.printf "rank %d crashed at step %d; recovering\n%!" rank step;
+        destroy !sim;
+        sim := make ();
+        (match try_restore recovery_dirs with
+        | Some (dir, s') ->
+            Printf.printf "recovered: replaying from step %d (checkpoint in %s)\n%!" s' dir
+        | None -> Printf.printf "recovered: no checkpoint found, replaying from the start\n%!")
+  done;
+  !sim

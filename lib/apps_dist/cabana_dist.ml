@@ -139,7 +139,10 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
     tops = Array.map fst tops;
     cell_g2l;
     owned;
-    cell_exch = Exch.create ~nranks ~links;
+    cell_exch =
+      Exch.create
+        ~sizes:(Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_ncells) tops)
+        ~nranks links;
     traffic = Traffic.create ();
     profile;
     step_count = 0;
@@ -223,9 +226,51 @@ let move_deposit t =
   t.last_migrated <- !migrated;
   !migrated
 
+(* --- resilience: rank faults and distributed checkpoint/restart --- *)
+
+module Ckpt = Opp_resil.Ckpt
+
+(** Save a sharded checkpoint of the whole distributed state under
+    [dir]: one [Cabana.Cabana_ckpt] shard per rank, the driver's step
+    counter on rank 0's shard. Atomic and checksummed. *)
+let save_checkpoint ?keep t ~dir =
+  let shards =
+    Array.init t.nranks (fun r ->
+        let base = Cabana.Cabana_ckpt.sections t.sims.(r) in
+        if r = 0 then base @ [ Ckpt.Ints ("driver", [| t.step_count |]) ] else base)
+  in
+  Ckpt.save ?keep ~dir ~step:t.step_count shards
+
+(** Restore the newest valid checkpoint under [dir] into [t] (built
+    with the same parameters and rank count). Returns the restored
+    step, or [None]. A resumed run continues bit-for-bit. *)
+let restore_checkpoint t ~dir =
+  match Ckpt.load ~dir with
+  | None -> None
+  | Some (step, shards) ->
+      if Array.length shards <> t.nranks then
+        raise (Ckpt.Corrupt "checkpoint rank count mismatch");
+      Array.iteri (fun r sections -> Cabana.Cabana_ckpt.restore t.sims.(r) sections) shards;
+      t.step_count <- (Ckpt.ints shards.(0) "driver").(0);
+      Array.iter
+        (fun sim ->
+          sim.Cabana.Cabana_sim.step_count <- t.step_count;
+          (* the saved halos were consistent when written *)
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_e;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_b;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_j;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_interp)
+        t.sims;
+      Some step
+
 (* --- the distributed step --- *)
 
 let step t =
+  (* armed rank faults (crash / stall) fire before any state mutates,
+     so a crashed step can be replayed from the last checkpoint *)
+  (match Opp_resil.Fault.active () with
+  | Some inj -> Opp_resil.Fault.begin_step inj ~step:(t.step_count + 1)
+  | None -> ());
   (* refresh E and B halos ("Update_Ghosts") before the stencils *)
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);

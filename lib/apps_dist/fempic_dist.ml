@@ -278,9 +278,115 @@ let solve_field t =
   t.traffic.Traffic.reductions <- t.traffic.Traffic.reductions + 2;
   stats
 
+(* --- resilience: rank faults and distributed checkpoint/restart --- *)
+
+module Ckpt = Opp_resil.Ckpt
+
+(* One rank's shard: everything its local sim needs for a bit-exact
+   resume — live particle dats and p2c, the field dats over owned AND
+   halo elements (restored halos are therefore fresh), and the
+   injection state (per-face carries and RNG streams). *)
+let rank_sections t r =
+  let sim = t.sims.(r) in
+  let nparts = sim.Fempic.Fempic_sim.parts.Types.s_size in
+  let slice (d : Types.dat) =
+    Array.sub d.Types.d_data 0 (d.Types.d_set.Types.s_size * d.Types.d_dim)
+  in
+  [
+    Ckpt.Ints ("meta", [| nparts |]);
+    Ckpt.Floats ("part_pos", Array.sub sim.Fempic.Fempic_sim.part_pos.Types.d_data 0 (3 * nparts));
+    Ckpt.Floats ("part_vel", Array.sub sim.Fempic.Fempic_sim.part_vel.Types.d_data 0 (3 * nparts));
+    Ckpt.Floats ("part_lc", Array.sub sim.Fempic.Fempic_sim.part_lc.Types.d_data 0 (4 * nparts));
+    Ckpt.Ints ("p2c", Array.sub sim.Fempic.Fempic_sim.p2c.Types.m_data 0 nparts);
+    Ckpt.Floats ("node_phi", slice sim.Fempic.Fempic_sim.node_phi);
+    Ckpt.Floats ("node_charge", slice sim.Fempic.Fempic_sim.node_charge);
+    Ckpt.Floats ("node_charge_den", slice sim.Fempic.Fempic_sim.node_charge_den);
+    Ckpt.Floats ("cell_ef", slice sim.Fempic.Fempic_sim.cell_ef);
+    Ckpt.Floats ("face_carry", Array.copy sim.Fempic.Fempic_sim.face_carry);
+    Ckpt.I64s ("face_rng", Array.map Rng.state sim.Fempic.Fempic_sim.face_rng);
+  ]
+
+(** Save a sharded checkpoint of the whole distributed state under
+    [dir] (one shard per rank; the driver's state — the gathered
+    potential, which seeds the next CG solve, and the step counter —
+    rides on rank 0's shard). Atomic and checksummed: see
+    [Opp_resil.Ckpt]. *)
+let save_checkpoint ?keep t ~dir =
+  let shards =
+    Array.init t.nranks (fun r ->
+        let base = rank_sections t r in
+        if r = 0 then
+          base
+          @ [
+              Ckpt.Floats ("g_phi", Array.copy t.g_phi);
+              Ckpt.Ints ("driver", [| t.step_count |]);
+            ]
+        else base)
+  in
+  Ckpt.save ?keep ~dir ~step:t.step_count shards
+
+let restore_rank t r sections =
+  let sim = t.sims.(r) in
+  let nparts = (Ckpt.ints sections "meta").(0) in
+  Particle.resize sim.Fempic.Fempic_sim.parts nparts;
+  let blit_dat (d : Types.dat) a =
+    if Array.length a <> d.Types.d_set.Types.s_size * d.Types.d_dim then
+      raise (Ckpt.Corrupt (Printf.sprintf "dat %s: size mismatch" d.Types.d_name));
+    Array.blit a 0 d.Types.d_data 0 (Array.length a)
+  in
+  blit_dat sim.Fempic.Fempic_sim.part_pos (Ckpt.floats sections "part_pos");
+  blit_dat sim.Fempic.Fempic_sim.part_vel (Ckpt.floats sections "part_vel");
+  blit_dat sim.Fempic.Fempic_sim.part_lc (Ckpt.floats sections "part_lc");
+  let p2c = Ckpt.ints sections "p2c" in
+  if Array.length p2c <> nparts then raise (Ckpt.Corrupt "p2c size mismatch");
+  Array.blit p2c 0 sim.Fempic.Fempic_sim.p2c.Types.m_data 0 nparts;
+  blit_dat sim.Fempic.Fempic_sim.node_phi (Ckpt.floats sections "node_phi");
+  blit_dat sim.Fempic.Fempic_sim.node_charge (Ckpt.floats sections "node_charge");
+  blit_dat sim.Fempic.Fempic_sim.node_charge_den (Ckpt.floats sections "node_charge_den");
+  blit_dat sim.Fempic.Fempic_sim.cell_ef (Ckpt.floats sections "cell_ef");
+  let carry = Ckpt.floats sections "face_carry" in
+  if Array.length carry <> Array.length sim.Fempic.Fempic_sim.face_carry then
+    raise (Ckpt.Corrupt "face count mismatch");
+  Array.blit carry 0 sim.Fempic.Fempic_sim.face_carry 0 (Array.length carry);
+  let rng = Ckpt.i64s sections "face_rng" in
+  if Array.length rng <> Array.length sim.Fempic.Fempic_sim.face_rng then
+    raise (Ckpt.Corrupt "rng count mismatch");
+  Array.iteri (fun i s -> Rng.set_state sim.Fempic.Fempic_sim.face_rng.(i) s) rng;
+  (* the saved halos were consistent when written *)
+  Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge;
+  Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge_den;
+  Freshness.mark_fresh sim.Fempic.Fempic_sim.cell_ef;
+  Freshness.mark_fresh sim.Fempic.Fempic_sim.node_phi
+
+(** Restore the newest valid checkpoint under [dir] into [t] (built on
+    the same mesh, parameters, and rank count). Returns the restored
+    step, or [None] when no valid checkpoint exists. A resumed run
+    continues bit-for-bit like the uninterrupted one. *)
+let restore_checkpoint t ~dir =
+  match Ckpt.load ~dir with
+  | None -> None
+  | Some (step, shards) ->
+      if Array.length shards <> t.nranks then
+        raise (Ckpt.Corrupt "checkpoint rank count mismatch");
+      Array.iteri (fun r sections -> restore_rank t r sections) shards;
+      let g_phi = Ckpt.floats shards.(0) "g_phi" in
+      if Array.length g_phi <> Array.length t.g_phi then
+        raise (Ckpt.Corrupt "g_phi size mismatch");
+      Array.blit g_phi 0 t.g_phi 0 (Array.length g_phi);
+      t.step_count <- (Ckpt.ints shards.(0) "driver").(0);
+      Array.iter
+        (fun sim -> sim.Fempic.Fempic_sim.step_count <- t.step_count)
+        t.sims;
+      Some step
+
 (* --- the distributed step --- *)
 
 let step t =
+  (* armed rank faults (crash / stall) fire before any state mutates,
+     so a crashed step can be replayed from the last checkpoint *)
+  (match Opp_resil.Fault.active () with
+  | Some inj -> Opp_resil.Fault.begin_step inj ~step:(t.step_count + 1)
+  | None -> ());
   let injected = ref 0 in
   rank_phase t "Inject" (fun _ sim ->
       injected := !injected + Fempic.Fempic_sim.inject_particles sim);

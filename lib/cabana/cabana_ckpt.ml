@@ -1,0 +1,86 @@
+(** Checkpoint / restart for CabanaPIC on [Opp_resil.Ckpt] — the
+    CabanaPIC counterpart of [Fempic.Checkpoint], built directly on the
+    backend-neutral sharded format so the sequential app and the
+    distributed driver share one snapshot schema.
+
+    A shard carries the full field dats (E, B, current, accumulator,
+    interpolator — owned and halo cells, so restored halos are fresh),
+    the particle SoA (offsets, velocities, remaining displacement,
+    weights) with its particle-to-cell map, and the RNG seed. CabanaPIC
+    has no {e live} RNG streams — its per-cell splitmix streams are
+    drained once at particle load — so the seed is stored for
+    validation only: restoring into a sim created with a different seed
+    is rejected rather than silently blending two different initial
+    conditions. A resumed run continues bit-for-bit. *)
+
+open Opp_core
+open Opp_core.Types
+module Ckpt = Opp_resil.Ckpt
+
+let dat_slice (d : dat) = Array.sub d.d_data 0 (d.d_set.s_size * d.d_dim)
+
+(** The section list for one sim (one shard of a distributed
+    checkpoint, or the whole snapshot of a sequential one). *)
+let sections (sim : Cabana_sim.t) =
+  let nparts = sim.Cabana_sim.parts.s_size in
+  [
+    Ckpt.Ints ("meta", [| nparts; sim.Cabana_sim.prm.Cabana_params.seed |]);
+    Ckpt.Floats ("part_off", Array.sub sim.Cabana_sim.part_off.d_data 0 (3 * nparts));
+    Ckpt.Floats ("part_vel", Array.sub sim.Cabana_sim.part_vel.d_data 0 (3 * nparts));
+    Ckpt.Floats ("part_disp", Array.sub sim.Cabana_sim.part_disp.d_data 0 (3 * nparts));
+    Ckpt.Floats ("part_w", Array.sub sim.Cabana_sim.part_w.d_data 0 nparts);
+    Ckpt.Ints ("p2c", Array.sub sim.Cabana_sim.p2c.m_data 0 nparts);
+    Ckpt.Floats ("cell_e", dat_slice sim.Cabana_sim.cell_e);
+    Ckpt.Floats ("cell_b", dat_slice sim.Cabana_sim.cell_b);
+    Ckpt.Floats ("cell_j", dat_slice sim.Cabana_sim.cell_j);
+    Ckpt.Floats ("cell_acc", dat_slice sim.Cabana_sim.cell_acc);
+    Ckpt.Floats ("cell_interp", dat_slice sim.Cabana_sim.cell_interp);
+  ]
+
+(** Restore one sim from its section list (created on the same
+    topology, parameters, and seed). Raises [Ckpt.Corrupt] on shape or
+    seed mismatches. *)
+let restore (sim : Cabana_sim.t) sections_ =
+  let meta = Ckpt.ints sections_ "meta" in
+  if Array.length meta < 2 then raise (Ckpt.Corrupt "bad meta section");
+  if meta.(1) <> sim.Cabana_sim.prm.Cabana_params.seed then
+    raise
+      (Ckpt.Corrupt
+         (Printf.sprintf "RNG seed mismatch: snapshot %d, sim %d" meta.(1)
+            sim.Cabana_sim.prm.Cabana_params.seed));
+  let nparts = meta.(0) in
+  Particle.resize sim.Cabana_sim.parts nparts;
+  let blit_dat (d : dat) a =
+    if Array.length a <> d.d_set.s_size * d.d_dim then
+      raise (Ckpt.Corrupt (Printf.sprintf "dat %s: size mismatch" d.d_name));
+    Array.blit a 0 d.d_data 0 (Array.length a)
+  in
+  blit_dat sim.Cabana_sim.part_off (Ckpt.floats sections_ "part_off");
+  blit_dat sim.Cabana_sim.part_vel (Ckpt.floats sections_ "part_vel");
+  blit_dat sim.Cabana_sim.part_disp (Ckpt.floats sections_ "part_disp");
+  blit_dat sim.Cabana_sim.part_w (Ckpt.floats sections_ "part_w");
+  let p2c = Ckpt.ints sections_ "p2c" in
+  if Array.length p2c <> nparts then raise (Ckpt.Corrupt "p2c size mismatch");
+  Array.blit p2c 0 sim.Cabana_sim.p2c.m_data 0 nparts;
+  blit_dat sim.Cabana_sim.cell_e (Ckpt.floats sections_ "cell_e");
+  blit_dat sim.Cabana_sim.cell_b (Ckpt.floats sections_ "cell_b");
+  blit_dat sim.Cabana_sim.cell_j (Ckpt.floats sections_ "cell_j");
+  blit_dat sim.Cabana_sim.cell_acc (Ckpt.floats sections_ "cell_acc");
+  blit_dat sim.Cabana_sim.cell_interp (Ckpt.floats sections_ "cell_interp")
+
+(** Save a sequential sim as a one-shard checkpoint under [dir]. *)
+let save ?keep (sim : Cabana_sim.t) ~dir =
+  Ckpt.save ?keep ~dir ~step:sim.Cabana_sim.step_count
+    [| sections sim @ [ Ckpt.Ints ("driver", [| sim.Cabana_sim.step_count |]) ] |]
+
+(** Restore a sequential sim from the newest valid checkpoint under
+    [dir]; returns the restored step, or [None]. *)
+let load (sim : Cabana_sim.t) ~dir =
+  match Ckpt.load ~dir with
+  | None -> None
+  | Some (step, shards) ->
+      if Array.length shards <> 1 then
+        raise (Ckpt.Corrupt "expected a single-shard checkpoint");
+      restore sim shards.(0);
+      sim.Cabana_sim.step_count <- (Ckpt.ints shards.(0) "driver").(0);
+      Some step

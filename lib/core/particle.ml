@@ -69,6 +69,25 @@ let remove_flagged set dead =
   set.s_exec_size <- set.s_size;
   !removed
 
+(** Resize the particle population to exactly [n], preserving the slot
+    order of survivors: grows by zero-injection, shrinks by removing
+    the tail suffix (hole filling degenerates to a truncation, so no
+    reordering happens). Clears the injected window. Used by the
+    checkpoint restorers to shape a fresh population before blitting
+    saved dats back in. *)
+let resize set n =
+  if n < 0 then invalid_arg "Particle.resize: negative count";
+  let have = set.s_size in
+  if n > have then ignore (inject set (n - have))
+  else if n < have then begin
+    let dead = Array.make have false in
+    for p = n to have - 1 do
+      dead.(p) <- true
+    done;
+    ignore (remove_flagged set dead)
+  end;
+  reset_injected set
+
 (** Permute all particle storage so particles are ordered by ascending
     cell index in [p2c] (auxiliary sort API of the paper, used for the
     locality / coloring ablation). *)

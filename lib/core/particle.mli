@@ -16,6 +16,11 @@ val remove_flagged : set -> bool array -> int
     filling holes from the tail — the paper's hole-filling compaction.
     Returns the number removed. Survivor order is not preserved. *)
 
+val resize : set -> int -> unit
+(** Resize the population to exactly [n] slots, preserving survivor
+    order (grow = zero-injection, shrink = tail truncation); clears
+    the injected window. For checkpoint restore. *)
+
 val sort_by_cell : set -> p2c:map -> unit
 (** Permute all particle storage into ascending cell order (the
     auxiliary sort API; used for GPU locality). *)

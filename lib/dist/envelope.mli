@@ -1,0 +1,29 @@
+(** The shared detection/recovery envelope for guarded message
+    transmission: sequence numbers, epoch tags, and payload checksums
+    over the installed fault injector (docs/RESILIENCE.md). Used by
+    {!Exch} for halo traffic and {!Mailbox} for particle migration. *)
+
+val transmit :
+  Opp_resil.Fault.t ->
+  chan:Opp_resil.Fault.chan ->
+  what:string ->
+  seq:int ->
+  ?epoch:int ->
+  ?tag:int ->
+  float array ->
+  float array
+(** Push one message through the injector until the receiver validates
+    it, healing drops, corruption, and stale replays with bounded
+    retransmission. [epoch] enables stale-replay injection/rejection;
+    [tag] salts the checksum with integer metadata riding along.
+    Raises [Opp_resil.Retry.Exhausted] past the attempt budget. *)
+
+val observe_arrivals :
+  Opp_resil.Fault.t -> chan:Opp_resil.Fault.chan -> (int * bool) list -> unit
+(** Simulate one round's arrival order given [(seq, duplicated)] per
+    message in canonical order: defers reordered/delayed messages,
+    double-delivers duplicates, and counts what the sequence numbers
+    detect. *)
+
+val flip_bit : float array -> int -> unit
+(** Flip one bit of a payload's IEEE representation (test helper). *)

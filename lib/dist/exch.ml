@@ -6,7 +6,21 @@
     import of read halos); [reduce] pushes halo contributions back
     into owners and zeroes the copies (the reverse export after an
     INC loop). Both count the bytes and neighbour messages a real MPI
-    run would issue. *)
+    run would issue.
+
+    {b Resilience} (docs/RESILIENCE.md): when a fault schedule is
+    installed ([Opp_resil.Fault.install]) the exchanges run guarded:
+    each neighbour message carries an envelope — a wire sequence
+    number, the exchange epoch, and an FNV-64 payload checksum — and
+    the receiver detects drops (missing message in the round),
+    corruption (checksum mismatch), duplicates (sequence already
+    seen), reorders/delays (sequence regression), and stale replays
+    (epoch mismatch), healing transient faults with bounded
+    retransmission ([Opp_resil.Retry]). Messages are {e applied} in
+    canonical sequence order regardless of arrival order, so a
+    recovered exchange is bit-for-bit the fault-free one. With no
+    schedule installed the plain fast path runs and the whole layer
+    costs one [option] check per collective. *)
 
 type link = {
   l_local : int;  (** halo element's local index on the halo-holding rank *)
@@ -17,11 +31,62 @@ type link = {
 type t = {
   nranks : int;
   links : link array array;  (** per halo-holding rank *)
+  mutable seq : int;  (** wire sequence number of the next message *)
+  mutable epoch : int;  (** bumped once per collective; tags envelopes *)
 }
 
-let create ~nranks ~links =
+exception Invalid_links of string
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_links msg -> Some (Printf.sprintf "Opp_dist.Exch.Invalid_links(%s)" msg)
+    | _ -> None)
+
+(* Construction-time structural validation (diagnostic codes E070-E072,
+   see docs/ANALYSIS.md): a bad link would otherwise surface as a
+   misdirected blit deep inside [exchange]. [sizes], when given, is the
+   per-rank element count of the exchanged set and bounds both link
+   endpoints. *)
+let validate ?sizes ~nranks links =
+  (match sizes with
+  | Some s when Array.length s <> nranks -> invalid_arg "Exch.create: sizes size mismatch"
+  | _ -> ());
+  Array.iteri
+    (fun r ls ->
+      Array.iteri
+        (fun i l ->
+          let fail code msg =
+            raise
+              (Invalid_links (Printf.sprintf "%s: rank %d link %d: %s" code r i msg))
+          in
+          if l.l_owner_rank < 0 || l.l_owner_rank >= nranks then
+            fail "E070"
+              (Printf.sprintf "owner rank %d outside [0, %d)" l.l_owner_rank nranks);
+          if l.l_owner_rank = r then
+            fail "E071"
+              (Printf.sprintf "halo element %d claims its own rank as owner" l.l_local);
+          if l.l_local < 0 then
+            fail "E072" (Printf.sprintf "negative local index %d" l.l_local);
+          if l.l_owner_index < 0 then
+            fail "E072" (Printf.sprintf "negative owner index %d" l.l_owner_index);
+          match sizes with
+          | Some s ->
+              if l.l_local >= s.(r) then
+                fail "E072"
+                  (Printf.sprintf "local index %d outside set of size %d" l.l_local s.(r));
+              if l.l_owner_index >= s.(l.l_owner_rank) then
+                fail "E072"
+                  (Printf.sprintf "owner index %d outside owner set of size %d"
+                     l.l_owner_index
+                     s.(l.l_owner_rank))
+          | None -> ())
+        ls)
+    links
+
+let create ?sizes ~nranks links =
   if Array.length links <> nranks then invalid_arg "Exch.create: links size mismatch";
-  { nranks; links }
+  validate ?sizes ~nranks links;
+  { nranks; links; seq = 0; epoch = 0 }
 
 let halo_count t r = Array.length t.links.(r)
 
@@ -47,20 +112,81 @@ let account traffic t ~dim =
     Opp_obs.Metrics.add "halo.msgs" (float_of_int (count_messages t))
   end
 
+(* --- the guarded (fault-injected, detected, recovered) path --- *)
+
+module Fault = Opp_resil.Fault
+
+(* The neighbour messages of one round, in canonical order: for each
+   halo-holding rank, its links grouped by owner rank, owners
+   ascending, links in link-array order. *)
+let messages_for t r =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun l ->
+      let cur = try Hashtbl.find tbl l.l_owner_rank with Not_found -> [] in
+      Hashtbl.replace tbl l.l_owner_rank (l :: cur))
+    t.links.(r);
+  Hashtbl.fold (fun o ls acc -> (o, Array.of_list (List.rev ls)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* One guarded collective: for each halo-holding rank, validates every
+   neighbour message through the injector ([gather] builds the sender's
+   payload — owner-side for exchange, holder-side for reduce),
+   simulates the arrival order, then applies payloads in canonical
+   order via [apply]. *)
+let guarded_collective inj t ~dim ~what ~gather ~apply =
+  t.epoch <- t.epoch + 1;
+  for r = 0 to t.nranks - 1 do
+    let msgs = messages_for t r in
+    let validated =
+      List.map
+        (fun (owner, ls) ->
+          let seq = t.seq in
+          t.seq <- t.seq + 1;
+          let payload = Array.make (Array.length ls * dim) 0.0 in
+          gather r owner ls payload;
+          let wire =
+            Envelope.transmit inj ~chan:Fault.Halo ~what ~seq ~epoch:t.epoch payload
+          in
+          let dup = Fault.fires inj Fault.Dup Fault.Halo ~seq ~attempt:0 in
+          if dup then Fault.count inj "dup.injected";
+          (seq, dup, owner, ls, wire))
+        msgs
+    in
+    Envelope.observe_arrivals inj ~chan:Fault.Halo
+      (List.map (fun (seq, dup, _, _, _) -> (seq, dup)) validated);
+    (* apply in canonical (sequence) order: the reassembled round *)
+    List.iter (fun (_, _, owner, ls, wire) -> apply r owner ls wire) validated
+  done
+
 (** Refresh halo copies from their owners. [data rank] is that rank's
     local storage of the exchanged dat ([dim] doubles per element).
     [dats] names the per-rank dat records being exchanged so their
     halo-freshness bit can be cleared (see {!Freshness}). *)
 let exchange ?traffic ?(dats = [||]) t ~dim ~data =
   Opp_obs.Trace.with_span ~cat:"halo" "HaloExchange" (fun () ->
-      for r = 0 to t.nranks - 1 do
-        let dst = data r in
-        Array.iter
-          (fun l ->
-            let src = data l.l_owner_rank in
-            Array.blit src (l.l_owner_index * dim) dst (l.l_local * dim) dim)
-          t.links.(r)
-      done;
+      (match Fault.active () with
+      | None ->
+          for r = 0 to t.nranks - 1 do
+            let dst = data r in
+            Array.iter
+              (fun l ->
+                let src = data l.l_owner_rank in
+                Array.blit src (l.l_owner_index * dim) dst (l.l_local * dim) dim)
+              t.links.(r)
+          done
+      | Some inj ->
+          guarded_collective inj t ~dim ~what:"halo exchange"
+            ~gather:(fun _r owner ls payload ->
+              let src = data owner in
+              Array.iteri
+                (fun i l -> Array.blit src (l.l_owner_index * dim) payload (i * dim) dim)
+                ls)
+            ~apply:(fun r _owner ls wire ->
+              let dst = data r in
+              Array.iteri
+                (fun i l -> Array.blit wire (i * dim) dst (l.l_local * dim) dim)
+                ls));
       Array.iter Freshness.mark_fresh dats;
       account traffic t ~dim)
 
@@ -69,26 +195,63 @@ let exchange ?traffic ?(dats = [||]) t ~dim ~data =
     deposits at MPI boundaries). *)
 let reduce ?traffic t ~dim ~data =
   Opp_obs.Trace.with_span ~cat:"halo" "HaloReduce" (fun () ->
-      for r = 0 to t.nranks - 1 do
-        let src = data r in
-        Array.iter
-          (fun l ->
-            let dst = data l.l_owner_rank in
-            for d = 0 to dim - 1 do
-              dst.((l.l_owner_index * dim) + d) <-
-                dst.((l.l_owner_index * dim) + d) +. src.((l.l_local * dim) + d);
-              src.((l.l_local * dim) + d) <- 0.0
-            done)
-          t.links.(r)
-      done;
+      (match Fault.active () with
+      | None ->
+          for r = 0 to t.nranks - 1 do
+            let src = data r in
+            Array.iter
+              (fun l ->
+                let dst = data l.l_owner_rank in
+                for d = 0 to dim - 1 do
+                  dst.((l.l_owner_index * dim) + d) <-
+                    dst.((l.l_owner_index * dim) + d) +. src.((l.l_local * dim) + d);
+                  src.((l.l_local * dim) + d) <- 0.0
+                done)
+              t.links.(r)
+          done
+      | Some inj ->
+          (* contributions flow halo-holder -> owner: gather from the
+             holder's halo region; on validated delivery add into the
+             owner and zero the halo copy exactly once *)
+          guarded_collective inj t ~dim ~what:"halo reduce"
+            ~gather:(fun r _owner ls payload ->
+              let src = data r in
+              Array.iteri
+                (fun i l -> Array.blit src (l.l_local * dim) payload (i * dim) dim)
+                ls)
+            ~apply:(fun r owner ls wire ->
+              let src = data r and dst = data owner in
+              Array.iteri
+                (fun i l ->
+                  for d = 0 to dim - 1 do
+                    dst.((l.l_owner_index * dim) + d) <-
+                      dst.((l.l_owner_index * dim) + d) +. wire.((i * dim) + d);
+                    src.((l.l_local * dim) + d) <- 0.0
+                  done)
+                ls));
       account traffic t ~dim)
 
 (** Simulated allreduce over per-rank values (every rank sees the
     sum). *)
+let allreduce_seq = ref 0
+
 let allreduce_sum ?traffic ~nranks values =
   (match traffic with
   | Some (tr : Traffic.t) -> tr.Traffic.reductions <- tr.Traffic.reductions + 1
   | None -> ());
   if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.add "reductions" 1.0;
   ignore nranks;
-  Array.fold_left ( +. ) 0.0 values
+  match Fault.active () with
+  | None -> Array.fold_left ( +. ) 0.0 values
+  | Some inj ->
+      (* each rank's contribution is one message; transient faults on
+         it are healed by retransmission, then summed in rank order *)
+      Array.fold_left
+        (fun acc v ->
+          let seq = !allreduce_seq in
+          incr allreduce_seq;
+          let wire =
+            Envelope.transmit inj ~chan:Fault.Allreduce ~what:"allreduce" ~seq [| v |]
+          in
+          acc +. wire.(0))
+        0.0 values

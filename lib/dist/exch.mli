@@ -3,7 +3,15 @@
     element on another; [exchange] refreshes copies from owners,
     [reduce] pushes halo contributions back and zeroes the copies.
     Both count the bytes and neighbour messages a real MPI run would
-    issue. *)
+    issue.
+
+    When a fault schedule is installed ([Opp_resil.Fault.install]) both
+    collectives run guarded: every neighbour message carries a sequence
+    number, epoch tag, and payload checksum; drops, corruption,
+    duplicates, reorders, and stale replays are detected and healed
+    with bounded retransmission, and payloads are applied in canonical
+    sequence order so the recovered result is bit-for-bit the
+    fault-free one (docs/RESILIENCE.md). *)
 
 type link = {
   l_local : int;  (** halo element's local index on the halo-holding rank *)
@@ -13,8 +21,17 @@ type link = {
 
 type t
 
-val create : nranks:int -> links:link array array -> t
-(** One link array per rank (its halo elements). *)
+exception Invalid_links of string
+(** Raised by {!create} on a structurally invalid link, with a
+    diagnostic code in the message: [E070] owner rank out of range,
+    [E071] a halo element that names its own rank as owner, [E072] a
+    local or owner index outside the set (see docs/ANALYSIS.md). *)
+
+val create : ?sizes:int array -> nranks:int -> link array array -> t
+(** One link array per rank (its halo elements). Validates every link
+    at construction — raising {!Invalid_links} on a bad one — and, when
+    [sizes] gives the per-rank element count of the exchanged set,
+    bounds-checks both link endpoints against it. *)
 
 val halo_count : t -> int -> int
 val count_messages : t -> int

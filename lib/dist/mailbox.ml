@@ -14,6 +14,7 @@ type t = {
   boxes : (int * float array) list array;  (** per destination, reversed *)
   counts : int array;
   mutable sources : (int * int) list;  (** (src, dst) message pairs this round *)
+  mutable wire_seq : int;  (** sequence number of the next guarded migrant *)
 }
 
 let create ~nranks ~payload_dim =
@@ -23,6 +24,7 @@ let create ~nranks ~payload_dim =
     boxes = Array.make nranks [];
     counts = Array.make nranks 0;
     sources = [];
+    wire_seq = 0;
   }
 
 let total t = Array.fold_left ( + ) 0 t.counts
@@ -36,29 +38,72 @@ let post t ~src ~dest ~cell ~payload =
   t.counts.(dest) <- t.counts.(dest) + 1;
   if not (List.mem (src, dest) t.sources) then t.sources <- (src, dest) :: t.sources
 
+module Fault = Opp_resil.Fault
+
+(* Guarded unpacking of one destination's batch: each migrant is its
+   own message through the envelope (its destination cell rides as the
+   checksum tag). A migrant whose retries exhaust, or whose payload
+   carries a non-finite value, is {e quarantined} — dropped from the
+   batch and counted, the messaging analogue of flagging a particle
+   NEED_REMOVE — rather than poisoning the receiving rank. Validated
+   migrants are applied in posting order whatever the simulated arrival
+   order, keeping the receiver's append order (and so the whole run)
+   bit-for-bit identical to the fault-free one. *)
+let guarded_batch inj t batch =
+  let validated =
+    List.filter_map
+      (fun (cell, payload) ->
+        let seq = t.wire_seq in
+        t.wire_seq <- t.wire_seq + 1;
+        if Array.exists (fun x -> not (Float.is_finite x)) payload then begin
+          Fault.count inj "quarantined";
+          None
+        end
+        else
+          match
+            Envelope.transmit inj ~chan:Fault.Migrate ~what:"particle migration" ~seq
+              ~tag:cell payload
+          with
+          | wire ->
+              let dup = Fault.fires inj Fault.Dup Fault.Migrate ~seq ~attempt:0 in
+              if dup then Fault.count inj "dup.injected";
+              Some (seq, dup, cell, wire)
+          | exception Opp_resil.Retry.Exhausted _ ->
+              Fault.count inj "quarantined";
+              None)
+      batch
+  in
+  Envelope.observe_arrivals inj ~chan:Fault.Migrate
+    (List.map (fun (seq, dup, _, _) -> (seq, dup)) validated);
+  List.map (fun (_, _, cell, wire) -> (cell, wire)) validated
+
 (** Deliver all batches ([handler rank batch] with the batch in posting
     order), count the traffic, and clear the mailbox. Returns how many
-    particles moved rank. *)
+    particles actually moved rank (quarantined migrants excluded). *)
 let deliver ?traffic t handler =
-  let delivered = total t in
+  let posted = total t in
   (match traffic with
   | Some (tr : Traffic.t) ->
-      tr.Traffic.migrated_particles <- tr.Traffic.migrated_particles + delivered;
+      tr.Traffic.migrated_particles <- tr.Traffic.migrated_particles + posted;
       tr.Traffic.migrate_bytes <-
-        tr.Traffic.migrate_bytes +. float_of_int (delivered * ((t.payload_dim * 8) + 4));
+        tr.Traffic.migrate_bytes +. float_of_int (posted * ((t.payload_dim * 8) + 4));
       tr.Traffic.migrate_messages <- tr.Traffic.migrate_messages + List.length t.sources
   | None -> ());
   if !Opp_obs.Metrics.enabled then begin
-    Opp_obs.Metrics.add "migrate.particles" (float_of_int delivered);
+    Opp_obs.Metrics.add "migrate.particles" (float_of_int posted);
     Opp_obs.Metrics.add "migrate.bytes"
-      (float_of_int (delivered * ((t.payload_dim * 8) + 4)));
+      (float_of_int (posted * ((t.payload_dim * 8) + 4)));
     Opp_obs.Metrics.add "migrate.msgs" (float_of_int (List.length t.sources))
   end;
+  let inj = Fault.active () in
+  let delivered = ref 0 in
   for r = 0 to t.nranks - 1 do
     let batch = List.rev t.boxes.(r) in
     t.boxes.(r) <- [];
     t.counts.(r) <- 0;
+    let batch = match inj with None -> batch | Some inj -> guarded_batch inj t batch in
+    delivered := !delivered + List.length batch;
     if batch <> [] then handler r batch
   done;
   t.sources <- [];
-  delivered
+  !delivered

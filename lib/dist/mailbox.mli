@@ -15,5 +15,11 @@ val post : t -> src:int -> dest:int -> cell:int -> payload:float array -> unit
 
 val deliver : ?traffic:Traffic.t -> t -> (int -> (int * float array) list -> unit) -> int
 (** Hand each destination rank its batch (in posting order), count the
-    traffic, clear the mailbox; returns how many particles moved
-    rank. *)
+    traffic, clear the mailbox; returns how many particles moved rank.
+    Under an installed fault schedule each migrant travels through the
+    detection envelope (checksum tagged with its destination cell,
+    per-migrant sequence number); transient faults are healed by
+    retransmission and migrants that exhaust their retries or carry
+    non-finite payloads are quarantined — excluded from the batch and
+    the return count, and tallied in the [quarantined] stat (the
+    messaging analogue of NEED_REMOVE). *)

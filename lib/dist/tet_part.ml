@@ -187,7 +187,13 @@ let build (m : Tet_mesh.t) ~cell_rank ~nranks =
     cell_rank;
     node_rank;
     locals;
-    cell_exch = Exch.create ~nranks ~links:cell_links;
-    node_exch = Exch.create ~nranks ~links:node_links;
+    cell_exch =
+      Exch.create
+        ~sizes:(Array.map (fun lm -> Array.length lm.lm_cell_g) locals)
+        ~nranks cell_links;
+    node_exch =
+      Exch.create
+        ~sizes:(Array.map (fun lm -> Array.length lm.lm_node_g) locals)
+        ~nranks node_links;
     cell_g2l;
   }

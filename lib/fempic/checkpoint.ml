@@ -61,12 +61,7 @@ let restore_dat (d : dat) a =
     raise (Corrupt (Printf.sprintf "dat %s: size mismatch" d.d_name));
   Array.blit a 0 d.d_data 0 (Array.length a)
 
-(** Write the simulation state to [path]. *)
-let save (sim : Fempic_sim.t) path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+let write_snapshot oc (sim : Fempic_sim.t) =
       write_i64 oc magic;
       write_int oc sim.Fempic_sim.step_count;
       write_int oc sim.Fempic_sim.cells.s_size;
@@ -85,7 +80,21 @@ let save (sim : Fempic_sim.t) path =
       (* injection state, for bit-exact resume *)
       write_floats oc sim.Fempic_sim.face_carry;
       write_int oc (Array.length sim.Fempic_sim.face_rng);
-      Array.iter (fun rng -> write_i64 oc (Rng.state rng)) sim.Fempic_sim.face_rng)
+      Array.iter (fun rng -> write_i64 oc (Rng.state rng)) sim.Fempic_sim.face_rng
+
+(** Write the simulation state to [path]. The snapshot is written to
+    [path ^ ".tmp"] and renamed into place, so an interrupted save can
+    never leave a torn file under the final name — a previous good
+    snapshot at [path] survives the interruption. *)
+let save (sim : Fempic_sim.t) path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_snapshot oc sim)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (** Restore a snapshot into a freshly created simulation on the same
     mesh and parameters. Raises [Corrupt] on format or shape
@@ -101,16 +110,7 @@ let load (sim : Fempic_sim.t) path =
       if ncells <> sim.Fempic_sim.cells.s_size then raise (Corrupt "cell count mismatch");
       if nnodes <> sim.Fempic_sim.nodes.s_size then raise (Corrupt "node count mismatch");
       (* size the particle population before restoring its dats *)
-      let have = sim.Fempic_sim.parts.s_size in
-      if nparts > have then ignore (Particle.inject sim.Fempic_sim.parts (nparts - have))
-      else if nparts < have then begin
-        let dead = Array.make have false in
-        for p = nparts to have - 1 do
-          dead.(p) <- true
-        done;
-        ignore (Particle.remove_flagged sim.Fempic_sim.parts dead)
-      end;
-      Particle.reset_injected sim.Fempic_sim.parts;
+      Particle.resize sim.Fempic_sim.parts nparts;
       restore_dat sim.Fempic_sim.node_phi (read_floats ic);
       restore_dat sim.Fempic_sim.node_charge (read_floats ic);
       restore_dat sim.Fempic_sim.node_charge_den (read_floats ic);

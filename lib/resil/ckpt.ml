@@ -1,0 +1,251 @@
+(** Backend-neutral distributed checkpoint/restart.
+
+    A checkpoint is a directory [<dir>/ckpt-<step>/] holding one
+    binary {e shard} per rank plus a [MANIFEST]. Shards carry named,
+    typed sections (float / int / int64 arrays) — the app decides what
+    state goes in; this module only guarantees integrity and
+    atomicity:
+
+    - every shard is written temp-file-then-rename;
+    - the whole checkpoint is assembled in a hidden temp directory and
+      committed with a single directory rename, so a crash mid-save
+      can never leave a half-written [ckpt-*] directory;
+    - the manifest records a whole-file FNV-64 checksum per shard, and
+      {!load} verifies them — a torn or bit-flipped shard invalidates
+      that checkpoint and {!load} falls back to the newest older one.
+
+    This generalizes [Fempic.Checkpoint] (the single-rank binary
+    snapshot) to per-rank shards for the distributed apps; both
+    [Apps_dist.Fempic_dist] and [Apps_dist.Cabana_dist] store their
+    state through it. *)
+
+exception Corrupt of string
+
+type section =
+  | Floats of string * float array
+  | Ints of string * int array
+  | I64s of string * int64 array
+
+let section_name = function Floats (n, _) | Ints (n, _) | I64s (n, _) -> n
+
+(* --- section lookup --- *)
+
+let find sections name =
+  match List.find_opt (fun s -> section_name s = name) sections with
+  | Some s -> s
+  | None -> raise (Corrupt (Printf.sprintf "missing section '%s'" name))
+
+let floats sections name =
+  match find sections name with
+  | Floats (_, a) -> a
+  | _ -> raise (Corrupt (Printf.sprintf "section '%s' is not a float section" name))
+
+let ints sections name =
+  match find sections name with
+  | Ints (_, a) -> a
+  | _ -> raise (Corrupt (Printf.sprintf "section '%s' is not an int section" name))
+
+let i64s sections name =
+  match find sections name with
+  | I64s (_, a) -> a
+  | _ -> raise (Corrupt (Printf.sprintf "section '%s' is not an int64 section" name))
+
+(* --- shard binary format --- *)
+
+let shard_magic = 0x4F5050524553494CL (* "OPPRESIL" *)
+
+let write_shard path sections =
+  Codec.write_atomic path (fun oc ->
+      Codec.write_i64 oc shard_magic;
+      Codec.write_int oc (List.length sections);
+      List.iter
+        (fun s ->
+          match s with
+          | Floats (name, a) ->
+              Codec.write_int oc 0;
+              Codec.write_string oc name;
+              Codec.write_floats oc a
+          | Ints (name, a) ->
+              Codec.write_int oc 1;
+              Codec.write_string oc name;
+              Codec.write_ints oc a
+          | I64s (name, a) ->
+              Codec.write_int oc 2;
+              Codec.write_string oc name;
+              Codec.write_i64s oc a)
+        sections)
+
+let load_shard path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        if Codec.read_i64 ic <> shard_magic then raise (Corrupt "bad shard magic");
+        let n = Codec.read_int ic in
+        if n < 0 || n > 4096 then raise (Corrupt "bad section count");
+        List.init n (fun _ ->
+            let tag = Codec.read_int ic in
+            let name = Codec.read_string ic in
+            match tag with
+            | 0 -> Floats (name, Codec.read_floats ic)
+            | 1 -> Ints (name, Codec.read_ints ic)
+            | 2 -> I64s (name, Codec.read_i64s ic)
+            | k -> raise (Corrupt (Printf.sprintf "bad section tag %d" k)))
+      with Codec.Corrupt msg -> raise (Corrupt msg))
+
+(* --- directory layout --- *)
+
+let ckpt_dirname step = Printf.sprintf "ckpt-%08d" step
+let shard_filename rank = Printf.sprintf "shard-%04d.bin" rank
+let manifest_name = "MANIFEST"
+
+let step_of_dirname name =
+  if String.length name = 13 && String.sub name 0 5 = "ckpt-" then
+    int_of_string_opt (String.sub name 5 8)
+  else None
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* --- manifest --- *)
+
+let write_manifest path ~step ~nranks ~checksums =
+  Codec.write_atomic path (fun oc ->
+      Printf.fprintf oc "OPPIC-RESIL-CKPT 1\nstep %d\nshards %d\n" step nranks;
+      Array.iteri
+        (fun r sum -> Printf.fprintf oc "%s %016Lx\n" (shard_filename r) sum)
+        checksums)
+
+let read_manifest path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () = try Some (input_line ic) with End_of_file -> None in
+      match (line (), line (), line ()) with
+      | Some header, Some step_l, Some shards_l
+        when header = "OPPIC-RESIL-CKPT 1"
+             && String.length step_l > 5
+             && String.sub step_l 0 5 = "step "
+             && String.length shards_l > 7
+             && String.sub shards_l 0 7 = "shards " -> (
+          match
+            ( int_of_string_opt (String.sub step_l 5 (String.length step_l - 5)),
+              int_of_string_opt (String.sub shards_l 7 (String.length shards_l - 7)) )
+          with
+          | Some step, Some nranks when nranks >= 1 && nranks <= 65536 ->
+              let sums =
+                List.init nranks (fun r ->
+                    match line () with
+                    | Some l -> (
+                        match String.split_on_char ' ' l with
+                        | [ name; hex ] when name = shard_filename r -> (
+                            match Int64.of_string_opt ("0x" ^ hex) with
+                            | Some sum -> sum
+                            | None -> raise (Corrupt "bad manifest checksum"))
+                        | _ -> raise (Corrupt "bad manifest shard line"))
+                    | None -> raise (Corrupt "truncated manifest"))
+              in
+              (step, Array.of_list sums)
+          | _ -> raise (Corrupt "bad manifest header values"))
+      | _ -> raise (Corrupt "bad manifest header"))
+
+(* --- save / load --- *)
+
+(** Write one checkpoint of [shards] (one section list per rank) at
+    [step] under [dir], atomically. Keeps the newest [keep]
+    checkpoints (and prunes older ones, plus any abandoned temp
+    directories from interrupted saves). *)
+let save ?(keep = 4) ~dir ~step shards =
+  let nranks = Array.length shards in
+  if nranks = 0 then invalid_arg "Ckpt.save: no shards";
+  mkdir_p dir;
+  let final = Filename.concat dir (ckpt_dirname step) in
+  let tmp = Filename.concat dir ("." ^ ckpt_dirname step ^ ".tmp") in
+  rm_rf tmp;
+  mkdir_p tmp;
+  let checksums =
+    Array.mapi
+      (fun r sections ->
+        let path = Filename.concat tmp (shard_filename r) in
+        write_shard path sections;
+        Codec.checksum_file path)
+      shards
+  in
+  write_manifest (Filename.concat tmp manifest_name) ~step ~nranks ~checksums;
+  rm_rf final;
+  Sys.rename tmp final;
+  if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.add "resil.checkpoints" 1.0;
+  (* prune: old checkpoints beyond [keep], and stale temp dirs *)
+  let entries = Sys.readdir dir in
+  Array.iter
+    (fun e ->
+      if String.length e > 4 && e.[0] = '.' && Filename.check_suffix e ".tmp" then
+        rm_rf (Filename.concat dir e))
+    entries;
+  let steps =
+    Array.to_list entries |> List.filter_map step_of_dirname |> List.sort (fun a b -> compare b a)
+  in
+  List.iteri
+    (fun i s -> if i >= keep then rm_rf (Filename.concat dir (ckpt_dirname s)))
+    steps
+
+(* Validate one checkpoint directory; return its shards on success. *)
+let try_load_dir path =
+  try
+    let step, sums = read_manifest (Filename.concat path manifest_name) in
+    let shards =
+      Array.mapi
+        (fun r expected ->
+          let sp = Filename.concat path (shard_filename r) in
+          if not (Sys.file_exists sp) then raise (Corrupt "missing shard");
+          if Codec.checksum_file sp <> expected then
+            raise (Corrupt (Printf.sprintf "shard %d checksum mismatch" r));
+          load_shard sp)
+        sums
+    in
+    Some (step, shards)
+  with Corrupt _ | Sys_error _ -> None
+
+(** Newest valid checkpoint under [dir]: validates manifests and shard
+    checksums, skipping torn or corrupted checkpoints. Returns
+    [(step, shards)] or [None] when no valid checkpoint exists. *)
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else
+    let steps =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map step_of_dirname
+      |> List.sort (fun a b -> compare b a)
+    in
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Some _ -> acc
+        | None -> try_load_dir (Filename.concat dir (ckpt_dirname s)))
+      None steps
+
+(** Steps of the valid checkpoints under [dir], newest first. *)
+let available ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map step_of_dirname
+    |> List.sort (fun a b -> compare b a)
+    |> List.filter (fun s ->
+           try_load_dir (Filename.concat dir (ckpt_dirname s)) <> None)

@@ -1,0 +1,35 @@
+(** Backend-neutral distributed checkpoint/restart: per-rank binary
+    shards of named, typed sections under [<dir>/ckpt-<step>/], with a
+    checksummed manifest, temp-file+rename shard writes, and a single
+    atomic directory-rename commit. [load] verifies every checksum and
+    falls back to the newest older checkpoint when one is torn. *)
+
+exception Corrupt of string
+
+type section =
+  | Floats of string * float array
+  | Ints of string * int array
+  | I64s of string * int64 array
+
+val section_name : section -> string
+
+val find : section list -> string -> section
+val floats : section list -> string -> float array
+val ints : section list -> string -> int array
+val i64s : section list -> string -> int64 array
+(** Typed lookup; raise {!Corrupt} on a missing or mistyped section. *)
+
+val save : ?keep:int -> dir:string -> step:int -> section list array -> unit
+(** Atomically write one checkpoint (one section list per rank);
+    prunes checkpoints beyond the newest [keep] (default 4) and
+    abandoned temp directories. *)
+
+val load : dir:string -> (int * section list array) option
+(** Newest checkpoint whose manifest and shard checksums all verify,
+    as [(step, shards)]; [None] if no valid checkpoint exists. *)
+
+val available : dir:string -> int list
+(** Steps of the valid checkpoints under [dir], newest first. *)
+
+val load_shard : string -> section list
+(** Read one shard file (integrity is the manifest's job). *)

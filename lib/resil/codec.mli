@@ -1,0 +1,42 @@
+(** Binary encoding and checksums shared by the resilience layer:
+    big-endian 64-bit words, FNV-1a 64-bit checksums, atomic writes. *)
+
+exception Corrupt of string
+
+(** {2 Checksums} *)
+
+val checksum_floats : ?tag:int -> float array -> int64
+(** FNV-1a over the IEEE bit patterns, optionally salted with an
+    integer tag (e.g. the destination cell riding with a payload).
+    Sensitive to any single-bit flip. *)
+
+val checksum_ints : int array -> int64
+val checksum_i64s : int64 array -> int64
+val checksum_slice : float array -> off:int -> len:int -> int64
+val checksum_file : string -> int64
+
+val mix_int : int64 -> int -> int64
+val mix_i64 : int64 -> int64 -> int64
+val fnv_offset : int64
+
+(** {2 Channel IO (big-endian)} *)
+
+val write_i64 : out_channel -> int64 -> unit
+val read_i64 : in_channel -> int64
+val write_int : out_channel -> int -> unit
+val read_int : in_channel -> int
+val write_float : out_channel -> float -> unit
+val read_float : in_channel -> float
+val write_floats : out_channel -> float array -> unit
+val read_floats : in_channel -> float array
+val write_ints : out_channel -> int array -> unit
+val read_ints : in_channel -> int array
+val write_i64s : out_channel -> int64 array -> unit
+val read_i64s : in_channel -> int64 array
+val write_string : out_channel -> string -> unit
+val read_string : in_channel -> string
+
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** [write_atomic path f] writes via [f] into [path ^ ".tmp"] and
+    renames it over [path], so a crash mid-write never leaves a torn
+    file under the final name. *)

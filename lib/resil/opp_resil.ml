@@ -1,0 +1,22 @@
+(** [opp_resil]: fault injection, detection, and recovery for the
+    distributed substrate (docs/RESILIENCE.md).
+
+    - {!Fault}: deterministic, seeded fault schedules (message drops,
+      bit corruption, duplication, reordering, delays, stale replays,
+      rank crashes/stalls) installed process-wide.
+    - {!Retry}: bounded retry-with-accounted-backoff used by the
+      communication modules to heal transient faults.
+    - {!Ckpt}: backend-neutral sharded checkpoint/restart with
+      checksummed manifests and atomic commits.
+    - {!Codec}: the shared binary encoding and FNV-64 checksums.
+
+    The detection envelope itself (sequence numbers, epoch tags,
+    payload checksums) lives where the messages are:
+    [Opp_dist.Exch] and [Opp_dist.Mailbox]. *)
+
+module Codec = Codec
+module Fault = Fault
+module Retry = Retry
+module Ckpt = Ckpt
+
+exception Rank_crash = Fault.Rank_crash

@@ -1,0 +1,41 @@
+(** Bounded retry-with-backoff for transient message faults.
+
+    The simulated substrate has no real clock to sleep on, so backoff
+    is {e accounted} rather than slept: each retry adds an
+    exponentially growing latency to the [resil.backoff_ns] metric
+    (the cost a real network would pay), and the attempt loop reruns
+    the delivery, which re-rolls the fault schedule at the next
+    attempt number — exactly how a retransmission beats a transient
+    drop. *)
+
+exception Exhausted of string
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted what -> Some (Printf.sprintf "Opp_resil.Retry.Exhausted(%s)" what)
+    | _ -> None)
+
+let base_backoff_ns = 500.0
+
+(** [with_retry inj ~what f] calls [f attempt] for [attempt = 0, 1,
+    ...] until it returns [Some v] (success) or the schedule's attempt
+    budget is exhausted, counting each retry. [None] from [f] means
+    the delivery was detected as faulty and must be retransmitted.
+    Raises {!Exhausted} when the budget runs out — the caller decides
+    whether that is fatal (halo exchange) or quarantines the payload
+    (particle migration). *)
+let with_retry (inj : Fault.t) ~what f =
+  let max_attempts = Fault.max_attempts inj in
+  let rec go attempt =
+    if attempt >= max_attempts then raise (Exhausted what)
+    else
+      match f attempt with
+      | Some v -> v
+      | None ->
+          Fault.count inj "retries";
+          if !Opp_obs.Metrics.enabled then
+            Opp_obs.Metrics.add "resil.backoff_ns"
+              (base_backoff_ns *. float_of_int (1 lsl min attempt 16));
+          go (attempt + 1)
+  in
+  go 0

@@ -1,0 +1,9 @@
+(** Bounded retry-with-backoff for transient message faults; backoff
+    is accounted to the [resil.backoff_ns] metric rather than slept. *)
+
+exception Exhausted of string
+
+val with_retry : Fault.t -> what:string -> (int -> 'a option) -> 'a
+(** Call [f attempt] until it returns [Some v]; [None] counts a retry
+    and rerolls the fault schedule at the next attempt number. Raises
+    {!Exhausted} after the schedule's attempt budget. *)

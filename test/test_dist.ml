@@ -49,7 +49,7 @@ let exch_fixture () =
   let link ~local ~rank ~index = { Exch.l_local = local; l_owner_rank = rank; l_owner_index = index } in
   let exch =
     Exch.create ~nranks:2
-      ~links:[| [| link ~local:2 ~rank:1 ~index:0 |]; [| link ~local:2 ~rank:0 ~index:0 |] |]
+      [| [| link ~local:2 ~rank:1 ~index:0 |]; [| link ~local:2 ~rank:0 ~index:0 |] |]
   in
   let data = [| [| 1.0; 2.0; 0.0 |]; [| 10.0; 20.0; 0.0 |] |] in
   (exch, data)

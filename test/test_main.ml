@@ -15,4 +15,5 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("pushers", Test_pushers.suite);
       ("landau", Test_landau.suite);
+      ("resil", Test_resil.suite);
     ]

@@ -271,9 +271,11 @@ let prop_hist_total_preserving =
         (fun () ->
           Metrics.enable ();
           List.iter (Metrics.observe "h") vs;
-          let counts = Option.get (Metrics.hist_counts "h") in
-          Array.fold_left ( + ) 0 counts = List.length vs
-          && Metrics.hist_total "h" = Some (List.length vs))
+          match Metrics.hist_counts "h" with
+          | None -> vs = [] (* nothing observed: no histogram exists *)
+          | Some counts ->
+              Array.fold_left ( + ) 0 counts = List.length vs
+              && Metrics.hist_total "h" = Some (List.length vs))
         ())
 
 (* --- counters / gauges / tick --- *)

@@ -25,6 +25,21 @@ let try_write what path f =
     Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
     exit 1
 
+(* Fold the locality flags into a scheduler config; [None] (the
+   as-stored iteration of the seed) unless at least one flag is set. *)
+let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
+  if (not binned) && (not sort_auto) && sort_every = 0 && sort_threshold <= 0.0 then None
+  else
+    Some
+      {
+        Opp_locality.Sched.default_config with
+        Opp_locality.Sched.auto_sort = sort_auto || sort_threshold > 0.0;
+        sort_threshold =
+          (if sort_threshold > 0.0 then sort_threshold
+           else Opp_locality.Sched.default_config.Opp_locality.Sched.sort_threshold);
+        sort_every;
+      }
+
 let obs_finish ~trace ~metrics ~obs_summary =
   (match trace with
   | Some path ->
@@ -59,9 +74,11 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
     Opp_obs.Metrics.tick ~step
   end
 
-let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check faults
-    ckpt_every ckpt_dir restart trace metrics obs_summary =
+let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check binned sort_auto
+    sort_every sort_threshold faults ckpt_every ckpt_dir restart trace metrics obs_summary =
   obs_setup ~trace ~metrics ~obs_summary;
+  let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
+  if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
   if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
   Resil_cli.install_faults faults;
   let prm =
@@ -105,7 +122,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check f
             ~make:(fun () ->
               Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
                 ?workers:(if hybrid then Some workers else None)
-                ~checked:check ~profile ())
+                ~checked:check ?locality ~profile ())
             ~destroy:Apps_dist.Cabana_dist.shutdown
             ~step_count:(fun d -> d.Apps_dist.Cabana_dist.step_count)
             ~save:(fun d ~dir -> Apps_dist.Cabana_dist.save_checkpoint d ~dir)
@@ -131,16 +148,21 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check f
         Resil_cli.report_faults ();
         obs_finish ~trace ~metrics ~obs_summary
     | _ ->
+        let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
         let runner, cleanup =
           match backend with
-          | "seq" -> (Opp_core.Runner.seq ~profile (), fun () -> ())
+          | "seq" ->
+              ( (match sched with
+                | Some s -> Opp_locality.Binned.runner ~profile s
+                | None -> Opp_core.Runner.seq ~profile ()),
+                fun () -> () )
           | "omp" ->
-              let th = Opp_thread.Thread_runner.create ~profile ~workers () in
+              let th = Opp_thread.Thread_runner.create ~profile ?sched ~workers () in
               (Opp_thread.Thread_runner.runner th, fun () -> Opp_thread.Thread_runner.shutdown th)
           | name -> (
               match device_of_name name with
               | Some device ->
-                  let gpu = Opp_gpu.Gpu_runner.create ~profile device in
+                  let gpu = Opp_gpu.Gpu_runner.create ~profile ?sched device in
                   (Opp_gpu.Gpu_runner.runner gpu, fun () -> ())
               | None ->
                   Printf.eprintf "unknown backend '%s' (seq|omp|mpi|v100|h100|mi210|mi250x)\n"
@@ -148,7 +170,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check f
                   exit 1)
         in
         let runner = if check then Opp_check.checked ~profile runner else runner in
-        let sim = Cabana.Cabana_sim.create ~prm ~runner ~profile () in
+        let sim = Cabana.Cabana_sim.create ~prm ~runner ~profile ?locality:sched () in
         (* sequential checkpointing: a one-shard Opp_resil.Ckpt *)
         (match restart with
         | Some dir -> (
@@ -172,6 +194,9 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check f
         done;
         cleanup ();
         Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
+        (match sched with
+        | Some s -> Printf.printf "locality: %d sorts performed\n%!" (Opp_locality.Sched.sorts s)
+        | None -> ());
         Resil_cli.report_faults ();
         obs_finish ~trace ~metrics ~obs_summary
 
@@ -202,6 +227,32 @@ let cmd =
             "run under the opp_check sanitizer backend (instrumented sequential execution; \
              aborts on the first contract violation)")
   in
+  let binned =
+    Arg.(
+      value & flag
+      & info [ "binned" ]
+          ~doc:"iterate particle loops in the canonical cell-binned order (opp_locality)")
+  in
+  let sort_auto =
+    Arg.(
+      value & flag
+      & info [ "sort-auto" ]
+          ~doc:"enable the automatic sort scheduler (implies $(b,--binned)): physically sort \
+                particles by cell when the locality metric degrades")
+  in
+  let sort_every =
+    Arg.(
+      value & opt int 0
+      & info [ "sort-every" ] ~docv:"N"
+          ~doc:"sort particles by cell every $(docv) steps (implies $(b,--binned); 0 disables)")
+  in
+  let sort_threshold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sort-threshold" ] ~docv:"X"
+          ~doc:"mean p2c jump distance that triggers an automatic sort (implies \
+                $(b,--sort-auto); 0 keeps the default)")
+  in
   let trace =
     Arg.(
       value
@@ -222,8 +273,9 @@ let cmd =
     (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
-      $ validate $ check $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg
-      $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg $ trace $ metrics $ obs_summary)
+      $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold
+      $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
+      $ Resil_cli.restart_arg $ trace $ metrics $ obs_summary)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -31,6 +31,21 @@ let try_write what path f =
     Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
     exit 1
 
+(* Fold the locality flags into a scheduler config; [None] (the
+   as-stored iteration of the seed) unless at least one flag is set. *)
+let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
+  if (not binned) && (not sort_auto) && sort_every = 0 && sort_threshold <= 0.0 then None
+  else
+    Some
+      {
+        Opp_locality.Sched.default_config with
+        Opp_locality.Sched.auto_sort = sort_auto || sort_threshold > 0.0;
+        sort_threshold =
+          (if sort_threshold > 0.0 then sort_threshold
+           else Opp_locality.Sched.default_config.Opp_locality.Sched.sort_threshold);
+        sort_every;
+      }
+
 let obs_finish ~trace ~metrics ~obs_summary =
   (match trace with
   | Some path ->
@@ -53,9 +68,11 @@ let obs_finish ~trace ~metrics ~obs_summary =
   end
 
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
-    seed write_mesh neutral_density check faults ckpt_every ckpt_dir restart trace metrics
-    obs_summary =
+    seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold faults
+    ckpt_every ckpt_dir restart trace metrics obs_summary =
   obs_setup ~trace ~metrics ~obs_summary;
+  let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
+  if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
   if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
   Resil_cli.install_faults faults;
   let mesh = Opp_mesh.Tet_mesh.build ~nx ~ny ~nz ~lx ~ly ~lz in
@@ -88,7 +105,7 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
           ~make:(fun () ->
             Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
               ?workers:(if hybrid then Some workers else None)
-              ~checked:check ~profile mesh)
+              ~checked:check ?locality ~profile mesh)
           ~destroy:Apps_dist.Fempic_dist.shutdown
           ~step_count:(fun d -> d.Apps_dist.Fempic_dist.step_count)
           ~save:(fun d ~dir -> Apps_dist.Fempic_dist.save_checkpoint d ~dir)
@@ -108,23 +125,31 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
             dist.Apps_dist.Fempic_dist.traffic);
       Apps_dist.Fempic_dist.shutdown dist
   | _ ->
+      let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
       let runner, cleanup =
         match backend with
-        | "seq" -> (Opp_core.Runner.seq ~profile (), fun () -> ())
+        | "seq" ->
+            ( (match sched with
+              | Some s -> Opp_locality.Binned.runner ~profile s
+              | None -> Opp_core.Runner.seq ~profile ()),
+              fun () -> () )
         | "omp" ->
-            let th = Opp_thread.Thread_runner.create ~profile ~workers () in
+            let th = Opp_thread.Thread_runner.create ~profile ?sched ~workers () in
             (Opp_thread.Thread_runner.runner th, fun () -> Opp_thread.Thread_runner.shutdown th)
         | name -> (
             match device_of_name name with
             | Some device ->
-                let gpu = Opp_gpu.Gpu_runner.create ~profile device in
+                let gpu = Opp_gpu.Gpu_runner.create ~profile ?sched device in
                 (Opp_gpu.Gpu_runner.runner gpu, fun () -> ())
             | None ->
                 Printf.eprintf "unknown backend '%s' (seq|omp|mpi|v100|h100|mi210|mi250x)\n" name;
                 exit 1)
       in
       let runner = if check then Opp_check.checked ~profile runner else runner in
-      let sim = Fempic.Fempic_sim.create ~prm ~runner ~profile ~use_direct_hop:direct_hop mesh in
+      let sim =
+        Fempic.Fempic_sim.create ~prm ~runner ~profile ?locality:sched
+          ~use_direct_hop:direct_hop mesh
+      in
       if prefill then Printf.printf "prefilled %d particles\n%!" (Fempic.Fempic_sim.prefill sim);
       (* sequential checkpointing rides the legacy single-file snapshot *)
       let ckpt_file dir = Filename.concat dir "fempic.ckpt" in
@@ -173,7 +198,10 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
             m.Fempic.Collisions.cx_count m.Fempic.Collisions.elastic_count
       | None -> ());
       cleanup ();
-      finish profile (fun () -> ())
+      finish profile (fun () ->
+          match sched with
+          | Some s -> Printf.printf "locality: %d sorts performed\n%!" (Opp_locality.Sched.sorts s)
+          | None -> ())
 
 let cmd =
   let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"duct hexes in x") in
@@ -214,6 +242,32 @@ let cmd =
             "run under the opp_check sanitizer backend (instrumented sequential execution; \
              aborts on the first contract violation)")
   in
+  let binned =
+    Arg.(
+      value & flag
+      & info [ "binned" ]
+          ~doc:"iterate particle loops in the canonical cell-binned order (opp_locality)")
+  in
+  let sort_auto =
+    Arg.(
+      value & flag
+      & info [ "sort-auto" ]
+          ~doc:"enable the automatic sort scheduler (implies $(b,--binned)): physically sort \
+                particles by cell when the locality metric degrades")
+  in
+  let sort_every =
+    Arg.(
+      value & opt int 0
+      & info [ "sort-every" ] ~docv:"N"
+          ~doc:"sort particles by cell every $(docv) steps (implies $(b,--binned); 0 disables)")
+  in
+  let sort_threshold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sort-threshold" ] ~docv:"X"
+          ~doc:"mean p2c jump distance that triggers an automatic sort (implies \
+                $(b,--sort-auto); 0 keeps the default)")
+  in
   let trace =
     Arg.(
       value
@@ -234,9 +288,10 @@ let cmd =
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
-      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check
-      $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
-      $ Resil_cli.restart_arg $ trace $ metrics $ obs_summary)
+      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ binned
+      $ sort_auto $ sort_every $ sort_threshold $ Resil_cli.faults_arg
+      $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg $ trace
+      $ metrics $ obs_summary)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -18,7 +18,11 @@
       element of an indirectly-accessed dat (a real race on every
       parallel backend; Inc is exempt — that is what Inc is for);
     - E060 — a loop read the halo region of a dat written since its
-      copies were last refreshed ({!Opp_dist.Freshness}).
+      copies were last refreshed ({!Opp_dist.Freshness});
+    - E080 — the backing storage of an argument's dat was reallocated
+      while the loop was running (an injection inside a kernel grew
+      the set): every view already handed to the kernel still points
+      at the old array, so subsequent writes are silently lost.
 
     The wrapper deliberately does NOT delegate execution to [inner]:
     thread and SIMT backends re-point views at private accumulation
@@ -95,12 +99,22 @@ let checked_par_loop ~profile ~loop ~flops_per_elem kernel set iterate args =
   (* (dat id, target element) -> first writing iteration element *)
   let writers : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let lo, hi = Seq.iter_range set iterate in
+  (* E080: snapshot the physical stores so a mid-loop reallocation
+     (injection growing the set inside a kernel) is caught on the very
+     next element rather than corrupting silently *)
+  let stores = Seq.arg_stores args_a in
+  let n0 = set.s_size in
   let t0 = Opp_obs.Clock.now_s () in
   for e = lo to hi - 1 do
     for k = 0 to nargs - 1 do
       (match args_a.(k) with
       | Arg.Arg_gbl _ -> ()
       | Arg.Arg_dat d as a ->
+          if d.dat.d_data != stores.(k) then
+            Diag.violate ~code:"E080" ~loop ~dat:d.dat.d_name ~elem:e
+              "storage of dat %s was reallocated during the loop (injection inside a kernel \
+               grew set %s): views handed to earlier elements still point at the old array"
+              d.dat.d_name d.dat.d_set.s_name;
           let target = target_elem ~loop e a in
           views.(k).View.data <- d.dat.d_data;
           views.(k).View.base <- target * d.dat.d_dim;
@@ -170,6 +184,11 @@ let checked_par_loop ~profile ~loop ~flops_per_elem kernel set iterate args =
       | _ -> ()
     done
   done;
+  if set.s_size <> n0 then
+    Diag.violate ~code:"E080" ~loop
+      "iteration set %s changed size during the loop (%d -> %d): particles were injected or \
+       removed while their set was being iterated"
+      set.s_name n0 set.s_size;
   let n = hi - lo in
   Profile.record ~t:profile ~name:loop ~elems:n
     ~seconds:(Opp_obs.Clock.now_s () -. t0)
@@ -227,7 +246,11 @@ let checked_particle_move ~profile ~loop ~flops_per_elem ~dh kernel set (p2c : m
         "move kernel hopped to cell %d, outside [0, %d) of set %s" ctx.Seq.cell cells.s_size
         cells.s_name
   in
-  let result = Seq.particle_move ~profile ~flops_per_elem ?dh ~name:loop wrapped set ~p2c args in
+  (* the engine's own reallocation guard surfaces as the E080 code *)
+  let result =
+    try Seq.particle_move ~profile ~flops_per_elem ?dh ~name:loop wrapped set ~p2c args
+    with Seq.Storage_reallocated msg -> Diag.violate ~code:"E080" ~loop "%s" msg
+  in
   List.iter
     (fun a ->
       match a with

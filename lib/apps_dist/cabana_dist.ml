@@ -25,6 +25,9 @@ type t = {
   cell_exch : Exch.t;
   traffic : Traffic.t;
   profile : Profile.t;
+  locality : Opp_locality.Sched.t option;
+      (** shared sort scheduler (one instance, per-rank particle sets
+          are tracked independently by physical identity) *)
   mutable step_count : int;
   mutable last_migrated : int;
 }
@@ -85,7 +88,7 @@ let build_topology (prm : Cabana.Cabana_params.t) (mesh : Opp_mesh.Hex_mesh.t) ~
   (topology, g2l)
 
 let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checked = false)
-    ?(profile = Profile.global) () =
+    ?locality ?(profile = Profile.global) () =
   let mesh =
     Opp_mesh.Hex_mesh.build ~nx:prm.Cabana.Cabana_params.nx ~ny:prm.Cabana.Cabana_params.ny
       ~nz:prm.Cabana.Cabana_params.nz ~lx:prm.Cabana.Cabana_params.lx
@@ -95,13 +98,19 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
     Partition.slab ~nranks ~ncells:mesh.Opp_mesh.Hex_mesh.ncells ~coord:(fun c ->
         mesh.Opp_mesh.Hex_mesh.cell_centroid.((3 * c) + 2))
   in
+  let sched =
+    Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality
+  in
   let threads =
-    Option.map (fun w -> Opp_thread.Thread_runner.create ~profile ~workers:w ()) workers
+    Option.map (fun w -> Opp_thread.Thread_runner.create ~profile ?sched ~workers:w ()) workers
   in
   let runner =
     match threads with
     | Some th -> Opp_thread.Thread_runner.runner th
-    | None -> Runner.seq ~profile ()
+    | None -> (
+        match sched with
+        | Some s -> Opp_locality.Binned.runner ~profile s
+        | None -> Runner.seq ~profile ())
   in
   (* sanitized runs execute every rank's loops under the opp_check
      instrumented engine (stale-halo reads included; see Freshness) *)
@@ -109,7 +118,8 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
   let tops = Array.init nranks (fun r -> build_topology prm mesh ~cell_rank ~r) in
   let sims =
     Array.map
-      (fun (topology, _) -> Cabana.Cabana_sim.create ~prm ~runner ~profile ~topology ())
+      (fun (topology, _) ->
+        Cabana.Cabana_sim.create ~prm ~runner ~profile ?locality:sched ~topology ())
       tops
   in
   let cell_g2l = Array.map snd tops in
@@ -145,6 +155,7 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
         ~nranks links;
     traffic = Traffic.create ();
     profile;
+    locality = sched;
     step_count = 0;
     last_migrated = 0;
   }
@@ -271,6 +282,9 @@ let step t =
   (match Opp_resil.Fault.active () with
   | Some inj -> Opp_resil.Fault.begin_step inj ~step:(t.step_count + 1)
   | None -> ());
+  (* per-rank sort-scheduling point (no-op without [?locality]) *)
+  if t.locality <> None then
+    rank_phase t "SortSchedule" (fun _ sim -> Cabana.Cabana_sim.schedule_locality sim);
   (* refresh E and B halos ("Update_Ghosts") before the stencils *)
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
   exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);

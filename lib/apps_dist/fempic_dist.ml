@@ -33,6 +33,9 @@ type t = {
   g_den : float array;
   traffic : Traffic.t;
   profile : Profile.t;
+  locality : Opp_locality.Sched.t option;
+      (** shared sort scheduler (one instance, per-rank particle sets
+          are tracked independently by physical identity) *)
   mutable step_count : int;
   mutable last_migrated : int;
 }
@@ -41,8 +44,8 @@ type t = {
 let payload_dim = 10
 
 let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns)
-    ?(use_direct_hop = false) ?workers ?(checked = false) ?(profile = Profile.global)
-    (mesh : Opp_mesh.Tet_mesh.t) =
+    ?(use_direct_hop = false) ?workers ?(checked = false) ?locality
+    ?(profile = Profile.global) (mesh : Opp_mesh.Tet_mesh.t) =
   let centroid c =
     [|
       mesh.Opp_mesh.Tet_mesh.cell_centroid.(3 * c);
@@ -67,13 +70,19 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
       (fun acc f -> acc +. f.Opp_mesh.Tet_mesh.f_area)
       0.0 mesh.Opp_mesh.Tet_mesh.inlet_faces
   in
+  let sched =
+    Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality
+  in
   let threads =
-    Option.map (fun w -> Opp_thread.Thread_runner.create ~profile ~workers:w ()) workers
+    Option.map (fun w -> Opp_thread.Thread_runner.create ~profile ?sched ~workers:w ()) workers
   in
   let runner =
     match threads with
     | Some th -> Opp_thread.Thread_runner.runner th
-    | None -> Runner.seq ~profile ()
+    | None -> (
+        match sched with
+        | Some s -> Opp_locality.Binned.runner ~profile s
+        | None -> Runner.seq ~profile ())
   in
   (* sanitized runs execute every rank's loops under the opp_check
      instrumented engine (stale-halo reads included; see Freshness) *)
@@ -82,7 +91,7 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     Array.map
       (fun lm ->
         let sim =
-          Fempic.Fempic_sim.create ~prm ~runner ~profile ~total_inlet_area
+          Fempic.Fempic_sim.create ~prm ~runner ~profile ?locality:sched ~total_inlet_area
             lm.Tet_part.lm_mesh
         in
         sim.Fempic.Fempic_sim.cells.Types.s_exec_size <- lm.Tet_part.lm_cell_owned;
@@ -133,6 +142,7 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     g_den = Array.make nnodes 0.0;
     traffic = Traffic.create ();
     profile;
+    locality = sched;
     step_count = 0;
     last_migrated = 0;
   }
@@ -387,6 +397,9 @@ let step t =
   (match Opp_resil.Fault.active () with
   | Some inj -> Opp_resil.Fault.begin_step inj ~step:(t.step_count + 1)
   | None -> ());
+  (* per-rank sort-scheduling point (no-op without [?locality]) *)
+  if t.locality <> None then
+    rank_phase t "SortSchedule" (fun _ sim -> Fempic.Fempic_sim.schedule_locality sim);
   let injected = ref 0 in
   rank_phase t "Inject" (fun _ sim ->
       injected := !injected + Fempic.Fempic_sim.inject_particles sim);

@@ -23,9 +23,14 @@ let inject set n =
   List.iter
     (fun m -> Array.fill m.m_data (start * m.m_arity) (n * m.m_arity) (-1))
     set.s_maps_from;
+  for i = 0 to n - 1 do
+    set.s_uid.(start + i) <- set.s_next_uid + i
+  done;
+  set.s_next_uid <- set.s_next_uid + n;
   set.s_size <- start + n;
   set.s_exec_size <- set.s_size;
   set.s_injected <- set.s_injected + n;
+  set.s_version <- set.s_version + 1;
   start
 
 let reset_injected set = set.s_injected <- 0
@@ -38,15 +43,29 @@ let move_slot set ~src ~dst =
       set.s_dats;
     List.iter
       (fun m -> Array.blit m.m_data (src * m.m_arity) m.m_data (dst * m.m_arity) m.m_arity)
-      set.s_maps_from
+      set.s_maps_from;
+    set.s_uid.(dst) <- set.s_uid.(src)
   end
+
+(** Stable per-particle identity of the particle in slot [i] (assigned
+    at injection, follows the particle through compaction and sorts). *)
+let uid set i = set.s_uid.(i)
 
 (** Remove the particles whose index is flagged in [dead] (length >=
     current size) by filling holes from the tail. Returns the number
-    removed. Slot order of survivors is not preserved. *)
+    removed. Slot order of survivors is not preserved.
+
+    The injected window shrinks with the removals: hole filling only
+    ever pulls particles downwards from the tail, so every slot at or
+    above the old window start still holds a particle of the injected
+    batch. [s_injected] is clamped to that suffix — exact when the
+    removals are confined to the window (the migration pattern of the
+    distributed drivers), conservative (an injected survivor pulled
+    below the window leaves it) otherwise. *)
 let remove_flagged set dead =
   if not (is_particle_set set) then invalid_arg "Particle.remove_flagged: not a particle set";
   let n = set.s_size in
+  let window_start = n - set.s_injected in
   let last = ref (n - 1) in
   let removed = ref 0 in
   let i = ref 0 in
@@ -67,6 +86,8 @@ let remove_flagged set dead =
   done;
   set.s_size <- n - !removed;
   set.s_exec_size <- set.s_size;
+  set.s_injected <- max 0 (set.s_size - window_start);
+  if !removed > 0 then set.s_version <- set.s_version + 1;
   !removed
 
 (** Resize the particle population to exactly [n], preserving the slot
@@ -90,30 +111,80 @@ let resize set n =
 
 (** Permute all particle storage so particles are ordered by ascending
     cell index in [p2c] (auxiliary sort API of the paper, used for the
-    locality / coloring ablation). *)
+    locality / coloring ablation and the sort scheduler). The sort is
+    stable — ties are broken by the original slot index — so intra-cell
+    particle order, and therefore non-associative INC accumulation
+    order, is reproducible. Out-of-range cells sort last (the same
+    bucketing as the binned iteration order). The injected window is
+    reset: the sort scatters the tail window across the population, so
+    a subsequent [Iterate_injected] would visit arbitrary particles. *)
 let sort_by_cell set ~(p2c : map) =
   if p2c.m_from != set then invalid_arg "Particle.sort_by_cell: p2c not on this set";
   let n = set.s_size in
-  let perm = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare p2c.m_data.(a) p2c.m_data.(b)) perm;
+  let cells = p2c.m_data in
+  (* stable counting sort: cell indices are small, and a comparator
+     sort pays a polymorphic-compare call per comparison *)
+  let nc = match set.s_cells with Some c -> c.s_size | None -> 0 in
+  let bucket c = if c >= 0 && c < nc then c else nc in
+  let starts = Array.make (nc + 2) 0 in
+  for i = 0 to n - 1 do
+    let b = bucket cells.(i) in
+    starts.(b + 1) <- starts.(b + 1) + 1
+  done;
+  for c = 0 to nc do
+    starts.(c + 1) <- starts.(c + 1) + starts.(c)
+  done;
+  let perm = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    let b = bucket cells.(i) in
+    perm.(starts.(b)) <- i;
+    starts.(b) <- starts.(b) + 1
+  done;
+  (* gather via direct indexing: a per-element [Array.blit] of 1-4
+     entries costs a C call each, which dominates the whole sort *)
   let apply_f d =
     let dim = d.d_dim in
+    let data = d.d_data in
     let tmp = Array.make (n * dim) 0.0 in
-    for i = 0 to n - 1 do
-      Array.blit d.d_data (perm.(i) * dim) tmp (i * dim) dim
-    done;
-    Array.blit tmp 0 d.d_data 0 (n * dim)
+    if dim = 1 then
+      for i = 0 to n - 1 do
+        tmp.(i) <- data.(perm.(i))
+      done
+    else
+      for i = 0 to n - 1 do
+        let src = perm.(i) * dim and dst = i * dim in
+        for k = 0 to dim - 1 do
+          tmp.(dst + k) <- data.(src + k)
+        done
+      done;
+    Array.blit tmp 0 data 0 (n * dim)
   in
   let apply_m m =
     let ar = m.m_arity in
+    let data = m.m_data in
     let tmp = Array.make (n * ar) (-1) in
-    for i = 0 to n - 1 do
-      Array.blit m.m_data (perm.(i) * ar) tmp (i * ar) ar
-    done;
-    Array.blit tmp 0 m.m_data 0 (n * ar)
+    if ar = 1 then
+      for i = 0 to n - 1 do
+        tmp.(i) <- data.(perm.(i))
+      done
+    else
+      for i = 0 to n - 1 do
+        let src = perm.(i) * ar and dst = i * ar in
+        for k = 0 to ar - 1 do
+          tmp.(dst + k) <- data.(src + k)
+        done
+      done;
+    Array.blit tmp 0 data 0 (n * ar)
   in
   List.iter apply_f set.s_dats;
-  List.iter apply_m set.s_maps_from
+  List.iter apply_m set.s_maps_from;
+  let ut = Array.make n 0 in
+  for i = 0 to n - 1 do
+    ut.(i) <- set.s_uid.(perm.(i))
+  done;
+  Array.blit ut 0 set.s_uid 0 n;
+  reset_injected set;
+  set.s_version <- set.s_version + 1
 
 (** Number of particles currently residing in each cell, from [p2c]. *)
 let per_cell_counts set ~(p2c : map) =

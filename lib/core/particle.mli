@@ -14,7 +14,11 @@ val reset_injected : set -> unit
 val remove_flagged : set -> bool array -> int
 (** Remove the particles flagged in the array (length >= size) by
     filling holes from the tail — the paper's hole-filling compaction.
-    Returns the number removed. Survivor order is not preserved. *)
+    Returns the number removed. Survivor order is not preserved. The
+    injected window is clamped to the surviving tail suffix, so every
+    slot [Iterate_injected] visits afterwards still holds a particle
+    of the injected batch (exact when all removals fell inside the
+    window, conservative otherwise). *)
 
 val resize : set -> int -> unit
 (** Resize the population to exactly [n] slots, preserving survivor
@@ -23,7 +27,15 @@ val resize : set -> int -> unit
 
 val sort_by_cell : set -> p2c:map -> unit
 (** Permute all particle storage into ascending cell order (the
-    auxiliary sort API; used for GPU locality). *)
+    auxiliary sort API; used for GPU locality and the sort scheduler
+    of [Opp_locality]). Stable: ties are broken by original slot
+    index, so intra-cell order — and non-associative INC accumulation
+    order — is reproducible. Resets the injected window. *)
+
+val uid : set -> int -> int
+(** Stable identity of the particle in slot [i]: assigned at injection
+    and carried through compaction and sorting. [(cell, uid)] defines
+    the canonical iteration order of the locality layer. *)
 
 val per_cell_counts : set -> p2c:map -> int array
 (** Particles currently residing in each cell. *)

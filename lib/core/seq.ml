@@ -63,25 +63,75 @@ let refresh_views args views =
 let loop_bytes args n =
   float_of_int (n * List.fold_left (fun acc a -> acc + Arg.bytes_per_elem a) 0 args)
 
+exception Storage_reallocated of string
+(** A kernel mutated the population of the set it iterates (injection
+    or removal inside a loop body), so the loop's views point at stale
+    storage. Raised by the loop engines; the sanitizer runner
+    ([Opp_check]) reports it as diagnostic E080. *)
+
+let arg_stores args_a =
+  Array.map
+    (function Arg.Arg_gbl _ -> [||] | Arg.Arg_dat d -> d.dat.d_data)
+    args_a
+
+let realloc_fail ~name dat_name =
+  raise
+    (Storage_reallocated
+       (Printf.sprintf
+          "%s: storage of dat %s was reallocated during the loop (particle \
+           injection inside a kernel?); views are stale [E080]" name dat_name))
+
+let check_stores ~name ~set ~n0 args_a stores =
+  Array.iteri
+    (fun k a ->
+      match a with
+      | Arg.Arg_gbl _ -> ()
+      | Arg.Arg_dat d -> if d.dat.d_data != stores.(k) then realloc_fail ~name d.dat.d_name)
+    args_a;
+  if set.s_size <> n0 then
+    raise
+      (Storage_reallocated
+         (Printf.sprintf
+            "%s: population of set %s changed from %d to %d during the loop \
+             (injection or removal inside a kernel?) [E080]" name set.s_name n0
+            set.s_size))
+
 (** Execute [kernel] for every element of [set] (the [opp_par_loop] of
-    the paper). [flops_per_elem] feeds the roofline ledger. *)
-let par_loop ?(profile = Profile.global) ?(flops_per_elem = 0.0) ~name kernel set iterate args
-    =
+    the paper). [flops_per_elem] feeds the roofline ledger. [order]
+    overrides the iteration sequence with an explicit element order
+    (the locality layer passes the canonical cell-binned order); it
+    must enumerate exactly the elements the iterate would visit. *)
+let par_loop ?(profile = Profile.global) ?(flops_per_elem = 0.0) ?order ~name kernel set
+    iterate args =
   List.iter (Arg.validate ~iter_set:set) args;
   let args_a = Array.of_list args in
   let views = make_views args_a in
+  let stores = arg_stores args_a in
   let nargs = Array.length args_a in
   let lo, hi = iter_range set iterate in
+  let n0 = set.s_size in
   let t0 = now () in
-  for e = lo to hi - 1 do
+  let body e =
     for k = 0 to nargs - 1 do
       match args_a.(k) with
       | Arg.Arg_gbl _ -> ()
-      | Arg.Arg_dat _ as a -> views.(k).View.base <- Arg.offset a e
+      | Arg.Arg_dat d as a ->
+          if d.dat.d_data != stores.(k) then realloc_fail ~name d.dat.d_name;
+          views.(k).View.base <- Arg.offset a e
     done;
     kernel views
-  done;
-  let n = hi - lo in
+  in
+  (match order with
+  | None ->
+      for e = lo to hi - 1 do
+        body e
+      done
+  | Some ord ->
+      for i = 0 to Array.length ord - 1 do
+        body ord.(i)
+      done);
+  check_stores ~name ~set ~n0 args_a stores;
+  let n = match order with Some o -> Array.length o | None -> hi - lo in
   Profile.record ~t:profile ~name ~elems:n ~seconds:(now () -. t0)
     ~flops:(flops_per_elem *. float_of_int n)
     ~bytes:(loop_bytes args n) ()
@@ -188,13 +238,14 @@ let walk_one ~name ~max_hops ~(kernel : move_kernel) ~args ~views ~(ctx : move_c
     [on_particle] observes per-particle hop counts (used by the SIMT
     divergence model). *)
 let particle_move ?(profile = Profile.global) ?(flops_per_elem = 0.0) ?(max_hops = 10_000)
-    ?(iterate = Iterate_all) ?dh ?should_stop ?on_pending ?on_particle ~name
+    ?(iterate = Iterate_all) ?order ?dh ?should_stop ?on_pending ?on_particle ~name
     (kernel : move_kernel) set ~(p2c : map) args =
   if not (is_particle_set set) then invalid_arg "particle_move: not a particle set";
   if p2c.m_from != set then invalid_arg "particle_move: p2c source is not the particle set";
   List.iter (Arg.validate ~iter_set:set) args;
   let args_a = Array.of_list args in
   let views = make_views args_a in
+  let stores = arg_stores args_a in
   let n = set.s_size in
   let lo, hi = iter_range set iterate in
   let dead = Array.make (max n 1) false in
@@ -212,13 +263,27 @@ let particle_move ?(profile = Profile.global) ?(flops_per_elem = 0.0) ?(max_hops
           match on_particle with Some f -> f ~p ~hops | None -> ())
   in
   let t0 = now () in
-  for p = lo to hi - 1 do
+  let walk p =
     walk_one ~name ~max_hops ~kernel ~args:args_a ~views ~ctx ~p2c ~dh ~stop_at ~on_pending
       ~on_particle ~dead ~acc p
-  done;
+  in
+  (match order with
+  | None ->
+      for p = lo to hi - 1 do
+        walk p
+      done
+  | Some ord ->
+      for i = 0 to Array.length ord - 1 do
+        walk ord.(i)
+      done);
+  check_stores ~name ~set ~n0:n args_a stores;
+  (* any hop may have rewritten p2c, so cached cell-bin structures
+     ([Opp_locality.Bins]) keyed by [s_version] must be rebuilt *)
+  if acc.acc_total_hops > 0 then set.s_version <- set.s_version + 1;
   let n_removed = Particle.remove_flagged set dead in
   assert (n_removed = acc.acc_removed + acc.acc_sent);
-  Profile.record ~t:profile ~name ~elems:(hi - lo) ~seconds:(now () -. t0)
+  let elems = match order with Some o -> Array.length o | None -> hi - lo in
+  Profile.record ~t:profile ~name ~elems ~seconds:(now () -. t0)
     ~flops:(flops_per_elem *. float_of_int acc.acc_total_hops)
     ~bytes:(loop_bytes args acc.acc_total_hops) ();
   {

@@ -34,6 +34,13 @@ type move_result = {
 exception Move_diverged of string
 (** A particle exceeded [max_hops] without settling. *)
 
+exception Storage_reallocated of string
+(** A kernel mutated the population of the set its loop iterates
+    (injection or removal inside a loop body): the loop's views point
+    at stale storage, so every write since the reallocation was lost.
+    Raised by the loop engines of every backend; the sanitizer runner
+    ([Opp_check]) reports it as diagnostic E080. *)
+
 val iter_range : set -> iterate -> int * int
 (** Half-open iteration range of a set under an iterate selector. *)
 
@@ -41,16 +48,31 @@ val make_views : Arg.t array -> View.t array
 val refresh_views : Arg.t array -> View.t array -> unit
 val loop_bytes : Arg.t list -> int -> float
 
+val arg_stores : Arg.t array -> float array array
+(** The physical storage behind each argument (an empty array for
+    globals), captured at loop entry for reallocation detection. *)
+
+val check_stores :
+  name:string -> set:set -> n0:int -> Arg.t array -> float array array -> unit
+(** Raise {!Storage_reallocated} if any argument's storage moved, or
+    the iterated set's population changed, since [arg_stores] ran
+    ([n0] = the population at loop entry). *)
+
 val par_loop :
   ?profile:Profile.t ->
   ?flops_per_elem:float ->
+  ?order:int array ->
   name:string ->
   kernel ->
   set ->
   iterate ->
   Arg.t list ->
   unit
-(** The [opp_par_loop] of the paper, sequential semantics. *)
+(** The [opp_par_loop] of the paper, sequential semantics. [order]
+    replaces the iteration sequence with an explicit element order —
+    the locality layer ([Opp_locality]) passes the canonical
+    cell-binned order here; it must enumerate exactly the elements the
+    iterate selector would visit. *)
 
 val set_move_views : Arg.t array -> View.t array -> int -> int -> unit
 (** Point a move loop's views at particle [p] in candidate cell
@@ -90,6 +112,7 @@ val particle_move :
   ?flops_per_elem:float ->
   ?max_hops:int ->
   ?iterate:iterate ->
+  ?order:int array ->
   ?dh:(int -> int) ->
   ?should_stop:(int -> bool) ->
   ?on_pending:(p:int -> cell:int -> unit) ->

@@ -48,6 +48,9 @@ type t = {
   face_carry : float array;
   face_rng : Rng.t array;
   dh : (int -> int) option;  (** direct-hop locator, when enabled *)
+  locality : Opp_locality.Sched.t option;
+      (** sort scheduler; share the same scheduler with the backend
+          runner so binned iteration and the physical sort agree *)
   mutable step_count : int;
   mutable last_solver_stats : Field_solver.stats option;
   mutable last_move : Seq.move_result option;
@@ -146,7 +149,8 @@ let electric_field_kernel views =
     sequential run. [comm] carries the halo hooks for the field solver
     (sequential by default). *)
 let create ?(prm = Params.default) ?(runner = Runner.seq ()) ?(profile = Profile.global)
-    ?(use_direct_hop = false) ?total_inlet_area ?comm (mesh : Opp_mesh.Tet_mesh.t) =
+    ?(use_direct_hop = false) ?locality ?total_inlet_area ?comm (mesh : Opp_mesh.Tet_mesh.t)
+    =
   let ctx = Opp.init () in
   let cells = Opp.decl_set ctx ~name:"cells" mesh.Opp_mesh.Tet_mesh.ncells in
   let nodes = Opp.decl_set ctx ~name:"nodes" mesh.Opp_mesh.Tet_mesh.nnodes in
@@ -261,10 +265,28 @@ let create ?(prm = Params.default) ?(runner = Runner.seq ()) ?(profile = Profile
     face_carry = Array.map (fun _ -> 0.0) face_rate;
     face_rng;
     dh;
+    locality;
     step_count = 0;
     last_solver_stats = None;
     last_move = None;
   }
+
+(** Step-boundary scheduling point: hand the particle set to the sort
+    scheduler (no-op without [?locality]). The previous move's mean
+    hop count feeds the degradation trigger. *)
+let schedule_locality t =
+  match t.locality with
+  | None -> ()
+  | Some sched ->
+      let mean_hops =
+        match t.last_move with
+        | Some mv when mv.Seq.mv_moved + mv.Seq.mv_removed + mv.Seq.mv_sent > 0 ->
+            Some
+              (float_of_int mv.Seq.mv_total_hops
+              /. float_of_int (mv.Seq.mv_moved + mv.Seq.mv_removed + mv.Seq.mv_sent))
+        | _ -> None
+      in
+      ignore (Opp_locality.Sched.maybe_sort sched ?mean_hops t.parts)
 
 (* --- per-step phases --- *)
 
@@ -397,6 +419,7 @@ let compute_electric_field t =
 
 (** One full PIC step; returns the number of injected particles. *)
 let step t =
+  schedule_locality t;
   let injected = inject_particles t in
   calc_pos_vel t;
   ignore (move t);

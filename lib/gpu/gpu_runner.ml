@@ -41,11 +41,16 @@ type t = {
   (* how many atomic units can retire concurrently; spreads the
      serialization cost the way wavefront scheduling does *)
   atomic_parallelism : float;
+  sched : Opp_locality.Sched.t option;
+      (** canonical cell-binned iteration for particle loops: warps
+          then cover runs of same-cell particles, which both the
+          conflict counter and the segmented reduction reward (the
+          paper's sort ablation) *)
   mutable last_divergence : float;  (** eff_hops / hops of the last move *)
   mutable last_conflicts : int;
 }
 
-let create ?(profile = Profile.global) ?(mode = AT) ?(work_scale = 1.0) device =
+let create ?(profile = Profile.global) ?(mode = AT) ?(work_scale = 1.0) ?sched device =
   {
     device;
     mode;
@@ -54,6 +59,7 @@ let create ?(profile = Profile.global) ?(mode = AT) ?(work_scale = 1.0) device =
     exec_profile = Profile.create ();
     pairs = Segmented.create ();
     atomic_parallelism = 128.0;
+    sched;
     last_divergence = 1.0;
     last_conflicts = 0;
   }
@@ -118,16 +124,24 @@ let record t ~name ~elems ~bytes ~flops ~seconds =
 let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
   List.iter (Arg.validate ~iter_set:set) args;
   let lo, hi = Seq.iter_range set iterate in
-  let n = hi - lo in
+  let order =
+    match (t.sched, iterate) with
+    | Some s, Seq.Iterate_all -> Opp_locality.Sched.order s set
+    | _ -> None
+  in
+  let n = match order with Some o -> Array.length o | None -> hi - lo in
   let args_a = Array.of_list args in
   let racy = Array.map is_racy_inc args_a in
   let has_racy = Array.exists Fun.id racy in
   let warp = Opp_perf.Device.warp_size t.device in
   let conflicts = ref 0 in
   let incs = ref 0 in
+  (* lane -> element under the (possibly binned) launch order *)
+  let elem_at i = match order with Some o -> o.(i) | None -> lo + i in
   if (not has_racy) || t.mode <> SR then begin
     (* direct execution (exactly the reference semantics) *)
-    Seq.par_loop ~profile:t.exec_profile ~flops_per_elem ~name kernel set iterate args;
+    Seq.par_loop ~profile:t.exec_profile ~flops_per_elem ?order ~name kernel set iterate
+      args;
     if has_racy && warp > 1 then
       Array.iteri
         (fun k a ->
@@ -138,8 +152,7 @@ let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
               !conflicts
               + (dim
                 * warp_conflicts ~warp ~n ~targets:(fun w lane ->
-                      let e = lo + (w * warp) + lane in
-                      Arg.offset a e))
+                      Arg.offset a (elem_at ((w * warp) + lane))))
           end)
         args_a
   end
@@ -151,7 +164,8 @@ let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
       Array.map (fun (a : Arg.t) -> Array.make (Arg.view_dim a) 0.0) args_a
     in
     let buffers = Array.map (fun (a : Arg.t) -> Segmented.create ~capacity:(Arg.view_dim a * max n 1) ()) args_a in
-    for e = lo to hi - 1 do
+    for idx = 0 to n - 1 do
+      let e = elem_at idx in
       Array.iteri
         (fun k a ->
           match a with
@@ -200,25 +214,35 @@ let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
 let particle_move t ~name ?(flops_per_elem = 0.0) ?dh kernel set ~(p2c : map) args =
   let warp = Opp_perf.Device.warp_size t.device in
   let n = set.s_size in
+  let order =
+    match t.sched with Some s -> Opp_locality.Sched.order s set | None -> None
+  in
   (* conflict fraction estimate from start cells: lanes of a warp
      whose particles share a cell contend on every deposit *)
   let start_conflicts =
     if warp > 1 then
       warp_conflicts ~warp ~n ~targets:(fun w lane ->
-          let p = (w * warp) + lane in
-          if p < n then p2c.m_data.(p) else -1)
+          let i = (w * warp) + lane in
+          if i < n then
+            p2c.m_data.(match order with Some o -> o.(i) | None -> i)
+          else -1)
     else 0
   in
   let conflict_fraction = if n > 0 then float_of_int start_conflicts /. float_of_int n else 0.0 in
   let nwarps = max ((n + warp - 1) / warp) 1 in
   let warp_max = Array.make nwarps 0 in
-  let on_particle ~p ~hops =
-    let w = p / warp in
+  (* warp membership follows launch position (the walk visits
+     particles in launch order, so count the callbacks), not the
+     storage slot *)
+  let pos = ref 0 in
+  let on_particle ~p:_ ~hops =
+    let w = !pos / warp in
+    incr pos;
     if hops > warp_max.(w) then warp_max.(w) <- hops
   in
   let result =
-    Seq.particle_move ~profile:t.exec_profile ~flops_per_elem ?dh ~on_particle ~name kernel
-      set ~p2c args
+    Seq.particle_move ~profile:t.exec_profile ~flops_per_elem ?order ?dh ~on_particle ~name
+      kernel set ~p2c args
   in
   let hops = result.Seq.mv_total_hops in
   let eff_hops = warp * Array.fold_left ( + ) 0 warp_max in

@@ -26,11 +26,20 @@ type t = {
   exec_profile : Profile.t;
   pairs : Segmented.t;
   atomic_parallelism : float;
+  sched : Opp_locality.Sched.t option;
+      (** canonical cell-binned iteration for particle loops (the
+          paper's sort ablation lever); results stay bit-identical *)
   mutable last_divergence : float;
   mutable last_conflicts : int;
 }
 
-val create : ?profile:Profile.t -> ?mode:atomic_mode -> ?work_scale:float -> Opp_perf.Device.t -> t
+val create :
+  ?profile:Profile.t ->
+  ?mode:atomic_mode ->
+  ?work_scale:float ->
+  ?sched:Opp_locality.Sched.t ->
+  Opp_perf.Device.t ->
+  t
 
 val warp_conflicts : warp:int -> n:int -> targets:(int -> int -> int) -> int
 (** Per-warp same-address conflict count; [targets w lane] gives the

@@ -11,10 +11,22 @@ type t = {
   mutable keys : int array;
   mutable values : float array;
   mutable len : int;
+  mutable last_sorted : bool;
+      (** the last [apply] found its keys already ascending and
+          skipped the sort phase entirely — the case cell-binned
+          iteration ([Opp_locality]) produces, where the bin offsets
+          have effectively pre-sorted the deposit stream *)
 }
 
 let create ?(capacity = 1024) () =
-  { keys = Array.make capacity 0; values = Array.make capacity 0.0; len = 0 }
+  {
+    keys = Array.make capacity 0;
+    values = Array.make capacity 0.0;
+    len = 0;
+    last_sorted = false;
+  }
+
+let last_sorted t = t.last_sorted
 
 let clear t = t.len <- 0
 let length t = t.len
@@ -46,23 +58,51 @@ let apply t (target : float array) =
   let n = t.len in
   if n = 0 then 0
   else begin
-    (* sort_by_key via an index permutation (stable not required:
-       addition reordering is the accepted cost of this strategy) *)
-    let order = Array.init n (fun i -> i) in
-    Array.sort (fun a b -> compare t.keys.(a) t.keys.(b)) order;
-    (* reduce_by_key *)
+    (* O(n) pre-pass: a stream stored in ascending key order (what
+       cell-binned iteration yields) needs no sort_by_key at all *)
+    let sorted = ref true in
+    (try
+       for i = 1 to n - 1 do
+         if t.keys.(i) < t.keys.(i - 1) then begin
+           sorted := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    t.last_sorted <- !sorted;
     let distinct = ref 0 in
-    let i = ref 0 in
-    while !i < n do
-      let key = t.keys.(order.(!i)) in
-      let total = ref 0.0 in
-      while !i < n && t.keys.(order.(!i)) = key do
-        total := !total +. t.values.(order.(!i));
-        incr i
-      done;
-      target.(key) <- target.(key) +. !total;
-      incr distinct
-    done;
+    if !sorted then begin
+      (* reduce_by_key straight off the store buffer *)
+      let i = ref 0 in
+      while !i < n do
+        let key = t.keys.(!i) in
+        let total = ref 0.0 in
+        while !i < n && t.keys.(!i) = key do
+          total := !total +. t.values.(!i);
+          incr i
+        done;
+        target.(key) <- target.(key) +. !total;
+        incr distinct
+      done
+    end
+    else begin
+      (* sort_by_key via an index permutation (stable not required:
+         addition reordering is the accepted cost of this strategy) *)
+      let order = Array.init n (fun i -> i) in
+      Array.sort (fun a b -> compare t.keys.(a) t.keys.(b)) order;
+      (* reduce_by_key *)
+      let i = ref 0 in
+      while !i < n do
+        let key = t.keys.(order.(!i)) in
+        let total = ref 0.0 in
+        while !i < n && t.keys.(order.(!i)) = key do
+          total := !total +. t.values.(order.(!i));
+          incr i
+        done;
+        target.(key) <- target.(key) +. !total;
+        incr distinct
+      done
+    end;
     clear t;
     !distinct
   end

@@ -15,4 +15,9 @@ val add : t -> key:int -> value:float -> unit
 val apply : t -> float array -> int
 (** Phases 2+3: sort by key, reduce runs of equal keys, and add each
     run's total into the target at its key. Returns the number of
-    distinct keys; clears the buffer. *)
+    distinct keys; clears the buffer. A stream already stored in
+    ascending key order — what cell-binned iteration produces — is
+    detected in O(n) and reduced without sorting. *)
+
+val last_sorted : t -> bool
+(** Whether the last [apply] hit the pre-sorted fast path. *)

@@ -1,0 +1,125 @@
+(** Cell-binned particle iteration order.
+
+    A bin/offset structure over [p2c] (the CSR layout of the paper's
+    GPU sort ablation): [b_starts] gives, per cell, the span of
+    particles residing in it; [b_order] enumerates the particle slots
+    cell by cell. Within a cell, particles are ordered by their stable
+    {!Opp_core.Particle.uid} — injection identity, not slot index — so
+    the order is {e canonical}: it does not change when hole-filling
+    removal or [sort_by_cell] permutes the slots. Iterating loops in
+    this order therefore produces bit-identical results whether or not
+    the sort scheduler has physically reordered storage. *)
+
+open Opp_core.Types
+
+type t = {
+  b_version : int;  (** [s_version] of the set this was built from *)
+  b_starts : int array;
+      (** [ncells + 2] prefix offsets into [b_order]; the final bucket
+          collects particles with an out-of-range cell *)
+  b_order : int array;  (** canonical (cell, uid) particle order *)
+  b_identity : bool;  (** storage already sits in canonical order *)
+}
+
+(** The particle-to-cell map of a particle set: its first-declared
+    arity-1 map onto its cell set ([None] for mesh sets). *)
+let find_p2c (set : set) =
+  match set.s_cells with
+  | None -> None
+  | Some cells ->
+      List.find_opt
+        (fun m -> m.m_arity = 1 && m.m_to == cells)
+        (List.rev set.s_maps_from)
+
+(** Mean |p2c(i) - p2c(i-1)| over adjacent slots: the locality metric
+    the sort scheduler watches. 0 for perfectly sorted storage; grows
+    as particle motion scrambles the slots. *)
+let mean_jump (set : set) ~(p2c : map) =
+  let n = set.s_size in
+  if n < 2 then 0.0
+  else begin
+    let s = ref 0 in
+    for i = 1 to n - 1 do
+      s := !s + abs (p2c.m_data.(i) - p2c.m_data.(i - 1))
+    done;
+    float_of_int !s /. float_of_int (n - 1)
+  end
+
+let build (set : set) ~(p2c : map) =
+  let cells =
+    match set.s_cells with Some c -> c | None -> invalid_arg "Bins.build: mesh set"
+  in
+  let n = set.s_size in
+  let nc = cells.s_size in
+  let bucket c = if c >= 0 && c < nc then c else nc in
+  let starts = Array.make (nc + 2) 0 in
+  for i = 0 to n - 1 do
+    let b = bucket p2c.m_data.(i) in
+    starts.(b + 1) <- starts.(b + 1) + 1
+  done;
+  for c = 0 to nc do
+    starts.(c + 1) <- starts.(c + 1) + starts.(c)
+  done;
+  let cursor = Array.sub starts 0 (nc + 1) in
+  let order = Array.make (max n 1) 0 in
+  (* (cell, uid) order with two stable counting passes and no
+     comparisons. Uids are unique, and the live span [min_uid,
+     max_uid] stays close to [n] (injection appends fresh uids while
+     removal retires old ones), so pass 1 enumerates slots by
+     ascending uid via a span-sized table; the stable counting sort by
+     cell then keeps that uid order within each cell. When the span is
+     degenerate (pathologically sparse uids) fall back to per-cell
+     insertion sort by uid. *)
+  let uid = set.s_uid in
+  let min_uid = ref max_int and max_uid = ref min_int in
+  for i = 0 to n - 1 do
+    let u = uid.(i) in
+    if u < !min_uid then min_uid := u;
+    if u > !max_uid then max_uid := u
+  done;
+  let span = if n = 0 then 0 else !max_uid - !min_uid + 1 in
+  if n > 0 && span <= (4 * n) + 1024 then begin
+    let slot_of = Array.make span (-1) in
+    for i = 0 to n - 1 do
+      slot_of.(uid.(i) - !min_uid) <- i
+    done;
+    for u = 0 to span - 1 do
+      let s = slot_of.(u) in
+      if s >= 0 then begin
+        let b = bucket p2c.m_data.(s) in
+        order.(cursor.(b)) <- s;
+        cursor.(b) <- cursor.(b) + 1
+      end
+    done
+  end
+  else begin
+    for i = 0 to n - 1 do
+      let b = bucket p2c.m_data.(i) in
+      order.(cursor.(b)) <- i;
+      cursor.(b) <- cursor.(b) + 1
+    done;
+    for c = 0 to nc do
+      let lo = starts.(c) and hi = starts.(c + 1) in
+      for i = lo + 1 to hi - 1 do
+        let v = order.(i) in
+        let uv = uid.(v) in
+        let j = ref (i - 1) in
+        while !j >= lo && uid.(order.(!j)) > uv do
+          order.(!j + 1) <- order.(!j);
+          decr j
+        done;
+        order.(!j + 1) <- v
+      done
+    done
+  end;
+  let identity = ref true in
+  (try
+     for i = 0 to n - 1 do
+       if order.(i) <> i then begin
+         identity := false;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let order = if n = 0 then [||] else order in
+  { b_version = set.s_version; b_starts = starts; b_order = order; b_identity = !identity }

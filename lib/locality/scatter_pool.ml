@@ -1,0 +1,45 @@
+(** Pool of zeroed scratch buffers backing the thread backend's
+    scatter arrays (paper section 3.3, Figure 2(b)).
+
+    The seed backend allocated a fresh full-size private copy of every
+    indirect-INC dat on every loop launch; this pool amortises that to
+    one allocation per (size, worker) over the life of the runner.
+
+    Invariant: every buffer held by the pool is all-zero. The caller
+    zeroes the entries it dirtied while reducing them (it knows the
+    dirty range; the pool does not), so [acquire] never has to fill. *)
+
+type t = {
+  by_len : (int, float array list ref) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { by_len = Hashtbl.create 16; hits = 0; misses = 0 }
+
+(** An all-zero buffer of exactly [len] entries. *)
+let acquire t len =
+  match Hashtbl.find_opt t.by_len len with
+  | Some ({ contents = buf :: rest } as l) ->
+      l := rest;
+      t.hits <- t.hits + 1;
+      buf
+  | _ ->
+      t.misses <- t.misses + 1;
+      Array.make len 0.0
+
+(** Return a buffer to the pool. The caller must have restored the
+    all-zero invariant ([release] trusts it; [is_zero] is for tests
+    and debug assertions). *)
+let release t buf =
+  let len = Array.length buf in
+  match Hashtbl.find_opt t.by_len len with
+  | Some l -> l := buf :: !l
+  | None -> Hashtbl.add t.by_len len (ref [ buf ])
+
+let is_zero buf = Array.for_all (fun x -> x = 0.0) buf
+let hits t = t.hits
+let misses t = t.misses
+
+(** Buffers currently parked in the pool. *)
+let pooled t = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.by_len 0

@@ -1,0 +1,138 @@
+(** The locality scheduler: cell-binned iteration order plus an
+    automatic [sort_by_cell] trigger.
+
+    One scheduler is shared by a driver and its backend runner. The
+    backend asks {!order} for the canonical (cell, uid) iteration
+    order of a particle set (cached per [s_version]); the driver calls
+    {!maybe_sort} once per step, which watches the opp_obs locality
+    metrics (mean p2c jump distance, and the mover's mean hop count
+    when supplied) and physically re-sorts storage when they degrade
+    past the configured thresholds. Because the binned order is
+    canonical (see {!Bins}), results are bit-identical whether or not
+    a sort fired. *)
+
+open Opp_core
+open Opp_core.Types
+
+type config = {
+  binned : bool;  (** iterate particle loops in canonical binned order *)
+  auto_sort : bool;  (** re-sort when a locality metric degrades *)
+  sort_threshold : float;
+      (** mean p2c jump distance ({!Bins.mean_jump}) above which
+          [auto_sort] fires *)
+  hops_threshold : float;
+      (** mean move hops above which [auto_sort] fires ([infinity]
+          disables the hop trigger) *)
+  sort_every : int;  (** force a sort every N steps; 0 disables *)
+  sort_hysteresis : float;
+      (** once a sort has fired, the next one waits until the jump
+          also exceeds [sort_hysteresis] times the degradation floor —
+          the jump observed on the step right after a sort. Removal
+          hole-filling and injection re-scatter a freshly sorted set
+          within one step, so on workloads whose floor sits above
+          [sort_threshold] a purely absolute trigger would re-sort
+          every step for no locality gain. 1.0 disables. *)
+}
+
+let default_config =
+  {
+    binned = true;
+    auto_sort = true;
+    sort_threshold = 4.0;
+    hops_threshold = infinity;
+    sort_every = 0;
+    sort_hysteresis = 1.5;
+  }
+
+type entry = {
+  e_set : set;
+  mutable e_bins : Bins.t option;
+  mutable e_steps : int;  (** maybe_sort calls seen for this set *)
+  mutable e_floor : float;
+      (** EWMA of the post-sort jump (0 until first observed) *)
+  mutable e_just_sorted : bool;
+}
+
+type t = {
+  cfg : config;
+  mutable entries : entry list;
+  mutable sorts : int;
+}
+
+let create ?(config = default_config) () = { cfg = config; entries = []; sorts = 0 }
+let config t = t.cfg
+
+(** Physical sorts triggered so far. *)
+let sorts t = t.sorts
+
+let entry t set =
+  match List.find_opt (fun e -> e.e_set == set) t.entries with
+  | Some e -> e
+  | None ->
+      let e = { e_set = set; e_bins = None; e_steps = 0; e_floor = 0.0; e_just_sorted = false } in
+      t.entries <- e :: t.entries;
+      e
+
+(** The cached bin structure of [set], rebuilt when [s_version] moved.
+    [None] for mesh sets and sets with no particle-to-cell map. *)
+let bins t set =
+  match Bins.find_p2c set with
+  | None -> None
+  | Some p2c ->
+      let e = entry t set in
+      (match e.e_bins with
+      | Some b when b.Bins.b_version = set.s_version -> Some b
+      | _ ->
+          let b = Bins.build set ~p2c in
+          Opp_obs.Metrics.add "locality.bins_built" 1.0;
+          e.e_bins <- Some b;
+          Some b)
+
+(** Canonical iteration order for a full-set particle loop, or [None]
+    when binning is off, [set] is a mesh set, or storage already sits
+    in canonical order (natural iteration is then identical and
+    cheaper). *)
+let order t set =
+  if not (t.cfg.binned && is_particle_set set) then None
+  else
+    match bins t set with
+    | Some b when not b.Bins.b_identity -> Some b.Bins.b_order
+    | _ -> None
+
+(** Per-step scheduling point. Records the locality metrics and
+    re-sorts [set] by cell when due; returns whether a sort fired.
+    Call at a step boundary (the injected window is reset by the
+    sort). [mean_hops] feeds the mover-degradation trigger, typically
+    [mv_total_hops / particles] of the previous step's move. *)
+let maybe_sort t ?mean_hops set =
+  match Bins.find_p2c set with
+  | None -> false
+  | Some p2c ->
+      let e = entry t set in
+      e.e_steps <- e.e_steps + 1;
+      let jump = Bins.mean_jump set ~p2c in
+      Opp_obs.Metrics.set "locality.jump" jump;
+      if e.e_just_sorted then begin
+        (* first jump seen after a sort: the degradation a sort cannot
+           get below on this workload *)
+        e.e_floor <- (if e.e_floor = 0.0 then jump else (0.5 *. e.e_floor) +. (0.5 *. jump));
+        e.e_just_sorted <- false
+      end;
+      (match mean_hops with
+      | Some h -> Opp_obs.Metrics.set "locality.mean_hops" h
+      | None -> ());
+      let due = t.cfg.sort_every > 0 && e.e_steps mod t.cfg.sort_every = 0 in
+      let degraded =
+        t.cfg.auto_sort
+        && ((jump > t.cfg.sort_threshold && jump > t.cfg.sort_hysteresis *. e.e_floor)
+           ||
+           match mean_hops with Some h -> h > t.cfg.hops_threshold | None -> false)
+      in
+      if (due || degraded) && set.s_size > 1 then begin
+        Particle.sort_by_cell set ~p2c;
+        t.sorts <- t.sorts + 1;
+        e.e_just_sorted <- true;
+        Opp_obs.Metrics.add "locality.sorts" 1.0;
+        true
+      end
+      else false

@@ -6,16 +6,65 @@
     copies are reduced into the real dat after the join. Global INC
     arguments get per-worker buffers reduced the same way. Indirect
     WRITE/RW arguments are rejected: they cannot be made race-free
-    without colouring, which PIC loops do not need. *)
+    without colouring, which PIC loops do not need.
+
+    The scatter copies come from a {!Opp_locality.Scatter_pool}: they
+    are reused across launches (the seed backend allocated fresh
+    full-size copies every launch) and each worker records the lo/hi
+    span of entries it touched, so the reduction walks only written
+    segments and restores the pool's all-zero invariant as it goes.
+    [~scatter:`Fresh] restores the seed allocation behaviour (kept
+    for benchmarking the difference).
+
+    [particle_move] distributes particles over workers with an atomic
+    grab-a-block queue when the move has no INC argument (variable-hop
+    walks make static chunks arbitrarily unbalanced); moves that do
+    reduce — and all [par_loop]s — keep deterministic static chunks.
+
+    An optional {!Opp_locality.Sched} supplies the canonical
+    cell-binned iteration order for particle loops, keeping results
+    bit-identical between sorted and unsorted populations. *)
 
 open Opp_core
 open Opp_core.Types
+module Scatter_pool = Opp_locality.Scatter_pool
+module Sched = Opp_locality.Sched
 
-type t = { pool : Pool.t; profile : Profile.t }
+type t = {
+  pool : Pool.t;
+  profile : Profile.t;
+  spool : Scatter_pool.t;
+  scatter : [ `Pooled | `Fresh ];
+  move_sched : [ `Dynamic | `Static ];
+  move_block : int;
+  sched : Sched.t option;
+}
 
-let create ?(profile = Profile.global) ~workers () = { pool = Pool.create workers; profile }
+let create ?(profile = Profile.global) ?sched ?(scatter = `Pooled) ?move_sched
+    ?(move_block = 64) ~workers () =
+  (* dynamic grab-a-block balances real concurrency; when the pool
+     oversubscribes the machine the domains are time-sliced, there is
+     no imbalance to fix, and the shared cursor only adds coherence
+     traffic — so the default is static there. An explicit [move_sched]
+     is always honoured. *)
+  let move_sched =
+    match move_sched with
+    | Some m -> m
+    | None -> if workers > Domain.recommended_domain_count () then `Static else `Dynamic
+  in
+  {
+    pool = Pool.create workers;
+    profile;
+    spool = Scatter_pool.create ();
+    scatter;
+    move_sched;
+    move_block = max 1 move_block;
+    sched;
+  }
+
 let shutdown t = Pool.shutdown t.pool
 let workers t = Pool.size t.pool
+let scatter_pool t = t.spool
 
 let is_indirect (a : Arg.t) =
   match a with
@@ -36,46 +85,79 @@ let check_races name args =
     args
 
 (* Per-worker argument bindings: private scatter copies for racy INC
-   targets, shared storage otherwise. *)
+   targets, shared storage otherwise. [ranges] records, per worker,
+   the half-open span of entries that worker touched; the reduction
+   walks only those. *)
 type binding =
   | Shared
-  | Scatter of float array array  (* one private copy per worker *)
+  | Scatter of { copies : float array array; ranges : (int * int) array }
   | Gbl_scatter of float array array
 
-let make_bindings nworkers args =
+let no_range = (max_int, min_int)
+
+let acquire t len =
+  match t.scatter with
+  | `Pooled -> Scatter_pool.acquire t.spool len
+  | `Fresh -> Array.make len 0.0
+
+let make_bindings t nworkers args =
   List.map
     (fun (a : Arg.t) ->
       match a with
       | Arg.Arg_dat d when d.acc = Inc && is_indirect a ->
-          Scatter (Array.init nworkers (fun _ -> Array.make (Array.length d.dat.d_data) 0.0))
+          Scatter
+            {
+              copies =
+                Array.init nworkers (fun _ -> acquire t (Array.length d.dat.d_data));
+              ranges = Array.make nworkers no_range;
+            }
       | Arg.Arg_gbl g when g.acc = Inc ->
           Gbl_scatter (Array.init nworkers (fun _ -> Array.make (Array.length g.buf) 0.0))
       | _ -> Shared)
     args
 
 (* Reduce scatter copies into the shared data, in worker order so the
-   result is deterministic for a fixed worker count. *)
-let reduce_bindings args bindings =
+   result is deterministic for a fixed worker count. Only the dirty
+   span of each copy is walked; touched entries are zeroed on the way
+   so the copy can go back to the pool with its all-zero invariant
+   intact. Zero entries are skipped for dat and global copies alike
+   (the seed backend skipped them only for dats). *)
+let reduce_bindings t args bindings =
+  let dirty = ref 0 and total = ref 0 in
   List.iter2
     (fun (a : Arg.t) b ->
       match (a, b) with
-      | Arg.Arg_dat d, Scatter copies ->
-          Array.iter
-            (fun copy ->
-              let dst = d.dat.d_data in
-              for i = 0 to Array.length copy - 1 do
-                if copy.(i) <> 0.0 then dst.(i) <- dst.(i) +. copy.(i)
-              done)
+      | Arg.Arg_dat d, Scatter { copies; ranges } ->
+          let dst = d.dat.d_data in
+          Array.iteri
+            (fun w copy ->
+              let lo, hi = ranges.(w) in
+              let lo = max lo 0 and hi = min hi (Array.length copy) in
+              if hi > lo then begin
+                dirty := !dirty + (hi - lo);
+                for i = lo to hi - 1 do
+                  let c = copy.(i) in
+                  if c <> 0.0 then begin
+                    dst.(i) <- dst.(i) +. c;
+                    copy.(i) <- 0.0
+                  end
+                done
+              end;
+              total := !total + Array.length copy;
+              if t.scatter = `Pooled then Scatter_pool.release t.spool copy)
             copies
       | Arg.Arg_gbl g, Gbl_scatter copies ->
           Array.iter
             (fun copy ->
               for i = 0 to Array.length copy - 1 do
-                g.buf.(i) <- g.buf.(i) +. copy.(i)
+                if copy.(i) <> 0.0 then g.buf.(i) <- g.buf.(i) +. copy.(i)
               done)
             copies
       | _ -> ())
-    args bindings
+    args bindings;
+  if !Opp_obs.Metrics.enabled && !total > 0 then
+    Opp_obs.Metrics.set "locality.scatter.dirty_frac"
+      (float_of_int !dirty /. float_of_int !total)
 
 let worker_views args bindings w =
   Array.of_list
@@ -83,7 +165,7 @@ let worker_views args bindings w =
        (fun (a : Arg.t) b ->
          match (a, b) with
          | Arg.Arg_dat d, Shared -> View.of_array d.dat.d_data d.dat.d_dim
-         | Arg.Arg_dat d, Scatter copies -> View.of_array copies.(w) d.dat.d_dim
+         | Arg.Arg_dat d, Scatter { copies; _ } -> View.of_array copies.(w) d.dat.d_dim
          | Arg.Arg_gbl g, Gbl_scatter copies -> View.of_array copies.(w) (Array.length g.buf)
          | Arg.Arg_gbl g, _ -> View.of_array g.buf (Array.length g.buf)
          | Arg.Arg_dat _, Gbl_scatter _ -> assert false)
@@ -93,50 +175,117 @@ let par_loop t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
   List.iter (Arg.validate ~iter_set:set) args;
   check_races name args;
   let lo, hi = Seq.iter_range set iterate in
-  let n = hi - lo in
+  let order =
+    match (t.sched, iterate) with
+    | Some s, Seq.Iterate_all -> Sched.order s set
+    | _ -> None
+  in
+  let n = match order with Some o -> Array.length o | None -> hi - lo in
   let nworkers = Pool.size t.pool in
-  let bindings = make_bindings nworkers args in
+  let bindings = make_bindings t nworkers args in
+  let bindings_a = Array.of_list bindings in
   let args_a = Array.of_list args in
+  let stores = Seq.arg_stores args_a in
+  let n0 = set.s_size in
+  let nargs = Array.length args_a in
+  let dims =
+    Array.map (function Arg.Arg_gbl _ -> 0 | Arg.Arg_dat d -> d.dat.d_dim) args_a
+  in
   let t0 = Opp_obs.Clock.now_s () in
   Pool.run t.pool (fun w ->
       let views = worker_views args bindings w in
+      let wlo = Array.make nargs max_int and whi = Array.make nargs min_int in
       let clo, chi = Pool.chunk ~n ~parts:nworkers w in
-      for e = lo + clo to lo + chi - 1 do
-        Array.iteri
-          (fun k a ->
-            match a with
-            | Arg.Arg_gbl _ -> ()
-            | Arg.Arg_dat _ -> views.(k).View.base <- Arg.offset a e)
-          args_a;
+      for idx = clo to chi - 1 do
+        let e = match order with None -> lo + idx | Some o -> o.(idx) in
+        for k = 0 to nargs - 1 do
+          match args_a.(k) with
+          | Arg.Arg_gbl _ -> ()
+          | Arg.Arg_dat _ as a -> (
+              let base = Arg.offset a e in
+              views.(k).View.base <- base;
+              match bindings_a.(k) with
+              | Scatter _ ->
+                  if base < wlo.(k) then wlo.(k) <- base;
+                  if base + dims.(k) > whi.(k) then whi.(k) <- base + dims.(k)
+              | _ -> ())
+        done;
         kernel views
+      done;
+      for k = 0 to nargs - 1 do
+        match bindings_a.(k) with
+        | Scatter { ranges; _ } -> ranges.(w) <- (wlo.(k), whi.(k))
+        | _ -> ()
       done);
-  reduce_bindings args bindings;
+  Seq.check_stores ~name ~set ~n0 args_a stores;
+  reduce_bindings t args bindings;
   Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Opp_obs.Clock.now_s () -. t0)
     ~flops:(flops_per_elem *. float_of_int n)
     ~bytes:(Seq.loop_bytes args n) ()
+
+(* Every entry a move's scatter copies may have touched: move views
+   are re-based inside the walk (not observable here), so the
+   reduction must walk the whole copy. *)
+let mark_full_dirty bindings =
+  List.iter
+    (function
+      | Scatter { copies; ranges } ->
+          Array.iteri (fun w _ -> ranges.(w) <- (0, Array.length copies.(w))) ranges
+      | _ -> ())
+    bindings
 
 let particle_move t ~name ?(flops_per_elem = 0.0) ?(max_hops = 10_000) ?dh kernel set
     ~(p2c : map) args =
   List.iter (Arg.validate ~iter_set:set) args;
   check_races name args;
   let n = set.s_size in
+  let order = match t.sched with Some s -> Sched.order s set | None -> None in
   let nworkers = Pool.size t.pool in
-  let bindings = make_bindings nworkers args in
+  let bindings = make_bindings t nworkers args in
   let dead = Array.make (max n 1) false in
   let accs = Array.init nworkers (fun _ -> Seq.make_move_acc ()) in
   let args_a = Array.of_list args in
+  let stores = Seq.arg_stores args_a in
+  let has_inc = List.exists (fun a -> Arg.access a = Inc) args in
   let t0 = Opp_obs.Clock.now_s () in
-  Pool.run t.pool (fun w ->
-      let views = worker_views args bindings w in
-      let ctx = { Seq.cell = 0; Seq.status = Seq.Move_done; Seq.hop = 0 } in
-      let clo, chi = Pool.chunk ~n ~parts:nworkers w in
-      for p = clo to chi - 1 do
-        Seq.walk_one ~name ~max_hops ~kernel ~args:args_a ~views ~ctx ~p2c ~dh
-          ~stop_at:(fun _ -> false)
-          ~on_pending:None ~on_particle:None ~dead ~acc:accs.(w) p
-      done);
-  reduce_bindings args bindings;
-  let removed = Particle.remove_flagged set dead in
+  let walk ~views ~ctx ~acc p =
+    Seq.walk_one ~name ~max_hops ~kernel ~args:args_a ~views ~ctx ~p2c ~dh
+      ~stop_at:(fun _ -> false)
+      ~on_pending:None ~on_particle:None ~dead ~acc p
+  in
+  let elem = match order with None -> fun idx -> idx | Some o -> fun idx -> o.(idx) in
+  (if t.move_sched = `Dynamic && not has_inc then begin
+     (* No INC argument: work distribution cannot affect the result,
+        so workers grab fixed-size blocks from an atomic cursor and
+        variable-hop particles no longer serialise on the slowest
+        static chunk. *)
+     let next = Atomic.make 0 in
+     let block = t.move_block in
+     Pool.run t.pool (fun w ->
+         let views = worker_views args bindings w in
+         let ctx = { Seq.cell = 0; Seq.status = Seq.Move_done; Seq.hop = 0 } in
+         let acc = accs.(w) in
+         let running = ref true in
+         while !running do
+           let b = Atomic.fetch_and_add next block in
+           if b >= n then running := false
+           else
+             for idx = b to min n (b + block) - 1 do
+               walk ~views ~ctx ~acc (elem idx)
+             done
+         done)
+   end
+   else
+     Pool.run t.pool (fun w ->
+         let views = worker_views args bindings w in
+         let ctx = { Seq.cell = 0; Seq.status = Seq.Move_done; Seq.hop = 0 } in
+         let clo, chi = Pool.chunk ~n ~parts:nworkers w in
+         for idx = clo to chi - 1 do
+           walk ~views ~ctx ~acc:accs.(w) (elem idx)
+         done));
+  Seq.check_stores ~name ~set ~n0:n args_a stores;
+  mark_full_dirty bindings;
+  reduce_bindings t args bindings;
   let total =
     Array.fold_left
       (fun (m, r, h, mx) a ->
@@ -146,6 +295,10 @@ let particle_move t ~name ?(flops_per_elem = 0.0) ?(max_hops = 10_000) ?dh kerne
           max mx a.Seq.acc_max_hops ))
       (0, 0, 0, 0) accs
   in
+  (* any hop may have rewritten p2c: invalidate cached cell binnings *)
+  let _, _, all_hops, _ = total in
+  if all_hops > 0 then set.s_version <- set.s_version + 1;
+  let removed = Particle.remove_flagged set dead in
   let moved, racc, hops, max_h = total in
   assert (removed = racc);
   Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Opp_obs.Clock.now_s () -. t0)
@@ -250,7 +403,7 @@ let par_loop_colored t ~name ?(flops_per_elem = 0.0) kernel set iterate args =
             kernel views
           done))
     buckets;
-  reduce_bindings args bindings;
+  reduce_bindings t args bindings;
   Profile.record ~t:t.profile ~name ~elems:n ~seconds:(Opp_obs.Clock.now_s () -. t0)
     ~flops:(flops_per_elem *. float_of_int n)
     ~bytes:(Seq.loop_bytes args n) ()

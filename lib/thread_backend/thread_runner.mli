@@ -4,15 +4,40 @@
     scatter arrays (section 3.3, Figure 2(b)) — or, alternatively,
     with greedy colouring ({!par_loop_colored}, the option the paper
     mentions and the colouring ablation prices). Indirect WRITE/RW is
-    rejected as racy. *)
+    rejected as racy.
+
+    Scatter copies are pooled and reduced over dirty ranges only (see
+    docs/PERFORMANCE.md); [particle_move] uses an atomic grab-a-block
+    work queue when the move carries no INC argument. Results are
+    bit-identical to the seed backend for a fixed worker count. *)
 
 open Opp_core
 
 type t
 
-val create : ?profile:Profile.t -> workers:int -> unit -> t
+val create :
+  ?profile:Profile.t ->
+  ?sched:Opp_locality.Sched.t ->
+  ?scatter:[ `Pooled | `Fresh ] ->
+  ?move_sched:[ `Dynamic | `Static ] ->
+  ?move_block:int ->
+  workers:int ->
+  unit ->
+  t
+(** [sched] enables canonical cell-binned particle iteration;
+    [scatter] selects pooled dirty-range scatter reduction (default)
+    or the seed's fresh-allocation-per-launch behaviour; [move_sched]
+    selects the mover's work distribution for INC-free moves
+    ([`Dynamic] blocks of [move_block] particles). When [move_sched]
+    is omitted the runner picks [`Dynamic] only if [workers] does not
+    oversubscribe [Domain.recommended_domain_count] — time-sliced
+    domains have no imbalance for a work queue to fix. *)
+
 val shutdown : t -> unit
 val workers : t -> int
+
+val scatter_pool : t -> Opp_locality.Scatter_pool.t
+(** The runner's scatter-buffer pool (exposed for tests/bench). *)
 
 val par_loop :
   t ->

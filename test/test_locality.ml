@@ -1,0 +1,521 @@
+(* Tests for opp_locality and the injected-window bugfixes it rides on:
+   - remove_flagged clamps the injected window to surviving injected
+     particles (the seed left it stale);
+   - sort_by_cell is stable, permutes identity (uid) correctly, and
+     resets the injected window;
+   - Seq raises Storage_reallocated (and the sanitizer raises E080)
+     when a kernel injects into the set its loop iterates;
+   - the scatter-buffer pool reuses zeroed buffers across launches;
+   - binned iteration is bit-identical whether or not the sort
+     scheduler physically reordered storage, on both mini-apps and
+     across the thread / simulated-SIMT backends. *)
+
+open Opp_core
+open Opp_core.Types
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains msg sub =
+  try
+    ignore (Str.search_forward (Str.regexp_string sub) msg 0);
+    true
+  with Not_found -> false
+
+(* A particle set over [ncells] cells with an arity-1 p2c map and a
+   dim-1 payload dat recording each particle's birth identity. *)
+let fixture ?(ncells = 8) ?(count = 10) () =
+  let ctx = Opp.init () in
+  let cells = Opp.decl_set ctx ~name:"cells" ncells in
+  let parts = Opp.decl_particle_set ctx ~name:"parts" ~count cells in
+  let p2c = Opp.decl_map ctx ~name:"p2c" ~from:parts ~to_:cells ~arity:1 None in
+  let tag = Opp.decl_dat ctx ~name:"tag" ~set:parts ~dim:1 None in
+  for i = 0 to count - 1 do
+    p2c.m_data.(i) <- i mod ncells;
+    tag.d_data.(i) <- float_of_int i
+  done;
+  (ctx, cells, parts, p2c, tag)
+
+(* --- the injected-window bugfixes ------------------------------------ *)
+
+let test_remove_in_window_exact () =
+  let _, _, parts, p2c, _ = fixture () in
+  let start = Opp.inject parts 4 in
+  check_int "window start" 10 start;
+  for i = 0 to 3 do
+    p2c.m_data.(start + i) <- 0
+  done;
+  (* remove two of the four injected particles (slots 11 and 13) *)
+  let dead = Array.make parts.s_size false in
+  dead.(11) <- true;
+  dead.(13) <- true;
+  check_int "removed" 2 (Particle.remove_flagged parts dead);
+  check_int "size" 12 parts.s_size;
+  (* exact clamp: the window is precisely the two injected survivors *)
+  check_int "injected window" 2 parts.s_injected;
+  let lo, hi = Seq.iter_range parts Opp.injected in
+  check_int "window lo" 10 lo;
+  check_int "window hi" 12 hi;
+  (* every slot in the window holds a particle of the injected batch
+     (uid >= 10), in this case exactly the survivors {10, 12} *)
+  let uids = List.sort compare [ Particle.uid parts 10; Particle.uid parts 11 ] in
+  Alcotest.(check (list int)) "surviving injected uids" [ 10; 12 ] uids
+
+let test_remove_below_window_conservative () =
+  let _, _, parts, p2c, _ = fixture () in
+  let start = Opp.inject parts 4 in
+  for i = 0 to 3 do
+    p2c.m_data.(start + i) <- 0
+  done;
+  (* remove one pre-existing particle: the hole fills from the tail
+     with an injected particle, so the clamped window (3 slots) still
+     covers only injected-batch particles *)
+  let dead = Array.make parts.s_size false in
+  dead.(2) <- true;
+  check_int "removed" 1 (Particle.remove_flagged parts dead);
+  check_int "size" 13 parts.s_size;
+  check_int "injected window clamped" 3 parts.s_injected;
+  for slot = parts.s_size - parts.s_injected to parts.s_size - 1 do
+    check_bool "window slot holds injected particle" true (Particle.uid parts slot >= 10)
+  done
+
+let test_remove_all_clears_window () =
+  (* regression: the seed left s_injected at its old value, so after
+     removing everything Iterate_injected described a negative range *)
+  let _, _, parts, p2c, _ = fixture () in
+  let start = Opp.inject parts 4 in
+  for i = 0 to 3 do
+    p2c.m_data.(start + i) <- 0
+  done;
+  let dead = Array.make parts.s_size true in
+  check_int "removed" 14 (Particle.remove_flagged parts dead);
+  check_int "size" 0 parts.s_size;
+  check_int "window empty" 0 parts.s_injected;
+  let lo, hi = Seq.iter_range parts Opp.injected in
+  check_bool "range well-formed" true (lo = hi)
+
+let test_sort_resets_window () =
+  let _, _, parts, p2c, _ = fixture () in
+  let start = Opp.inject parts 4 in
+  for i = 0 to 3 do
+    p2c.m_data.(start + i) <- 0
+  done;
+  check_int "window before sort" 4 parts.s_injected;
+  Opp.sort_by_cell parts ~p2c;
+  (* the sort scatters the batch through storage: a stale window would
+     make Iterate_injected visit arbitrary survivors *)
+  check_int "window reset by sort" 0 parts.s_injected
+
+let prop_sort_stable_permutation =
+  QCheck.Test.make ~name:"sort_by_cell is a stable permutation" ~count:100
+    QCheck.(pair (int_range 1 300) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let ncells = 7 in
+      let rng = Rng.create seed in
+      let ctx = Opp.init () in
+      let cells = Opp.decl_set ctx ~name:"cells" ncells in
+      let parts = Opp.decl_particle_set ctx ~name:"parts" cells in
+      let p2c = Opp.decl_map ctx ~name:"p2c" ~from:parts ~to_:cells ~arity:1 None in
+      let tag = Opp.decl_dat ctx ~name:"tag" ~set:parts ~dim:1 None in
+      ignore (Opp.inject parts n);
+      for i = 0 to n - 1 do
+        p2c.m_data.(i) <- Rng.int rng ncells;
+        tag.d_data.(i) <- float_of_int i
+      done;
+      let before = Array.init n (fun i -> (p2c.m_data.(i), int_of_float tag.d_data.(i))) in
+      Opp.sort_by_cell parts ~p2c;
+      let after = Array.init n (fun i -> (p2c.m_data.(i), int_of_float tag.d_data.(i))) in
+      (* permutation: same multiset of (cell, original index) *)
+      let a = Array.copy before and b = Array.copy after in
+      Array.sort compare a;
+      Array.sort compare b;
+      let permutation = a = b in
+      (* sorted by cell; stable: original indices ascend within a cell *)
+      let ordered = ref true in
+      for i = 1 to n - 1 do
+        if compare after.(i - 1) after.(i) > 0 then ordered := false
+      done;
+      (* idempotent: a second sort must not move anything *)
+      Opp.sort_by_cell parts ~p2c;
+      let again = Array.init n (fun i -> (p2c.m_data.(i), int_of_float tag.d_data.(i))) in
+      permutation && !ordered && again = after)
+
+(* --- mid-loop reallocation diagnostics ------------------------------- *)
+
+let realloc_fixture () =
+  (* capacity equals size, so the first in-kernel injection reallocates *)
+  let ctx = Opp.init () in
+  let cells = Opp.decl_set ctx ~name:"cells" 4 in
+  let parts = Opp.decl_particle_set ctx ~name:"parts" ~count:16 cells in
+  let p2c = Opp.decl_map ctx ~name:"p2c" ~from:parts ~to_:cells ~arity:1 None in
+  let pos = Opp.decl_dat ctx ~name:"pos" ~set:parts ~dim:1 None in
+  for i = 0 to 15 do
+    p2c.m_data.(i) <- 0
+  done;
+  (ctx, parts, p2c, pos)
+
+let test_inject_inside_kernel_raises () =
+  let _, parts, _, pos = realloc_fixture () in
+  let raised = ref false in
+  (try
+     Opp.par_loop ~name:"bad_inject"
+       (fun v ->
+         ignore (Opp.inject parts 1);
+         View.set v.(0) 0 1.0)
+       parts Opp.all
+       [ Opp.arg_dat pos Opp.rw ]
+   with Seq.Storage_reallocated msg ->
+     raised := true;
+     check_bool "message carries E080 tag" true (contains msg "E080"));
+  check_bool "Storage_reallocated raised" true !raised
+
+let test_checked_reports_e080 () =
+  let _, parts, _, pos = realloc_fixture () in
+  let runner = Opp_check.checked (Runner.seq ~profile:(Profile.create ()) ()) in
+  let raised = ref false in
+  (try
+     runner.Runner.r_par_loop "bad_inject" 0.0
+       (fun v ->
+         ignore (Opp.inject parts 1);
+         View.set v.(0) 0 1.0)
+       parts Opp.all
+       [ Opp.arg_dat pos Opp.rw ]
+   with Opp_check.Violation v ->
+     raised := true;
+     Alcotest.(check string) "violation code" "E080" v.Opp_check.v_code);
+  check_bool "sanitizer flagged the injection" true !raised
+
+(* --- scatter-buffer pool --------------------------------------------- *)
+
+let scatter_setup () =
+  let ctx = Opp.init () in
+  let cells = Opp.decl_set ctx ~name:"cells" 100 in
+  let nodes = Opp.decl_set ctx ~name:"nodes" 101 in
+  let c2n_data = Array.init 200 (fun i -> (i / 2) + (i mod 2)) in
+  let c2n = Opp.decl_map ctx ~name:"c2n" ~from:cells ~to_:nodes ~arity:2 (Some c2n_data) in
+  let nd = Opp.decl_dat ctx ~name:"nd" ~set:nodes ~dim:1 None in
+  (ctx, cells, c2n, nd)
+
+let run_scatter th cells c2n nd =
+  Opp_thread.Thread_runner.par_loop th ~name:"inc"
+    (fun v ->
+      View.inc v.(0) 0 1.0;
+      View.inc v.(1) 0 1.0)
+    cells Opp.all
+    [ Opp.arg_dat_i nd ~idx:0 ~map:c2n Opp.inc; Opp.arg_dat_i nd ~idx:1 ~map:c2n Opp.inc ]
+
+let test_scatter_pool_reuse () =
+  let _, cells, c2n, nd = scatter_setup () in
+  let th = Opp_thread.Thread_runner.create ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Opp_thread.Thread_runner.shutdown th)
+    (fun () ->
+      let pool = Opp_thread.Thread_runner.scatter_pool th in
+      run_scatter th cells c2n nd;
+      let misses_after_first = Opp_locality.Scatter_pool.misses pool in
+      check_bool "first launch allocates" true (misses_after_first > 0);
+      check_bool "buffers parked after reduce" true (Opp_locality.Scatter_pool.pooled pool > 0);
+      run_scatter th cells c2n nd;
+      check_int "second launch allocates nothing" misses_after_first
+        (Opp_locality.Scatter_pool.misses pool);
+      check_bool "second launch reuses" true (Opp_locality.Scatter_pool.hits pool > 0);
+      (* results stay correct across the reuse *)
+      check_float "end node" 2.0 nd.d_data.(0);
+      for n = 1 to 99 do
+        check_float "interior" 4.0 nd.d_data.(n)
+      done;
+      (* the pool's all-zero invariant held: a parked buffer is clean *)
+      let buf = Opp_locality.Scatter_pool.acquire pool (101 * 1) in
+      check_bool "pooled buffer is zeroed" true (Opp_locality.Scatter_pool.is_zero buf))
+
+let test_pooled_matches_fresh () =
+  (* Pooled + dirty-range reduction must be bit-identical to the
+     seed's allocate-per-launch path, globals included *)
+  let result scatter =
+    let _, cells, c2n, nd = scatter_setup () in
+    let acc = [| 0.0 |] in
+    let th = Opp_thread.Thread_runner.create ~workers:3 ~scatter () in
+    Fun.protect
+      ~finally:(fun () -> Opp_thread.Thread_runner.shutdown th)
+      (fun () ->
+        for _ = 1 to 3 do
+          Opp_thread.Thread_runner.par_loop th ~name:"inc"
+            (fun v ->
+              View.inc v.(0) 0 0.125;
+              View.inc v.(1) 0 0.375;
+              View.inc v.(2) 0 1.0)
+            cells Opp.all
+            [
+              Opp.arg_dat_i nd ~idx:0 ~map:c2n Opp.inc;
+              Opp.arg_dat_i nd ~idx:1 ~map:c2n Opp.inc;
+              Opp.arg_gbl acc Opp.inc;
+            ]
+        done;
+        (Array.copy nd.d_data, acc.(0)))
+  in
+  let pooled, acc_p = result `Pooled in
+  let fresh, acc_f = result `Fresh in
+  check_bool "dat results bit-identical" true (pooled = fresh);
+  Alcotest.(check (float 0.0)) "gbl reduction bit-identical" acc_f acc_p
+
+(* --- dynamic move scheduling ----------------------------------------- *)
+
+let test_dynamic_move_matches_static () =
+  let run move_sched =
+    let prm = { Fempic.Params.default with Fempic.Params.target_particles = 3_000.0 } in
+    let mesh = Opp_mesh.Tet_mesh.build ~nx:3 ~ny:3 ~nz:6 ~lx:4e-5 ~ly:4e-5 ~lz:8e-5 in
+    let th = Opp_thread.Thread_runner.create ~profile:(Profile.create ()) ~move_sched ~workers:3 () in
+    Fun.protect
+      ~finally:(fun () -> Opp_thread.Thread_runner.shutdown th)
+      (fun () ->
+        let sim =
+          Fempic.Fempic_sim.create ~prm ~profile:(Profile.create ())
+            ~runner:(Opp_thread.Thread_runner.runner th) mesh
+        in
+        for _ = 1 to 8 do
+          ignore (Fempic.Fempic_sim.step sim)
+        done;
+        ( sim.Fempic.Fempic_sim.parts.s_size,
+          Array.copy sim.Fempic.Fempic_sim.part_pos.d_data,
+          Array.copy sim.Fempic.Fempic_sim.node_phi.d_data ))
+  in
+  let n_d, pos_d, phi_d = run `Dynamic in
+  let n_s, pos_s, phi_s = run `Static in
+  check_int "same population" n_s n_d;
+  check_bool "positions bit-identical" true (pos_d = pos_s);
+  check_bool "phi bit-identical" true (phi_d = phi_s)
+
+(* --- bins & canonical order ------------------------------------------ *)
+
+let test_bins_canonical_across_sort () =
+  let _, _, parts, p2c, _ = fixture ~ncells:5 ~count:0 () in
+  let rng = Rng.create 42 in
+  ignore (Opp.inject parts 64);
+  for i = 0 to 63 do
+    p2c.m_data.(i) <- Rng.int rng 5
+  done;
+  let canon (b : Opp_locality.Bins.t) =
+    Array.map (fun slot -> Particle.uid parts slot) b.Opp_locality.Bins.b_order
+  in
+  let before = canon (Opp_locality.Bins.build parts ~p2c) in
+  Opp.sort_by_cell parts ~p2c;
+  let after_bins = Opp_locality.Bins.build parts ~p2c in
+  check_bool "canonical uid sequence unchanged by sort" true (canon after_bins = before);
+  check_bool "sorted storage is the canonical order" true after_bins.Opp_locality.Bins.b_identity;
+  (* bin spans match the per-cell populations *)
+  let counts = Particle.per_cell_counts parts ~p2c in
+  Array.iteri
+    (fun c n ->
+      check_int
+        (Printf.sprintf "cell %d span" c)
+        n
+        (after_bins.Opp_locality.Bins.b_starts.(c + 1) - after_bins.Opp_locality.Bins.b_starts.(c)))
+    counts
+
+let test_sched_caches_and_triggers () =
+  let _, _, parts, p2c, _ = fixture ~ncells:4 ~count:0 () in
+  ignore (Opp.inject parts 32);
+  (* worst-case interleaving: adjacent slots alternate distant cells *)
+  for i = 0 to 31 do
+    p2c.m_data.(i) <- if i mod 2 = 0 then 0 else 3
+  done;
+  let sched =
+    Opp_locality.Sched.create
+      ~config:
+        {
+          Opp_locality.Sched.default_config with
+          Opp_locality.Sched.sort_threshold = 2.0;
+        }
+      ()
+  in
+  let b1 = Opp_locality.Sched.bins sched parts in
+  let b2 = Opp_locality.Sched.bins sched parts in
+  check_bool "bins cached for unchanged set" true
+    (match (b1, b2) with Some a, Some b -> a == b | _ -> false);
+  check_bool "scrambled order is not identity" true
+    (match Opp_locality.Sched.order sched parts with Some _ -> true | None -> false);
+  (* mean jump is 3 > threshold 2: the scheduler must sort *)
+  check_bool "auto sort fired" true (Opp_locality.Sched.maybe_sort sched parts);
+  check_int "sort counted" 1 (Opp_locality.Sched.sorts sched);
+  (* after the sort, storage is canonical: no order needed, no re-sort *)
+  check_bool "no order once canonical" true (Opp_locality.Sched.order sched parts = None);
+  check_bool "no second sort" false (Opp_locality.Sched.maybe_sort sched parts)
+
+let test_segmented_sorted_fast_path () =
+  let sr = Opp_gpu.Segmented.create () in
+  for k = 0 to 9 do
+    Opp_gpu.Segmented.add sr ~key:k ~value:(float_of_int k);
+    Opp_gpu.Segmented.add sr ~key:k ~value:1.0
+  done;
+  let target = Array.make 10 0.0 in
+  check_int "distinct" 10 (Opp_gpu.Segmented.apply sr target);
+  check_bool "ascending keys skip the sort" true (Opp_gpu.Segmented.last_sorted sr);
+  for k = 0 to 9 do
+    check_float "reduced" (float_of_int k +. 1.0) target.(k)
+  done;
+  Opp_gpu.Segmented.add sr ~key:5 ~value:1.0;
+  Opp_gpu.Segmented.add sr ~key:2 ~value:1.0;
+  ignore (Opp_gpu.Segmented.apply sr target);
+  check_bool "descending keys take the sorting path" false (Opp_gpu.Segmented.last_sorted sr)
+
+(* --- end-to-end equivalence: fempic ---------------------------------- *)
+
+let fempic_prm = { Fempic.Params.default with Fempic.Params.target_particles = 3_000.0 }
+let fempic_mesh () = Opp_mesh.Tet_mesh.build ~nx:3 ~ny:3 ~nz:6 ~lx:4e-5 ~ly:4e-5 ~lz:8e-5
+
+let sched_cfg ~sort_every =
+  {
+    Opp_locality.Sched.default_config with
+    Opp_locality.Sched.auto_sort = false;
+    sort_every;
+  }
+
+let run_fempic ?sched ~runner steps =
+  let sim =
+    Fempic.Fempic_sim.create ~prm:fempic_prm ~profile:(Profile.create ()) ~runner
+      ?locality:sched (fempic_mesh ())
+  in
+  for _ = 1 to steps do
+    ignore (Fempic.Fempic_sim.step sim)
+  done;
+  sim
+
+(* particle state keyed by uid, so physically re-sorted storage
+   compares equal iff it holds the same particles in the same state *)
+let fempic_particles_by_uid (sim : Fempic.Fempic_sim.t) =
+  let parts = sim.Fempic.Fempic_sim.parts in
+  let rows =
+    Array.init parts.s_size (fun i ->
+        ( Particle.uid parts i,
+          Array.sub sim.Fempic.Fempic_sim.part_pos.d_data (3 * i) 3,
+          Array.sub sim.Fempic.Fempic_sim.part_vel.d_data (3 * i) 3 ))
+  in
+  Array.sort compare rows;
+  rows
+
+let test_fempic_sorted_binned_bitexact () =
+  (* the tentpole claim: with canonical binned iteration, physically
+     sorting particle storage changes nothing, bit for bit *)
+  let steps = 10 in
+  let no_sort = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:0) () in
+  let a = run_fempic ~sched:no_sort ~runner:(Opp_locality.Binned.runner no_sort) steps in
+  let sorting = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:2) () in
+  let b = run_fempic ~sched:sorting ~runner:(Opp_locality.Binned.runner sorting) steps in
+  check_bool "scheduler really sorted" true (Opp_locality.Sched.sorts sorting > 0);
+  check_int "same population" a.Fempic.Fempic_sim.parts.s_size b.Fempic.Fempic_sim.parts.s_size;
+  check_bool "phi bit-identical" true
+    (a.Fempic.Fempic_sim.node_phi.d_data = b.Fempic.Fempic_sim.node_phi.d_data);
+  check_bool "particles bit-identical (by uid)" true
+    (fempic_particles_by_uid a = fempic_particles_by_uid b)
+
+let test_fempic_gpu_binned_matches_seq_binned () =
+  (* AT-mode SIMT executes increments in launch order: running it
+     under the same canonical order is bitwise the binned seq run *)
+  let steps = 8 in
+  let s1 = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:0) () in
+  let a = run_fempic ~sched:s1 ~runner:(Opp_locality.Binned.runner s1) steps in
+  let s2 = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:0) () in
+  let gpu =
+    Opp_gpu.Gpu_runner.create ~profile:(Profile.create ()) ~sched:s2 Opp_perf.Device.v100
+  in
+  let b = run_fempic ~sched:s2 ~runner:(Opp_gpu.Gpu_runner.runner gpu) steps in
+  check_bool "phi bit-identical" true
+    (a.Fempic.Fempic_sim.node_phi.d_data = b.Fempic.Fempic_sim.node_phi.d_data)
+
+let test_fempic_threads_binned_matches_seq () =
+  let steps = 10 in
+  let base = run_fempic ~runner:(Runner.seq ~profile:(Profile.create ()) ()) steps in
+  let s = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:3) () in
+  let th = Opp_thread.Thread_runner.create ~profile:(Profile.create ()) ~sched:s ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Opp_thread.Thread_runner.shutdown th)
+    (fun () ->
+      let b = run_fempic ~sched:s ~runner:(Opp_thread.Thread_runner.runner th) steps in
+      check_int "same population" base.Fempic.Fempic_sim.parts.s_size
+        b.Fempic.Fempic_sim.parts.s_size;
+      let pa = base.Fempic.Fempic_sim.node_phi.d_data in
+      let pb = b.Fempic.Fempic_sim.node_phi.d_data in
+      Array.iteri
+        (fun i v ->
+          check_bool "phi close" true (Float.abs (v -. pb.(i)) < 1e-6 *. (1.0 +. Float.abs v)))
+        pa)
+
+(* --- end-to-end equivalence: cabana ---------------------------------- *)
+
+let cabana_prm =
+  { Cabana.Cabana_params.default with Cabana.Cabana_params.nz = 16; ppc = 8 }
+
+let run_cabana ?sched ~runner steps =
+  let sim =
+    Cabana.Cabana_sim.create ~prm:cabana_prm ~profile:(Profile.create ()) ~runner
+      ?locality:sched ()
+  in
+  Cabana.Cabana_sim.run sim ~steps;
+  sim
+
+let test_cabana_sorted_binned_bitexact () =
+  (* Move_Deposit accumulates into cells, so this is the non-trivial
+     case: canonical (cell, uid) order keeps the non-associative INC
+     sums identical across physical re-sorts *)
+  let steps = 20 in
+  let no_sort = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:0) () in
+  let a = run_cabana ~sched:no_sort ~runner:(Opp_locality.Binned.runner no_sort) steps in
+  let sorting = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:3) () in
+  let b = run_cabana ~sched:sorting ~runner:(Opp_locality.Binned.runner sorting) steps in
+  check_bool "scheduler really sorted" true (Opp_locality.Sched.sorts sorting > 0);
+  let ea = Cabana.Cabana_sim.energies a and eb = Cabana.Cabana_sim.energies b in
+  Alcotest.(check (float 0.0)) "E energy bit-identical" ea.Cabana.Cabana_sim.e_field
+    eb.Cabana.Cabana_sim.e_field;
+  Alcotest.(check (float 0.0)) "B energy bit-identical" ea.Cabana.Cabana_sim.b_field
+    eb.Cabana.Cabana_sim.b_field;
+  Alcotest.(check (float 0.0)) "K energy bit-identical" ea.Cabana.Cabana_sim.kinetic
+    eb.Cabana.Cabana_sim.kinetic
+
+let test_cabana_threads_binned_matches_seq () =
+  let steps = 20 in
+  let base = run_cabana ~runner:(Runner.seq ~profile:(Profile.create ()) ()) steps in
+  let e_seq = Cabana.Cabana_sim.energies base in
+  let s = Opp_locality.Sched.create ~config:(sched_cfg ~sort_every:4) () in
+  let th = Opp_thread.Thread_runner.create ~profile:(Profile.create ()) ~sched:s ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Opp_thread.Thread_runner.shutdown th)
+    (fun () ->
+      let b = run_cabana ~sched:s ~runner:(Opp_thread.Thread_runner.runner th) steps in
+      let e_thr = Cabana.Cabana_sim.energies b in
+      check_bool "E energy matches" true
+        (Float.abs (e_seq.Cabana.Cabana_sim.e_field -. e_thr.Cabana.Cabana_sim.e_field)
+        < 1e-10 *. (1e-12 +. e_seq.Cabana.Cabana_sim.e_field)))
+
+let suite =
+  [
+    Alcotest.test_case "window: in-window removal is exact" `Quick test_remove_in_window_exact;
+    Alcotest.test_case "window: below-window removal clamps" `Quick
+      test_remove_below_window_conservative;
+    Alcotest.test_case "window: removing everything clears it" `Quick
+      test_remove_all_clears_window;
+    Alcotest.test_case "window: sort resets it" `Quick test_sort_resets_window;
+    QCheck_alcotest.to_alcotest prop_sort_stable_permutation;
+    Alcotest.test_case "realloc: Seq raises mid-loop" `Quick test_inject_inside_kernel_raises;
+    Alcotest.test_case "realloc: sanitizer raises E080" `Quick test_checked_reports_e080;
+    Alcotest.test_case "pool: buffers reused across launches" `Quick test_scatter_pool_reuse;
+    Alcotest.test_case "pool: pooled equals fresh bitwise" `Quick test_pooled_matches_fresh;
+    Alcotest.test_case "move: dynamic equals static bitwise" `Slow
+      test_dynamic_move_matches_static;
+    Alcotest.test_case "bins: canonical order survives sort" `Quick
+      test_bins_canonical_across_sort;
+    Alcotest.test_case "sched: caching and auto-sort trigger" `Quick
+      test_sched_caches_and_triggers;
+    Alcotest.test_case "segmented: sorted-input fast path" `Quick
+      test_segmented_sorted_fast_path;
+    Alcotest.test_case "fempic: sorted binned is bit-exact" `Slow
+      test_fempic_sorted_binned_bitexact;
+    Alcotest.test_case "fempic: gpu binned matches seq binned" `Slow
+      test_fempic_gpu_binned_matches_seq_binned;
+    Alcotest.test_case "fempic: threads binned matches seq" `Slow
+      test_fempic_threads_binned_matches_seq;
+    Alcotest.test_case "cabana: sorted binned is bit-exact" `Slow
+      test_cabana_sorted_binned_bitexact;
+    Alcotest.test_case "cabana: threads binned matches seq" `Slow
+      test_cabana_threads_binned_matches_seq;
+  ]

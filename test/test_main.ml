@@ -6,6 +6,7 @@ let () =
       ("la", Test_la.suite);
       ("mesh", Test_mesh.suite);
       ("backends", Test_backends.suite);
+      ("locality", Test_locality.suite);
       ("dist", Test_dist.suite);
       ("codegen", Test_codegen.suite);
       ("check", Test_check.suite);

@@ -7,11 +7,32 @@
      dune exec bench/main.exe -- --only fig9a -- one experiment
      dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks
      dune exec bench/main.exe -- --pr4        -- locality benchmarks -> BENCH_PR4.json
+     dune exec bench/main.exe -- --pr5        -- profiling smoke -> BENCH_PR5.json
+
+   Gated runs (--pr4, --pr5) also append a timestamped record to the
+   cumulative trajectory log (JSONL, default BENCH.json, --log FILE to
+   move it), so successive sessions accumulate a perf history instead
+   of each overwriting its own one-off file.
 
    Observability (see docs/OBSERVABILITY.md): --trace FILE writes a
    Chrome trace-event timeline, --metrics FILE writes per-step metrics
    (JSONL, or CSV if FILE ends in .csv), --obs-summary prints span and
    metric summaries at exit. *)
+
+let iso_now () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+(* One JSONL record per gated run: stamp and append, never truncate. *)
+let append_record ~log json =
+  let fields = match json with Opp_obs.Json.Obj f -> f | other -> [ ("record", other) ] in
+  let stamped = Opp_obs.Json.Obj (("time", Opp_obs.Json.Str (iso_now ())) :: fields) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 log in
+  output_string oc (Opp_obs.Json.to_string stamped);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "trajectory: record appended to %s\n%!" log
 
 let list_experiments () =
   List.iter
@@ -264,7 +285,7 @@ let pr4_scatter_bench scatter =
     Opp_thread.Thread_runner.par_loop th ~name:"ScatterInc" kernel elems Opp_core.Seq.Iterate_all
       [ Opp_core.Opp.arg_dat_i weight ~idx:0 ~map:e2n Opp_core.Opp.inc ]
 
-let run_pr4 out =
+let run_pr4 ~log out =
   let seed_sim = pr4_fempic ~scatter:`Fresh ~move_sched:`Static () in
   let pooled_sched = Opp_locality.Sched.create () in
   (* move_sched omitted: the runner picks dynamic scheduling only when
@@ -356,6 +377,7 @@ let run_pr4 out =
   output_string oc (Opp_obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
+  append_record ~log json;
   Printf.printf "%-24s %12s\n" "pr4 benchmark" "time/run";
   let pr name s = Printf.printf "%-24s %9.3f ms\n" name (s *. 1e3) in
   pr "fempic_step seed" step_seed;
@@ -380,6 +402,110 @@ let run_pr4 out =
     exit 1
   end
 
+(* --- PR5 profiling smoke (docs/PERFORMANCE.md) ---
+
+   Runs each distributed app traced for a few steps and feeds the live
+   spans through the opp_prof pipeline exactly as bin/oppic_prof would
+   feed a --trace artifact: per-rank phase breakdown, then the
+   roofline gate — every par_loop / particle_move that does arithmetic
+   must carry IR-derived flops and land on the roofline with no
+   hand-supplied counts. Exits non-zero if any kernel is missing. *)
+
+let pr5_trace_app ~name ~ranks ~steps ~step_fn =
+  Opp_obs.Trace.reset ();
+  Opp_obs.Trace.enable ();
+  Opp_obs.Trace.name_track ranks "driver";
+  for _ = 1 to steps do
+    Opp_obs.Trace.with_track ranks (fun () ->
+        Opp_obs.Trace.with_span ~cat:"step" "step" step_fn)
+  done;
+  let spans = Opp_prof.Prof_span.of_live () in
+  let phases = Opp_prof.Phases.build spans in
+  let ks = Opp_prof.Kstats.of_spans spans in
+  let points =
+    Opp_perf.Roofline.points Opp_perf.Device.xeon_8268_node ~t:(Opp_prof.Kstats.to_profile ks) ()
+  in
+  Format.printf "@.-- %s: per-rank breakdown --@.%a" name
+    (fun fmt () -> Opp_prof.Phases.pp fmt phases)
+    ();
+  Format.printf "-- %s: roofline --@.%a@." name
+    (fun fmt () -> Opp_perf.Roofline.pp_points fmt points)
+    ();
+  (* Reset* kernels are genuinely zero-flop data movers; everything
+     else must have an IR-derived count and a roofline point. *)
+  let arithmetic k = not (String.length k.Opp_prof.Kstats.kn_name >= 5
+                          && String.sub k.Opp_prof.Kstats.kn_name 0 5 = "Reset") in
+  let missing =
+    List.filter
+      (fun k ->
+        arithmetic k
+        && (k.Opp_prof.Kstats.kn_flops <= 0.0
+           || not
+                (List.exists
+                   (fun (p : Opp_perf.Roofline.point) -> p.kernel = k.Opp_prof.Kstats.kn_name)
+                   points)))
+      ks
+  in
+  List.iter
+    (fun k ->
+      Printf.eprintf "FAIL: %s kernel %s has no IR-derived roofline point\n%!" name
+        k.Opp_prof.Kstats.kn_name)
+    missing;
+  let module J = Opp_obs.Json in
+  ( missing = [],
+    J.Obj
+      [
+        ("app", J.Str name);
+        ("ranks", J.Num (float_of_int (List.length phases.Opp_prof.Phases.p_ranks)));
+        ("imbalance", J.Num phases.Opp_prof.Phases.p_imbalance);
+        ("critical_path_us", J.Num phases.Opp_prof.Phases.p_crit_us);
+        ("elapsed_us", J.Num phases.Opp_prof.Phases.p_elapsed_us);
+        ("kernels", J.Num (float_of_int (List.length ks)));
+        ("roofline_points", J.Num (float_of_int (List.length points)));
+      ] )
+
+let run_pr5 ~log out =
+  let ranks = 4 and steps = 8 in
+  let fempic =
+    Apps_dist.Fempic_dist.create ~prm:Experiments.Config.fempic_small_prm ~nranks:ranks
+      ~profile:(Opp_core.Profile.create ())
+      (Experiments.Config.fempic_mesh ())
+  in
+  let fempic_ok, fempic_json =
+    pr5_trace_app ~name:"fempic" ~ranks ~steps ~step_fn:(fun () ->
+        ignore (Apps_dist.Fempic_dist.step fempic))
+  in
+  Apps_dist.Fempic_dist.shutdown fempic;
+  let cabana =
+    Apps_dist.Cabana_dist.create
+      ~prm:(Experiments.Config.cabana_scaled_prm ~ranks ~ppc:16)
+      ~nranks:ranks
+      ~profile:(Opp_core.Profile.create ())
+      ()
+  in
+  let cabana_ok, cabana_json =
+    pr5_trace_app ~name:"cabana" ~ranks ~steps ~step_fn:(fun () ->
+        Apps_dist.Cabana_dist.step cabana)
+  in
+  Apps_dist.Cabana_dist.shutdown cabana;
+  Opp_obs.Trace.disable ();
+  let pass = fempic_ok && cabana_ok in
+  let json =
+    Opp_obs.Json.Obj
+      [
+        ("bench", Opp_obs.Json.Str "pr5-prof");
+        ("apps", Opp_obs.Json.Arr [ fempic_json; cabana_json ]);
+        ("pass", Opp_obs.Json.Bool pass);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Opp_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  append_record ~log json;
+  Printf.printf "results written to %s\n%!" out;
+  if not pass then exit 1
+
 let find_flag_value args flag =
   let rec go = function
     | a :: b :: _ when a = flag -> Some b
@@ -398,7 +524,13 @@ let () =
   (if List.mem "--list" args then list_experiments ()
    else if List.mem "--micro" args then run_micro ()
    else if List.mem "--pr4" args then
-     run_pr4 (Option.value ~default:"BENCH_PR4.json" (find_flag_value args "--out"))
+     run_pr4
+       ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
+       (Option.value ~default:"BENCH_PR4.json" (find_flag_value args "--out"))
+   else if List.mem "--pr5" args then
+     run_pr5
+       ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
+       (Option.value ~default:"BENCH_PR5.json" (find_flag_value args "--out"))
    else
      match find_flag_value args "--only" with
      | Some id -> (

@@ -15,16 +15,6 @@ let device_of_name = function
   | "mi250x" -> Some Opp_perf.Device.mi250x_gcd
   | _ -> None
 
-let obs_setup ~trace ~metrics ~obs_summary =
-  if trace <> None || obs_summary then Opp_obs.Trace.enable ();
-  if metrics <> None || obs_summary then Opp_obs.Metrics.enable ()
-
-let try_write what path f =
-  try f path
-  with Sys_error msg ->
-    Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
-    exit 1
-
 (* Fold the locality flags into a scheduler config; [None] (the
    as-stored iteration of the seed) unless at least one flag is set. *)
 let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
@@ -39,27 +29,6 @@ let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
            else Opp_locality.Sched.default_config.Opp_locality.Sched.sort_threshold);
         sort_every;
       }
-
-let obs_finish ~trace ~metrics ~obs_summary =
-  (match trace with
-  | Some path ->
-      try_write "trace" path Opp_obs.Trace.write_chrome;
-      Printf.printf "trace: %d spans written to %s (open in chrome://tracing or Perfetto)\n%!"
-        (Opp_obs.Trace.span_count ()) path
-  | None -> ());
-  (match metrics with
-  | Some path ->
-      try_write "metrics" path (fun p ->
-          if Filename.check_suffix p ".csv" then Opp_obs.Metrics.write_csv p
-          else Opp_obs.Metrics.write_jsonl p);
-      Printf.printf "metrics: %d rows written to %s\n%!"
-        (List.length (Opp_obs.Metrics.rows ()))
-        path
-  | None -> ());
-  if obs_summary then begin
-    Format.printf "@.-- trace summary --@.%a" (fun fmt () -> Opp_obs.Trace.summary fmt ()) ();
-    Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
-  end
 
 (* Per-step energy gauges + tick (energies are three par_loops, so
    only run them when metrics are on). *)
@@ -76,7 +45,7 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
 
 let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check binned sort_auto
     sort_every sort_threshold faults ckpt_every ckpt_dir restart trace metrics obs_summary =
-  obs_setup ~trace ~metrics ~obs_summary;
+  Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
   if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
@@ -111,7 +80,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
       if s mod report_every = 0 then Printf.printf "step %4d: E=%.6e |dsl-ref|=%.3e\n%!" s a (Float.abs (a -. b))
     done;
     Printf.printf "max |E energy difference| over %d steps: %.3e\n%!" steps !max_diff;
-    obs_finish ~trace ~metrics ~obs_summary
+    Resil_cli.obs_finish ~trace ~metrics ~obs_summary
   end
   else
     match backend with
@@ -146,7 +115,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
           dist.Apps_dist.Cabana_dist.traffic;
         Apps_dist.Cabana_dist.shutdown dist;
         Resil_cli.report_faults ();
-        obs_finish ~trace ~metrics ~obs_summary
+        Resil_cli.obs_finish ~trace ~metrics ~obs_summary
     | _ ->
         let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
         let runner, cleanup =
@@ -198,7 +167,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
         | Some s -> Printf.printf "locality: %d sorts performed\n%!" (Opp_locality.Sched.sorts s)
         | None -> ());
         Resil_cli.report_faults ();
-        obs_finish ~trace ~metrics ~obs_summary
+        Resil_cli.obs_finish ~trace ~metrics ~obs_summary
 
 let cmd =
   let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"cells in x") in
@@ -253,29 +222,14 @@ let cmd =
           ~doc:"mean p2c jump distance that triggers an automatic sort (implies \
                 $(b,--sort-auto); 0 keeps the default)")
   in
-  let trace =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace-event JSON timeline to $(docv)")
-  in
-  let metrics =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"write per-step metrics to $(docv) (JSONL, or CSV when $(docv) ends in .csv)")
-  in
-  let obs_summary =
-    Arg.(value & flag & info [ "obs-summary" ] ~doc:"print trace and metrics summaries at exit")
-  in
   Cmd.v
     (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
       $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold
       $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
-      $ Resil_cli.restart_arg $ trace $ metrics $ obs_summary)
+      $ Resil_cli.restart_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
+      $ Resil_cli.obs_summary_arg)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -17,20 +17,6 @@ let device_of_name = function
   | "mi250x" -> Some Opp_perf.Device.mi250x_gcd
   | _ -> None
 
-(* Observability plumbing shared by the backends: enable the global
-   trace/metrics sinks up front, export and summarize at exit. A
-   metrics path ending in [.csv] selects the CSV exporter, anything
-   else gets JSONL. *)
-let obs_setup ~trace ~metrics ~obs_summary =
-  if trace <> None || obs_summary then Opp_obs.Trace.enable ();
-  if metrics <> None || obs_summary then Opp_obs.Metrics.enable ()
-
-let try_write what path f =
-  try f path
-  with Sys_error msg ->
-    Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
-    exit 1
-
 (* Fold the locality flags into a scheduler config; [None] (the
    as-stored iteration of the seed) unless at least one flag is set. *)
 let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
@@ -46,31 +32,10 @@ let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
         sort_every;
       }
 
-let obs_finish ~trace ~metrics ~obs_summary =
-  (match trace with
-  | Some path ->
-      try_write "trace" path Opp_obs.Trace.write_chrome;
-      Printf.printf "trace: %d spans written to %s (open in chrome://tracing or Perfetto)\n%!"
-        (Opp_obs.Trace.span_count ()) path
-  | None -> ());
-  (match metrics with
-  | Some path ->
-      try_write "metrics" path (fun p ->
-          if Filename.check_suffix p ".csv" then Opp_obs.Metrics.write_csv p
-          else Opp_obs.Metrics.write_jsonl p);
-      Printf.printf "metrics: %d rows written to %s\n%!"
-        (List.length (Opp_obs.Metrics.rows ()))
-        path
-  | None -> ());
-  if obs_summary then begin
-    Format.printf "@.-- trace summary --@.%a" (fun fmt () -> Opp_obs.Trace.summary fmt ()) ();
-    Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
-  end
-
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
     seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold faults
     ckpt_every ckpt_dir restart trace metrics obs_summary =
-  obs_setup ~trace ~metrics ~obs_summary;
+  Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
   if check then Printf.printf "sanitizer: opp_check runtime checks enabled\n%!";
@@ -92,7 +57,7 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
     Format.printf "@.%a@." (fun fmt () -> Opp_core.Profile.pp fmt ~t:profile ()) ();
     sim_diag ();
     Resil_cli.report_faults ();
-    obs_finish ~trace ~metrics ~obs_summary
+    Resil_cli.obs_finish ~trace ~metrics ~obs_summary
   in
   let profile = Opp_core.Profile.create () in
   match backend with
@@ -268,30 +233,14 @@ let cmd =
           ~doc:"mean p2c jump distance that triggers an automatic sort (implies \
                 $(b,--sort-auto); 0 keeps the default)")
   in
-  let trace =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace-event JSON timeline to $(docv)")
-  in
-  let metrics =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"write per-step metrics to $(docv) (JSONL, or CSV when $(docv) ends in .csv)")
-  in
-  let obs_summary =
-    Arg.(value & flag & info [ "obs-summary" ] ~doc:"print trace and metrics summaries at exit")
-  in
   Cmd.v
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
       $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ binned
       $ sort_auto $ sort_every $ sort_threshold $ Resil_cli.faults_arg
-      $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg $ trace
-      $ metrics $ obs_summary)
+      $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg
+      $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -1,7 +1,8 @@
-(* Resilience plumbing shared by the drivers: the --faults / --ckpt-*
-   / --restart flags, fault-schedule installation, the end-of-run
-   stats line, and the crash-recovery stepping loop used by the mpi
-   backends. *)
+(* Plumbing shared by the drivers: the --faults / --ckpt-* / --restart
+   flags, fault-schedule installation, the end-of-run stats line, the
+   crash-recovery stepping loop used by the mpi backends, and the
+   standard observability flags (--trace / --metrics / --obs-summary)
+   with their enable/export bookends. *)
 
 open Cmdliner
 
@@ -32,6 +33,59 @@ let restart_arg =
     & opt (some string) None
     & info [ "restart" ] ~docv:"DIR"
         ~doc:"resume from the newest valid checkpoint under $(docv)")
+
+(* The standard observability artifact flags. Every driver takes the
+   same trio so that a trace or metrics file from any of them feeds
+   bin/oppic_prof unchanged. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace-event JSON timeline to $(docv)")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"write per-step metrics to $(docv) (JSONL, or CSV when $(docv) ends in .csv)")
+
+let obs_summary_arg =
+  Arg.(value & flag & info [ "obs-summary" ] ~doc:"print trace and metrics summaries at exit")
+
+(* Enable the global trace/metrics sinks up front, export and
+   summarize at exit. A metrics path ending in [.csv] selects the CSV
+   exporter, anything else gets JSONL. *)
+let obs_setup ~trace ~metrics ~obs_summary =
+  if trace <> None || obs_summary then Opp_obs.Trace.enable ();
+  if metrics <> None || obs_summary then Opp_obs.Metrics.enable ()
+
+let try_write what path f =
+  try f path
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write %s file: %s\n%!" what msg;
+    exit 1
+
+let obs_finish ~trace ~metrics ~obs_summary =
+  (match trace with
+  | Some path ->
+      try_write "trace" path Opp_obs.Trace.write_chrome;
+      Printf.printf "trace: %d spans written to %s (open in chrome://tracing or Perfetto)\n%!"
+        (Opp_obs.Trace.span_count ()) path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      try_write "metrics" path (fun p ->
+          if Filename.check_suffix p ".csv" then Opp_obs.Metrics.write_csv p
+          else Opp_obs.Metrics.write_jsonl p);
+      Printf.printf "metrics: %d rows written to %s\n%!"
+        (List.length (Opp_obs.Metrics.rows ()))
+        path
+  | None -> ());
+  if obs_summary then begin
+    Format.printf "@.-- trace summary --@.%a" (fun fmt () -> Opp_obs.Trace.summary fmt ()) ();
+    Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
+  end
 
 (* Parse and install the schedule before any simulation state exists,
    so every message of the run is subject to it. *)

@@ -285,7 +285,8 @@ let create ?(prm = Cabana_params.default) ?(runner = Runner.seq ()) ?(profile = 
 let arg_stencil t dat slot = Opp.arg_dat_i dat ~idx:slot ~map:t.c2c27 Opp.read
 
 let interpolate t =
-  Runner.par_loop t.runner ~name:"Interpolate" ~flops_per_elem:36.0 interpolate_kernel t.cells
+  Runner.par_loop t.runner ~name:"Interpolate"
+    ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Interpolate") interpolate_kernel t.cells
     Opp.core
     [
       Opp.arg_dat t.cell_interp Opp.write;
@@ -329,11 +330,14 @@ let move_deposit ?should_stop ?on_pending ?iterate t =
   let r =
     match (should_stop, on_pending, iterate) with
     | None, None, None ->
-        Runner.particle_move t.runner ~name:"Move_Deposit" ~flops_per_elem:70.0 kernel
+        Runner.particle_move t.runner ~name:"Move_Deposit"
+          ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Move_Deposit") kernel
           t.parts ~p2c:t.p2c args
     | _ ->
-        Runner.traced_move ~name:"Move_Deposit" (fun () ->
-            Seq.particle_move ~profile:t.profile ~flops_per_elem:70.0 ?should_stop ?on_pending
+        Runner.traced_move ~name:"Move_Deposit"
+          ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Move_Deposit") ~args (fun () ->
+            Seq.particle_move ~profile:t.profile
+              ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Move_Deposit") ?should_stop ?on_pending
               ?iterate ~name:"Move_Deposit" kernel t.parts ~p2c:t.p2c args)
   in
   t.last_move <- Some r;
@@ -341,14 +345,15 @@ let move_deposit ?should_stop ?on_pending ?iterate t =
 
 let accumulate_current t =
   let inv_vol = 1.0 /. Opp_mesh.Hex_mesh.cell_volume t.mesh in
-  Runner.par_loop t.runner ~name:"AccumulateCurrent" ~flops_per_elem:3.0
+  Runner.par_loop t.runner ~name:"AccumulateCurrent"
+    ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "AccumulateCurrent")
     (accumulate_current_kernel ~inv_vol)
     t.cells Opp.core
     [ Opp.arg_dat t.cell_acc Opp.read; Opp.arg_dat t.cell_j Opp.write ]
 
 let advance_b t ~frac =
   let prm = t.prm in
-  Runner.par_loop t.runner ~name:"AdvanceB" ~flops_per_elem:15.0
+  Runner.par_loop t.runner ~name:"AdvanceB" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "AdvanceB")
     (advance_b_kernel ~frac_dt:(frac *. t.dt) ~dx:(Cabana_params.dx prm)
        ~dy:(Cabana_params.dy prm) ~dz:(Cabana_params.dz prm))
     t.cells Opp.core
@@ -362,7 +367,7 @@ let advance_b t ~frac =
 
 let advance_e t =
   let prm = t.prm in
-  Runner.par_loop t.runner ~name:"AdvanceE" ~flops_per_elem:18.0
+  Runner.par_loop t.runner ~name:"AdvanceE" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "AdvanceE")
     (advance_e_kernel ~dt:t.dt ~dx:(Cabana_params.dx prm) ~dy:(Cabana_params.dy prm)
        ~dz:(Cabana_params.dz prm))
     t.cells Opp.core
@@ -414,11 +419,11 @@ type energies = { e_field : float; b_field : float; kinetic : float }
 let energies t =
   let acc = [| 0.0; 0.0 |] in
   let half_vol = 0.5 *. Opp_mesh.Hex_mesh.cell_volume t.mesh in
-  Runner.par_loop t.runner ~name:"FieldEnergy" ~flops_per_elem:14.0
+  Runner.par_loop t.runner ~name:"FieldEnergy" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "FieldEnergy")
     (field_energy_kernel ~half_vol) t.cells Opp.core
     [ Opp.arg_dat t.cell_e Opp.read; Opp.arg_dat t.cell_b Opp.read; Opp.arg_gbl acc Opp.inc ];
   let ke = [| 0.0 |] in
-  Runner.par_loop t.runner ~name:"KineticEnergy" ~flops_per_elem:8.0
+  Runner.par_loop t.runner ~name:"KineticEnergy" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "KineticEnergy")
     (fun v ->
       let sq i = View.get v.(0) i *. View.get v.(0) i in
       View.inc v.(2) 0

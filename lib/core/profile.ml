@@ -43,12 +43,19 @@ let record ?(t = global) ~name ~elems ~seconds ~flops ~bytes () =
     backwards under NTP and corrupt the ledger. Also emits a trace
     span (cat ["host"]) when tracing is enabled. *)
 let timed ?(t = global) ~name ?(elems = 0) ?(flops = 0.0) ?(bytes = 0.0) f =
+  let d0 = Opp_obs.Trace.depth () in
   Opp_obs.Trace.begin_span ~cat:"host" name;
   let t0 = Opp_obs.Clock.now_s () in
-  let result = f () in
-  record ~t ~name ~elems ~seconds:(Opp_obs.Clock.now_s () -. t0) ~flops ~bytes ();
-  Opp_obs.Trace.end_span ();
-  result
+  match f () with
+  | result ->
+      record ~t ~name ~elems ~seconds:(Opp_obs.Clock.now_s () -. t0) ~flops ~bytes ();
+      (* unwind, not end_span: [f] may itself have leaked an open span *)
+      Opp_obs.Trace.unwind d0;
+      result
+  | exception e ->
+      record ~t ~name ~elems ~seconds:(Opp_obs.Clock.now_s () -. t0) ~flops ~bytes ();
+      Opp_obs.Trace.unwind d0;
+      raise e
 
 (** Add modelled (as opposed to measured) seconds to a kernel entry. *)
 let add_seconds ?(t = global) ~name s =

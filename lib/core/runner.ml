@@ -33,19 +33,58 @@ type t = {
    and metrics are disabled the cost is one branch per loop launch. *)
 
 let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
-  if !Opp_obs.Trace.enabled then
-    Opp_obs.Trace.with_span ~cat:"par_loop" name (fun () ->
-        r.r_par_loop name flops_per_elem kernel set iterate args)
+  if !Opp_obs.Trace.enabled then begin
+    (* Attach the loop's cost-model inputs to the span so downstream
+       analysis (oppic_prof) can place every kernel on the roofline
+       from the trace artifact alone. The element count is read before
+       the launch: an injected-window loop may shrink the window. *)
+    let lo, hi = Seq.iter_range set iterate in
+    let n = hi - lo in
+    let d0 = Opp_obs.Trace.depth () in
+    Opp_obs.Trace.begin_span ~cat:"par_loop" name;
+    match r.r_par_loop name flops_per_elem kernel set iterate args with
+    | () ->
+        Opp_obs.Trace.end_span
+          ~args:
+            [
+              ("elems", float_of_int n);
+              ("flops", flops_per_elem *. float_of_int n);
+              ("bytes", Seq.loop_bytes args n);
+            ]
+          ()
+    | exception e ->
+        Opp_obs.Trace.unwind d0;
+        raise e
+  end
   else r.r_par_loop name flops_per_elem kernel set iterate args
 
 (** Span + metrics wrapper for a particle-move launch. Exposed so
     call sites that must route around the runner (the distributed
     movers, which pass [should_stop]/[on_pending] straight to
-    {!Seq.particle_move}) stay observable. *)
-let traced_move ~name run =
+    {!Seq.particle_move}) stay observable. [flops_per_elem]/[args]
+    (per hop, like the mover's own cost accounting) let the span carry
+    roofline inputs; the element count is the executed hop total. *)
+let traced_move ~name ?(flops_per_elem = 0.0) ?(args = []) run =
   let result =
-    if !Opp_obs.Trace.enabled then
-      Opp_obs.Trace.with_span ~cat:"particle_move" name run
+    if !Opp_obs.Trace.enabled then begin
+      let d0 = Opp_obs.Trace.depth () in
+      Opp_obs.Trace.begin_span ~cat:"particle_move" name;
+      match run () with
+      | result ->
+          let hops = result.Seq.mv_total_hops in
+          Opp_obs.Trace.end_span
+            ~args:
+              [
+                ("elems", float_of_int hops);
+                ("flops", flops_per_elem *. float_of_int hops);
+                ("bytes", Seq.loop_bytes args hops);
+              ]
+            ();
+          result
+      | exception e ->
+          Opp_obs.Trace.unwind d0;
+          raise e
+    end
     else run ()
   in
   if !Opp_obs.Metrics.enabled then begin
@@ -57,7 +96,8 @@ let traced_move ~name run =
   result
 
 let particle_move r ~name ?(flops_per_elem = 0.0) ?dh kernel set ~p2c args =
-  traced_move ~name (fun () -> r.r_particle_move name flops_per_elem dh kernel set p2c args)
+  traced_move ~name ~flops_per_elem ~args (fun () ->
+      r.r_particle_move name flops_per_elem dh kernel set p2c args)
 
 (** The sequential reference runner, recording into [profile]. *)
 let seq ?(profile = Profile.global) () =

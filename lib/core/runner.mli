@@ -44,12 +44,19 @@ val particle_move :
   Seq.move_result
 (** Execute a particle move; [dh] supplies a direct-hop locator. *)
 
-val traced_move : name:string -> (unit -> Seq.move_result) -> Seq.move_result
+val traced_move :
+  name:string ->
+  ?flops_per_elem:float ->
+  ?args:Arg.t list ->
+  (unit -> Seq.move_result) ->
+  Seq.move_result
 (** Trace-span and move-metrics wrapper used by {!particle_move}.
     Call sites that route around the runner (distributed movers
     passing [should_stop]/[on_pending] straight to
     {!Seq.particle_move}) should wrap their launch in this to stay
-    observable. *)
+    observable. Pass the move's [flops_per_elem] (per hop) and arg
+    list so the span carries elems/flops/bytes for downstream roofline
+    analysis; both default to zero-cost. *)
 
 val seq : ?profile:Profile.t -> unit -> t
 (** The sequential reference runner. *)

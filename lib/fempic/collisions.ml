@@ -120,7 +120,7 @@ let apply ?(runner = Runner.seq ()) t =
     done
   done;
   let counters = [| 0.0; 0.0; 0.0 |] in
-  Runner.par_loop runner ~name:"CollideMCC" ~flops_per_elem:24.0
+  Runner.par_loop runner ~name:"CollideMCC" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "CollideMCC")
     (kernel
        ~n_sigma_cx_dt:(t.neutral_density *. t.sigma_cx *. t.dt)
        ~n_sigma_el_dt:(t.neutral_density *. t.sigma_el *. t.dt)

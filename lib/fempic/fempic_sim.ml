@@ -328,7 +328,7 @@ let inject_particles t =
         done)
       faces;
     let qm = t.prm.Params.ion_charge /. t.prm.Params.ion_mass in
-    Runner.par_loop t.runner ~name:"Inject" ~flops_per_elem:9.0
+    Runner.par_loop t.runner ~name:"Inject" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Inject")
       (inject_kernel ~qm ~dt:t.prm.Params.dt)
       t.parts Opp.injected
       [ Opp.arg_dat_p2c t.cell_ef ~p2c:t.p2c Opp.read; Opp.arg_dat t.part_vel Opp.rw ];
@@ -338,7 +338,7 @@ let inject_particles t =
 
 let calc_pos_vel t =
   let qm = t.prm.Params.ion_charge /. t.prm.Params.ion_mass in
-  Runner.par_loop t.runner ~name:"CalcPosVel" ~flops_per_elem:15.0
+  Runner.par_loop t.runner ~name:"CalcPosVel" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "CalcPosVel")
     (calc_pos_vel_kernel ~qm ~dt:t.prm.Params.dt)
     t.parts Opp.all
     [
@@ -363,11 +363,14 @@ let move ?should_stop ?on_pending ?iterate t =
   let r =
     match (should_stop, on_pending, iterate) with
     | None, None, None ->
-        Runner.particle_move t.runner ~name:"Move" ~flops_per_elem:33.0 ?dh:t.dh kernel
+        Runner.particle_move t.runner ~name:"Move"
+          ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Move") ?dh:t.dh kernel
           t.parts ~p2c:t.p2c args
     | _ ->
-        Runner.traced_move ~name:"Move" (fun () ->
-            Seq.particle_move ~profile:t.profile ~flops_per_elem:33.0 ?dh:t.dh ?should_stop
+        Runner.traced_move ~name:"Move"
+          ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Move") ~args (fun () ->
+            Seq.particle_move ~profile:t.profile
+              ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "Move") ?dh:t.dh ?should_stop
               ?on_pending ?iterate ~name:"Move" kernel t.parts ~p2c:t.p2c args)
   in
   t.last_move <- Some r;
@@ -377,7 +380,7 @@ let deposit_charge t =
   Runner.par_loop t.runner ~name:"ResetCharge" reset_kernel t.nodes Opp.all
     [ Opp.arg_dat t.node_charge Opp.write ];
   let charge = t.spwt *. t.prm.Params.ion_charge in
-  Runner.par_loop t.runner ~name:"DepositCharge" ~flops_per_elem:8.0 (deposit_kernel ~charge)
+  Runner.par_loop t.runner ~name:"DepositCharge" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "DepositCharge") (deposit_kernel ~charge)
     t.parts Opp.all
     [
       Opp.arg_dat t.part_lc Opp.read;
@@ -388,7 +391,8 @@ let deposit_charge t =
     ]
 
 let compute_charge_density t =
-  Runner.par_loop t.runner ~name:"ComputeNodeChargeDensity" ~flops_per_elem:1.0
+  Runner.par_loop t.runner ~name:"ComputeNodeChargeDensity"
+    ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "ComputeNodeChargeDensity")
     charge_density_kernel t.nodes Opp.all
     [
       Opp.arg_dat t.node_charge Opp.read;
@@ -406,7 +410,8 @@ let solve_potential t =
   stats
 
 let compute_electric_field t =
-  Runner.par_loop t.runner ~name:"ComputeElectricField" ~flops_per_elem:21.0
+  Runner.par_loop t.runner ~name:"ComputeElectricField"
+    ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "ComputeElectricField")
     electric_field_kernel t.cells Opp.all
     [
       Opp.arg_dat t.cell_ef Opp.write;

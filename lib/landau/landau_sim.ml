@@ -172,7 +172,7 @@ let create ?(prm = default) () =
 let deposit ?(runner = Runner.seq ()) t =
   Runner.par_loop runner ~name:"ResetRho" (fun v -> View.fill v.(0) 0.0) t.cells Opp.all
     [ Opp.arg_dat t.cell_rho Opp.write ];
-  Runner.par_loop runner ~name:"DepositRho" ~flops_per_elem:6.0
+  Runner.par_loop runner ~name:"DepositRho" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "DepositRho")
     (deposit_kernel ~dz:t.dz ~inv_dz:(1.0 /. t.dz))
     t.parts Opp.all
     [
@@ -183,7 +183,7 @@ let deposit ?(runner = Runner.seq ()) t =
     ];
   (* charge per cell -> density, plus the neutralising ion background *)
   let inv_dz = 1.0 /. t.dz in
-  Runner.par_loop runner ~name:"NeutraliseRho" ~flops_per_elem:2.0
+  Runner.par_loop runner ~name:"NeutraliseRho" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "NeutraliseRho")
     (fun v -> View.set v.(0) 0 ((View.get v.(0) 0 *. inv_dz) +. 1.0))
     t.cells Opp.all
     [ Opp.arg_dat t.cell_rho Opp.rw ]
@@ -205,7 +205,7 @@ let solve_field t =
 
 let push ?(runner = Runner.seq ()) t =
   (* qe/me = -1 *)
-  Runner.par_loop runner ~name:"PushV" ~flops_per_elem:8.0
+  Runner.par_loop runner ~name:"PushV" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "PushV")
     (push_kernel ~qmdt2:(-.t.prm.dt /. 2.0) ~inv_dz:(1.0 /. t.dz))
     t.parts Opp.all
     [
@@ -216,7 +216,7 @@ let push ?(runner = Runner.seq ()) t =
     ]
 
 let move ?(runner = Runner.seq ()) t =
-  Runner.particle_move runner ~name:"MoveRing" ~flops_per_elem:8.0
+  Runner.particle_move runner ~name:"MoveRing" ~flops_per_elem:(Opp_prof.Kernels.flops_per_elem "MoveRing")
     (move_kernel ~dt:t.prm.dt ~dz:t.dz ~lz:t.lz ~c2c_data:t.c2c.m_data)
     t.parts ~p2c:t.p2c
     [ Opp.arg_dat t.part_z Opp.rw; Opp.arg_dat t.part_v Opp.read ]

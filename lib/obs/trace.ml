@@ -6,6 +6,7 @@ type span = {
   sp_path : string;
   sp_ts_ns : int64;
   mutable sp_dur_ns : int64;
+  mutable sp_args : (string * float) list;
 }
 
 type t = {
@@ -62,7 +63,9 @@ let stack_for r =
       Hashtbl.add g.stacks r st;
       st
 
-let begin_span ?(cat = "") name =
+let depth () = if !enabled then List.length !(stack_for g.track) else 0
+
+let begin_span ?(cat = "") ?(args = []) name =
   if !enabled then begin
     let st = stack_for g.track in
     let path =
@@ -77,28 +80,55 @@ let begin_span ?(cat = "") name =
         sp_path = path;
         sp_ts_ns = Int64.sub (Clock.now_ns ()) g.epoch_ns;
         sp_dur_ns = 0L;
+        sp_args = args;
       }
     in
     st := sp :: !st
   end
 
-let end_span () =
+let close sp extra_args =
+  sp.sp_dur_ns <- Int64.sub (Int64.sub (Clock.now_ns ()) g.epoch_ns) sp.sp_ts_ns;
+  if extra_args <> [] then sp.sp_args <- sp.sp_args @ extra_args;
+  g.completed <- sp :: g.completed;
+  g.count <- g.count + 1
+
+let end_span ?(args = []) () =
   if !enabled then begin
     let st = stack_for g.track in
     match !st with
     | [] -> ()
     | sp :: rest ->
         st := rest;
-        sp.sp_dur_ns <- Int64.sub (Int64.sub (Clock.now_ns ()) g.epoch_ns) sp.sp_ts_ns;
-        g.completed <- sp :: g.completed;
-        g.count <- g.count + 1
+        close sp args
   end
 
-let with_span ?cat name f =
+(* Pop (and complete, with their duration so far) every span opened
+   above depth [d] on the current track. The recovery path of the
+   exception-safe wrappers: a kernel that raises between an imperative
+   [begin_span]/[end_span] pair would otherwise leave its span open
+   forever and every later span of the run would nest under it. *)
+let unwind d =
+  if !enabled then begin
+    let st = stack_for g.track in
+    while List.length !st > max d 0 do
+      match !st with
+      | [] -> ()
+      | sp :: rest ->
+          st := rest;
+          close sp [ ("unwound", 1.0) ]
+    done
+  end
+
+let with_span ?cat ?args name f =
   if not !enabled then f ()
   else begin
-    begin_span ?cat name;
-    Fun.protect ~finally:end_span f
+    let d0 = depth () in
+    begin_span ?cat ?args name;
+    (* unwind, not a bare [end_span]: if [f] leaks open spans (an
+       imperative [begin_span] followed by a raise), popping one span
+       would close the wrong one and corrupt nesting for the rest of
+       the run *)
+    Fun.protect ~finally:(fun () -> unwind d0) f
   end
 
 let spans () = List.rev g.completed
@@ -132,7 +162,7 @@ let to_chrome_json () =
   let events =
     List.rev_map
       (fun sp ->
-        Json.Obj
+        let base =
           [
             ("ph", Json.Str "X");
             ("name", Json.Str sp.sp_name);
@@ -141,7 +171,15 @@ let to_chrome_json () =
             ("tid", Json.Num (float_of_int sp.sp_track));
             ("ts", Json.Num (us_of_ns sp.sp_ts_ns));
             ("dur", Json.Num (us_of_ns sp.sp_dur_ns));
-          ])
+          ]
+        in
+        let fields =
+          if sp.sp_args = [] then base
+          else
+            base
+            @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) sp.sp_args)) ]
+        in
+        Json.Obj fields)
       g.completed
   in
   Json.Obj

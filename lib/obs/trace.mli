@@ -38,16 +38,32 @@ val name_track : int -> string -> unit
 
 (** {2 Spans} *)
 
-val begin_span : ?cat:string -> string -> unit
+val begin_span : ?cat:string -> ?args:(string * float) list -> string -> unit
 (** Open a span on the current track. No-op when disabled. [cat] is
-    the Chrome trace category (e.g. ["par_loop"], ["halo"]). *)
+    the Chrome trace category (e.g. ["par_loop"], ["halo"]); [args]
+    are numeric key/values exported as the Chrome event's [args]
+    object (e.g. elems/flops/bytes attached by [Runner]). *)
 
-val end_span : unit -> unit
-(** Close the innermost open span on the current track. No-op when
-    disabled or when no span is open. *)
+val end_span : ?args:(string * float) list -> unit -> unit
+(** Close the innermost open span on the current track, appending
+    [args] to whatever was supplied at open. No-op when disabled or
+    when no span is open. *)
 
-val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
-(** [begin_span]/[end_span] around a thunk (exception-safe). *)
+val depth : unit -> int
+(** Number of open spans on the current track (0 when disabled). *)
+
+val unwind : int -> unit
+(** [unwind d] closes every open span on the current track until at
+    most [d] remain, stamping each with an ["unwound"] arg and its
+    duration so far. This is the exception-recovery primitive: capture
+    [depth ()] before a region that uses the imperative
+    {!begin_span}/{!end_span} pair, and [unwind] to it on raise so a
+    leaked open span cannot corrupt nesting for the rest of the run. *)
+
+val with_span : ?cat:string -> ?args:(string * float) list -> string -> (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around a thunk. Exception-safe even when
+    the thunk itself leaks unbalanced [begin_span]s: the close is a
+    depth-based {!unwind}, not a blind pop. *)
 
 (** {2 Introspection (tests, summaries)} *)
 
@@ -59,6 +75,8 @@ type span = {
   sp_path : string;  (** [;]-joined ancestor names, ending in [sp_name] *)
   sp_ts_ns : int64;  (** start, relative to the trace epoch *)
   mutable sp_dur_ns : int64;
+  mutable sp_args : (string * float) list;
+      (** numeric payload; exported as the Chrome [args] object *)
 }
 
 val spans : unit -> span list

@@ -1,0 +1,78 @@
+(** Arithmetic IR for kernel bodies.
+
+    [Opp_codegen.Ir] stops at the loop boundary: it knows each loop's
+    argument list but not the elemental kernel's body (the paper's
+    translator parses that out of the C++ source with a clang
+    front-end). This mini-AST is the corresponding in-tree stand-in: a
+    kernel body expressed as straight-line arithmetic over named
+    values, from which a *static* double-precision flop count per
+    element (or per hop, for movers) is derived — the flop half of the
+    cost model; the byte half comes from the argument list
+    ({!Cost}).
+
+    Counting rules (documented so the hand-counted test expectations
+    are reproducible):
+    - every [Neg]/[Add]/[Sub]/[Mul]/[Div]/[Sqrt] node is 1 flop;
+    - an [Incr] (read-modify-write accumulate) is 1 flop plus its
+      expression;
+    - loads, stores, comparisons, min/max selects, and float↔int
+      truncations are 0 flops (data traffic belongs to the byte
+      model; flag/branch logic is not floating-point work);
+    - [If] counts its condition plus the *maximum* of its arms — the
+      static bound a vectorised lane executes;
+    - [Rep] multiplies; constants are counted as written, with no
+      folding ([F (-0.5) *: v] is one multiply, not two). *)
+
+type expr =
+  | F of float  (** literal constant *)
+  | V of string  (** load of a view slot / captured host scalar *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Sqrt of expr
+  | Cmp of expr * expr  (** comparison / select: free, operands counted *)
+  | Trunc of expr  (** float→int→float truncation: free *)
+
+type stmt =
+  | Let of string * expr  (** bind a temporary *)
+  | Store of string * expr  (** write a view slot *)
+  | Incr of string * expr  (** accumulate into a view slot: +1 flop *)
+  | Rep of int * stmt list  (** counted loop, trip count known statically *)
+  | If of expr * stmt list * stmt list
+      (** branch: condition + max of the arms *)
+
+type per = Per_elem | Per_hop  (** movers are costed per executed hop *)
+
+type t = { k_name : string; k_per : per; k_body : stmt list }
+
+let rec expr_flops = function
+  | F _ | V _ -> 0.0
+  | Trunc e -> expr_flops e
+  | Neg e | Sqrt e -> 1.0 +. expr_flops e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      1.0 +. expr_flops a +. expr_flops b
+  | Cmp (a, b) -> expr_flops a +. expr_flops b
+
+let rec stmt_flops = function
+  | Let (_, e) | Store (_, e) -> expr_flops e
+  | Incr (_, e) -> 1.0 +. expr_flops e
+  | Rep (n, body) -> float_of_int n *. body_flops body
+  | If (c, a, b) -> expr_flops c +. Float.max (body_flops a) (body_flops b)
+
+and body_flops body = List.fold_left (fun acc s -> acc +. stmt_flops s) 0.0 body
+
+(** Static flops per element (par_loops) or per hop (movers). *)
+let flops t = body_flops t.k_body
+
+(** Convenience constructors for writing kernel bodies legibly. *)
+module Infix = struct
+  let ( +: ) a b = Add (a, b)
+  let ( -: ) a b = Sub (a, b)
+  let ( *: ) a b = Mul (a, b)
+  let ( /: ) a b = Div (a, b)
+  let ( <: ) a b = Cmp (a, b)
+  let f x = F x
+  let v n = V n
+end

@@ -1,0 +1,18 @@
+(** opp_prof — the analysis layer over [opp_obs] telemetry.
+
+    Where [opp_obs] records (spans, metrics) and [opp_perf] models
+    (devices, rooflines), this library answers questions: where does
+    each step's time go per rank ({!Phases}), what does each kernel
+    cost statically ({!Kernel_ir}/{!Kernels}/{!Cost}), where does each
+    kernel land on the roofline ({!Kstats} feeding
+    [Opp_perf.Roofline]), and did a change regress ({!Ab}). The
+    [oppic_prof] CLI ([bin/oppic_prof.ml]) drives all of it from
+    [--trace]/[--metrics] artifacts. *)
+
+module Kernel_ir = Kernel_ir
+module Kernels = Kernels
+module Cost = Cost
+module Prof_span = Prof_span
+module Phases = Phases
+module Kstats = Kstats
+module Ab = Ab

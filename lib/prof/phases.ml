@@ -1,0 +1,248 @@
+(** Per-rank phase accounting on the simulated-MPI substrate.
+
+    The distributed drivers wrap each rank's work in [cat:"phase"]
+    spans on that rank's track and run the ranks serially under a
+    driver track (see [lib/apps_dist]). Ranks synchronise at phase
+    boundaries (the halo exchanges between phases), so for every
+    phase instance the straggler sets the pace: rank [r]'s *wait* at
+    that boundary is [max_r dur - dur_r], and the step's *critical
+    path* is the sum over phases of the per-phase maximum plus the
+    serial (driver-side) sections. This is exactly the per-rank
+    runtime-breakdown table of the paper's evaluation, computed from a
+    trace artifact. *)
+
+type row = {
+  r_phase : string;
+  r_calls : int;  (** spans aggregated into this row, all ranks *)
+  r_rank_us : float array;  (** total time per rank, [p_ranks] order *)
+  r_mean_us : float;
+  r_max_us : float;
+  r_imbalance : float;  (** max/mean of the per-rank totals *)
+  r_wait_us : float;  (** total sync wait induced at this phase's boundary *)
+  r_crit_us : float;  (** sum over instances of the per-instance max *)
+}
+
+type serial = { x_name : string; x_calls : int; x_total_us : float }
+
+type t = {
+  p_ranks : int list;  (** track ids that carry phase spans, ascending *)
+  p_steps : int;  (** max instances of any single phase on any rank *)
+  p_rows : row list;  (** phase-name order of first appearance *)
+  p_serial : serial list;  (** driver-track sections: halos, solve, ... *)
+  p_rank_total_us : float array;  (** per-rank phase-time totals *)
+  p_imbalance : float;  (** max/mean of [p_rank_total_us] *)
+  p_crit_us : float;  (** critical path: phase maxima + serial sections *)
+  p_elapsed_us : float;  (** driver [step] span total (envelope fallback) *)
+}
+
+let build ?(phase_cat = "phase") (spans : Prof_span.t list) =
+  let phase_spans = List.filter (fun s -> s.Prof_span.s_cat = phase_cat) spans in
+  let ranks =
+    List.sort_uniq compare (List.map (fun s -> s.Prof_span.s_track) phase_spans)
+  in
+  let nranks = List.length ranks in
+  let rank_idx = Hashtbl.create 8 in
+  List.iteri (fun i r -> Hashtbl.add rank_idx r i) ranks;
+  let is_rank_track tr = Hashtbl.mem rank_idx tr in
+  (* per-phase state, keyed by phase name, in order of first appearance *)
+  let order = ref [] in
+  let tbl : (string, (int, float list ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let name = s.Prof_span.s_name in
+      let per_rank =
+        match Hashtbl.find_opt tbl name with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 8 in
+            Hashtbl.add tbl name h;
+            order := name :: !order;
+            h
+      in
+      let ri = Hashtbl.find rank_idx s.Prof_span.s_track in
+      let durs =
+        match Hashtbl.find_opt per_rank ri with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add per_rank ri l;
+            l
+      in
+      (* phase spans arrive in completion order per rank, so the list
+         position is the step (instance) index *)
+      durs := s.Prof_span.s_dur_us :: !durs)
+    phase_spans;
+  let rank_total = Array.make (max nranks 1) 0.0 in
+  let steps = ref 0 in
+  let rows =
+    List.rev_map
+      (fun name ->
+        let per_rank = Hashtbl.find tbl name in
+        let durs_of ri =
+          match Hashtbl.find_opt per_rank ri with
+          | Some l -> Array.of_list (List.rev !l)
+          | None -> [||]
+        in
+        let by_rank = Array.init nranks durs_of in
+        let instances = Array.fold_left (fun m d -> max m (Array.length d)) 0 by_rank in
+        steps := max !steps instances;
+        let totals =
+          Array.map (fun d -> Array.fold_left ( +. ) 0.0 d) by_rank
+        in
+        Array.iteri (fun i v -> rank_total.(i) <- rank_total.(i) +. v) totals;
+        let calls = Array.fold_left (fun acc d -> acc + Array.length d) 0 by_rank in
+        (* per-instance straggler accounting *)
+        let wait = ref 0.0 and crit = ref 0.0 in
+        for k = 0 to instances - 1 do
+          let dur ri = if k < Array.length by_rank.(ri) then by_rank.(ri).(k) else 0.0 in
+          let mx = ref 0.0 in
+          for ri = 0 to nranks - 1 do
+            if dur ri > !mx then mx := dur ri
+          done;
+          crit := !crit +. !mx;
+          for ri = 0 to nranks - 1 do
+            wait := !wait +. (!mx -. dur ri)
+          done
+        done;
+        let grand = Array.fold_left ( +. ) 0.0 totals in
+        let mean = if nranks > 0 then grand /. float_of_int nranks else 0.0 in
+        let mx = Array.fold_left Float.max 0.0 totals in
+        {
+          r_phase = name;
+          r_calls = calls;
+          r_rank_us = totals;
+          r_mean_us = mean;
+          r_max_us = mx;
+          r_imbalance = (if mean > 0.0 then mx /. mean else 1.0);
+          r_wait_us = !wait;
+          r_crit_us = !crit;
+        })
+      !order
+  in
+  (* driver-track sections: everything that is not on a rank track and
+     not a kernel-level span. [step] spans give the elapsed envelope;
+     halo/host sections serialize the ranks and so sit on the critical
+     path in full. *)
+  let serial_order = ref [] in
+  let serial_tbl : (string, serial ref) Hashtbl.t = Hashtbl.create 8 in
+  let elapsed = ref 0.0 and step_seen = ref false in
+  List.iter
+    (fun s ->
+      if not (is_rank_track s.Prof_span.s_track) then
+        if s.Prof_span.s_cat = "step" then begin
+          step_seen := true;
+          elapsed := !elapsed +. s.Prof_span.s_dur_us
+        end
+        else if s.Prof_span.s_cat = "halo" || s.Prof_span.s_cat = "host" then begin
+          let cell =
+            match Hashtbl.find_opt serial_tbl s.Prof_span.s_name with
+            | Some c -> c
+            | None ->
+                let c = ref { x_name = s.Prof_span.s_name; x_calls = 0; x_total_us = 0.0 } in
+                Hashtbl.add serial_tbl s.Prof_span.s_name c;
+                serial_order := s.Prof_span.s_name :: !serial_order;
+                c
+          in
+          cell :=
+            {
+              !cell with
+              x_calls = !cell.x_calls + 1;
+              x_total_us = !cell.x_total_us +. s.Prof_span.s_dur_us;
+            }
+        end)
+    spans;
+  let serial = List.rev_map (fun n -> !(Hashtbl.find serial_tbl n)) !serial_order in
+  if not !step_seen then begin
+    (* no driver step spans (e.g. a sequential run): use the span envelope *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    List.iter
+      (fun s ->
+        lo := Float.min !lo s.Prof_span.s_ts_us;
+        hi := Float.max !hi (s.Prof_span.s_ts_us +. s.Prof_span.s_dur_us))
+      spans;
+    elapsed := (if !hi > !lo then !hi -. !lo else 0.0)
+  end;
+  let serial_total = List.fold_left (fun acc x -> acc +. x.x_total_us) 0.0 serial in
+  let crit = List.fold_left (fun acc r -> acc +. r.r_crit_us) serial_total rows in
+  let grand = Array.fold_left ( +. ) 0.0 rank_total in
+  let mean = if nranks > 0 then grand /. float_of_int nranks else 0.0 in
+  let mx = Array.fold_left Float.max 0.0 rank_total in
+  {
+    p_ranks = ranks;
+    p_steps = !steps;
+    p_rows = rows;
+    p_serial = serial;
+    p_rank_total_us = rank_total;
+    p_imbalance = (if mean > 0.0 then mx /. mean else 1.0);
+    p_crit_us = crit;
+    p_elapsed_us = !elapsed;
+  }
+
+let ms us = us /. 1e3
+
+let pp fmt t =
+  let nranks = List.length t.p_ranks in
+  Format.fprintf fmt "per-rank phase breakdown: %d ranks, %d steps@." nranks t.p_steps;
+  Format.fprintf fmt "%-26s %7s %10s %10s %7s %10s %10s@." "phase" "calls" "mean(ms)"
+    "max(ms)" "imbal" "wait(ms)" "crit(ms)";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-26s %7d %10.3f %10.3f %7.3f %10.3f %10.3f@." r.r_phase r.r_calls
+        (ms r.r_mean_us) (ms r.r_max_us) r.r_imbalance (ms r.r_wait_us) (ms r.r_crit_us))
+    t.p_rows;
+  List.iter
+    (fun x ->
+      Format.fprintf fmt "%-26s %7d %10s %10.3f %7s %10s %10.3f  (serial)@." x.x_name
+        x.x_calls "-" (ms x.x_total_us) "-" "-" (ms x.x_total_us))
+    t.p_serial;
+  if nranks > 0 then begin
+    Format.fprintf fmt "rank totals (ms):";
+    Array.iter (fun v -> Format.fprintf fmt " %.3f" (ms v)) t.p_rank_total_us;
+    Format.fprintf fmt "  imbalance %.3f@." t.p_imbalance
+  end;
+  Format.fprintf fmt "critical path %.3f ms / elapsed %.3f ms" (ms t.p_crit_us)
+    (ms t.p_elapsed_us);
+  if t.p_elapsed_us > 0.0 then
+    Format.fprintf fmt " (%.0f%%)" (100.0 *. t.p_crit_us /. t.p_elapsed_us);
+  Format.fprintf fmt "@."
+
+let to_json t =
+  let module J = Opp_obs.Json in
+  J.Obj
+    [
+      ("ranks", J.Arr (List.map (fun r -> J.Num (float_of_int r)) t.p_ranks));
+      ("steps", J.Num (float_of_int t.p_steps));
+      ("imbalance", J.Num t.p_imbalance);
+      ("critical_path_us", J.Num t.p_crit_us);
+      ("elapsed_us", J.Num t.p_elapsed_us);
+      ( "rank_total_us",
+        J.Arr (Array.to_list (Array.map (fun v -> J.Num v) t.p_rank_total_us)) );
+      ( "phases",
+        J.Arr
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("phase", J.Str r.r_phase);
+                   ("calls", J.Num (float_of_int r.r_calls));
+                   ( "rank_us",
+                     J.Arr (Array.to_list (Array.map (fun v -> J.Num v) r.r_rank_us)) );
+                   ("mean_us", J.Num r.r_mean_us);
+                   ("max_us", J.Num r.r_max_us);
+                   ("imbalance", J.Num r.r_imbalance);
+                   ("wait_us", J.Num r.r_wait_us);
+                   ("crit_us", J.Num r.r_crit_us);
+                 ])
+             t.p_rows) );
+      ( "serial",
+        J.Arr
+          (List.map
+             (fun x ->
+               J.Obj
+                 [
+                   ("name", J.Str x.x_name);
+                   ("calls", J.Num (float_of_int x.x_calls));
+                   ("total_us", J.Num x.x_total_us);
+                 ])
+             t.p_serial) );
+    ]

@@ -1,0 +1,102 @@
+(** Backend-neutral span model for offline analysis.
+
+    {!Phases} and {!Ab} operate on this record whether the spans come
+    from the live recorder ({!of_live}) or from a Chrome trace-event
+    artifact written by an earlier run ({!of_chrome} /
+    {!load_chrome}) — that is what makes [oppic_prof] a post-mortem
+    tool: it never needs the run, only the [--trace] file. *)
+
+module Json = Opp_obs.Json
+
+type t = {
+  s_name : string;
+  s_cat : string;
+  s_track : int;
+  s_ts_us : float;  (** start, microseconds from the trace epoch *)
+  s_dur_us : float;
+  s_args : (string * float) list;  (** elems/flops/bytes, when recorded *)
+}
+
+type trace = {
+  tr_spans : t list;  (** in file order (= completion order) *)
+  tr_track_names : (int * string) list;
+}
+
+let arg spans_args key = List.assoc_opt key spans_args
+let arg0 s key = match arg s.s_args key with Some v -> v | None -> 0.0
+
+let of_live () =
+  List.map
+    (fun (sp : Opp_obs.Trace.span) ->
+      {
+        s_name = sp.Opp_obs.Trace.sp_name;
+        s_cat = sp.Opp_obs.Trace.sp_cat;
+        s_track = sp.Opp_obs.Trace.sp_track;
+        s_ts_us = Int64.to_float sp.Opp_obs.Trace.sp_ts_ns /. 1e3;
+        s_dur_us = Int64.to_float sp.Opp_obs.Trace.sp_dur_ns /. 1e3;
+        s_args = sp.Opp_obs.Trace.sp_args;
+      })
+    (Opp_obs.Trace.spans ())
+
+(* --- Chrome trace-event import --- *)
+
+let mem_str j k = Option.bind (Json.member k j) Json.str
+let mem_num j k = Option.bind (Json.member k j) Json.num
+
+let event_of_json j =
+  match (mem_str j "ph", mem_str j "name", mem_num j "tid") with
+  | Some "X", Some name, Some tid ->
+      let args =
+        match Json.member "args" j with
+        | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> match Json.num v with Some x -> Some (k, x) | None -> None)
+              kvs
+        | _ -> []
+      in
+      `Span
+        {
+          s_name = name;
+          s_cat = (match mem_str j "cat" with Some c -> c | None -> "");
+          s_track = int_of_float tid;
+          s_ts_us = (match mem_num j "ts" with Some t -> t | None -> 0.0);
+          s_dur_us = (match mem_num j "dur" with Some d -> d | None -> 0.0);
+          s_args = args;
+        }
+  | Some "M", Some "thread_name", Some tid ->
+      let label =
+        Option.bind (Json.member "args" j) (fun a -> mem_str a "name")
+      in
+      `Track (int_of_float tid, match label with Some l -> l | None -> "")
+  | _ -> `Skip
+
+let of_chrome (j : Json.t) : (trace, string) result =
+  match Option.bind (Json.member "traceEvents" j) Json.to_list with
+  | None -> Error "not a Chrome trace: no traceEvents array"
+  | Some events ->
+      let spans = ref [] and tracks = ref [] in
+      List.iter
+        (fun e ->
+          match event_of_json e with
+          | `Span s -> spans := s :: !spans
+          | `Track (tid, name) -> tracks := (tid, name) :: !tracks
+          | `Skip -> ())
+        events;
+      Ok { tr_spans = List.rev !spans; tr_track_names = List.rev !tracks }
+
+let load_chrome path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Json.of_string text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> of_chrome j)
+
+(** Round-trip check used by the tests: spans exported by the live
+    recorder and re-imported from Chrome JSON must agree. *)
+let total_dur_us spans = List.fold_left (fun acc s -> acc +. s.s_dur_us) 0.0 spans

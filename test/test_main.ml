@@ -17,4 +17,5 @@ let () =
       ("pushers", Test_pushers.suite);
       ("landau", Test_landau.suite);
       ("resil", Test_resil.suite);
+      ("prof", Test_prof.suite);
     ]

@@ -8,8 +8,9 @@
      dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks
      dune exec bench/main.exe -- --pr4        -- locality benchmarks -> BENCH_PR4.json
      dune exec bench/main.exe -- --pr5        -- profiling smoke -> BENCH_PR5.json
+     dune exec bench/main.exe -- --pr6        -- watch overhead gate -> BENCH_PR6.json
 
-   Gated runs (--pr4, --pr5) also append a timestamped record to the
+   Gated runs (--pr4, --pr5, --pr6) also append a timestamped record to the
    cumulative trajectory log (JSONL, default BENCH.json, --log FILE to
    move it), so successive sessions accumulate a perf history instead
    of each overwriting its own one-off file.
@@ -506,6 +507,95 @@ let run_pr5 ~log out =
   Printf.printf "results written to %s\n%!" out;
   if not pass then exit 1
 
+(* --- PR6 watch-overhead gate (docs/OBSERVABILITY.md, live monitoring) ---
+
+   Times the tab1 distributed step bare against the same step with a
+   live monitor attached at full rate (heartbeat-every=1: detectors,
+   per-phase timing, canary scans, JSONL append, and the status.json
+   snapshot at its default cadence). Each rep is a batch of steps —
+   one step is ~2 ms, where a single scheduler preemption swamps the
+   few-percent effect being measured — sized to the snapshot cadence
+   so every rep carries exactly one status.json rewrite. The gate pins
+   overhead at 5% on the median interleaved batch ratio. *)
+
+let pr6_batch = 10
+
+let run_pr6 ~log out =
+  let make () =
+    Apps_dist.Cabana_dist.create
+      ~prm:(Experiments.Config.cabana_scaled_prm ~ranks:2 ~ppc:16)
+      ~nranks:2
+      ~profile:(Opp_core.Profile.create ())
+      ()
+  in
+  let plain = make () in
+  let watched = make () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "oppic_bench_watch" in
+  List.iter
+    (fun f ->
+      let p = Filename.concat dir f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "heartbeats.jsonl"; "alerts.jsonl"; "status.json" ];
+  let mon =
+    Opp_watch.Monitor.create
+      ~config:{ Opp_watch.Monitor.default_config with Opp_watch.Monitor.dir }
+      ~nranks:2 ()
+  in
+  Apps_dist.Cabana_dist.set_watch watched mon;
+  let batch_plain, batch_watched, ratio =
+    time_pair ~warmup:2 ~reps:10
+      (fun () ->
+        for _ = 1 to pr6_batch do
+          Apps_dist.Cabana_dist.step plain
+        done)
+      (fun () ->
+        for _ = 1 to pr6_batch do
+          Apps_dist.Cabana_dist.step watched
+        done)
+  in
+  let step_plain = batch_plain /. float_of_int pr6_batch in
+  let step_watched = batch_watched /. float_of_int pr6_batch in
+  Opp_watch.Monitor.close mon;
+  Apps_dist.Cabana_dist.shutdown plain;
+  Apps_dist.Cabana_dist.shutdown watched;
+  let tolerance = 1.05 in
+  let pass = ratio <= tolerance in
+  let row name seconds =
+    Opp_obs.Json.Obj [ ("name", Opp_obs.Json.Str name); ("seconds", Opp_obs.Json.Num seconds) ]
+  in
+  let json =
+    Opp_obs.Json.Obj
+      [
+        ("bench", Opp_obs.Json.Str "pr6-watch");
+        ( "rows",
+          Opp_obs.Json.Arr
+            [ row "tab1:dist_step" step_plain; row "watch:dist_step_watched" step_watched ] );
+        ("watch_ratio_median", Opp_obs.Json.Num ratio);
+        ( "alerts",
+          Opp_obs.Json.Num (float_of_int (Opp_watch.Monitor.alerts_total mon)) );
+        ("tolerance", Opp_obs.Json.Num tolerance);
+        ("pass", Opp_obs.Json.Bool pass);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Opp_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  append_record ~log json;
+  Printf.printf "%-24s %12s\n" "pr6 benchmark" "time/run";
+  let pr name s = Printf.printf "%-24s %9.3f ms\n" name (s *. 1e3) in
+  pr "dist_step bare" step_plain;
+  pr "dist_step watched" step_watched;
+  Printf.printf "watch overhead: median ratio %.3f (gate %.2f), alerts=%d\n" ratio tolerance
+    (Opp_watch.Monitor.alerts_total mon);
+  Printf.printf "results written to %s\n%!" out;
+  if not pass then begin
+    Printf.eprintf "FAIL: watched step %.3f ms vs bare %.3f ms exceeds %.0f%% overhead gate\n%!"
+      (step_watched *. 1e3) (step_plain *. 1e3)
+      ((tolerance -. 1.0) *. 100.0);
+    exit 1
+  end
+
 let find_flag_value args flag =
   let rec go = function
     | a :: b :: _ when a = flag -> Some b
@@ -531,6 +621,10 @@ let () =
      run_pr5
        ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
        (Option.value ~default:"BENCH_PR5.json" (find_flag_value args "--out"))
+   else if List.mem "--pr6" args then
+     run_pr6
+       ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
+       (Option.value ~default:"BENCH_PR6.json" (find_flag_value args "--out"))
    else
      match find_flag_value args "--only" with
      | Some id -> (

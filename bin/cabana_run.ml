@@ -44,7 +44,8 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
   end
 
 let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check binned sort_auto
-    sort_every sort_threshold faults ckpt_every ckpt_dir restart trace metrics obs_summary =
+    sort_every sort_threshold faults ckpt_every ckpt_dir restart trace metrics obs_summary watch
+    watch_dir heartbeat_every watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
@@ -86,17 +87,28 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
     match backend with
     | "mpi" ->
         Opp_obs.Trace.name_track ranks "driver";
+        let mon =
+          Resil_cli.watch_setup ~watch ~watch_dir ~heartbeat_every ~watch_strict
+            ~meta:
+              [ ("app", "cabana"); ("backend", "mpi"); ("ranks", string_of_int ranks) ]
+            ~nranks:ranks
+        in
         let dist =
-          Resil_cli.drive ~steps ~ckpt_every ~ckpt_dir ~restart
+          Resil_cli.drive ?watch:mon ~steps ~ckpt_every ~ckpt_dir ~restart
             ~make:(fun () ->
-              Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
-                ?workers:(if hybrid then Some workers else None)
-                ~checked:check ?locality ~profile ())
+              let d =
+                Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
+                  ?workers:(if hybrid then Some workers else None)
+                  ~checked:check ?locality ~profile ()
+              in
+              Option.iter (Apps_dist.Cabana_dist.set_watch d) mon;
+              d)
             ~destroy:Apps_dist.Cabana_dist.shutdown
             ~step_count:(fun d -> d.Apps_dist.Cabana_dist.step_count)
             ~save:(fun d ~dir -> Apps_dist.Cabana_dist.save_checkpoint d ~dir)
             ~restore:(fun d ~dir -> Apps_dist.Cabana_dist.restore_checkpoint d ~dir)
             ~do_step:(fun dist s ->
+              if inject_nan > 0 && s = inject_nan then Apps_dist.Cabana_dist.poison dist;
               Opp_obs.Trace.with_track ranks (fun () ->
                   Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
                       Apps_dist.Cabana_dist.step dist));
@@ -110,12 +122,14 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
                   e.Cabana.Cabana_sim.e_field e.Cabana.Cabana_sim.b_field
                   e.Cabana.Cabana_sim.kinetic dist.Apps_dist.Cabana_dist.last_migrated
               end)
+            ()
         in
         Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
           dist.Apps_dist.Cabana_dist.traffic;
         Apps_dist.Cabana_dist.shutdown dist;
         Resil_cli.report_faults ();
-        Resil_cli.obs_finish ~trace ~metrics ~obs_summary
+        Resil_cli.obs_finish ~trace ~metrics ~obs_summary;
+        Resil_cli.watch_finish mon
     | _ ->
         let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
         let runner, cleanup =
@@ -147,9 +161,28 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
             | Some s -> Printf.printf "restart: resumed at step %d from %s\n%!" s dir
             | None -> Printf.printf "restart: no valid checkpoint under %s, starting fresh\n%!" dir)
         | None -> ());
+        let mon =
+          Resil_cli.watch_setup ~watch ~watch_dir ~heartbeat_every ~watch_strict
+            ~meta:[ ("app", "cabana"); ("backend", backend) ]
+            ~nranks:1
+        in
+        let wtick = Resil_cli.seq_watch_ticker mon in
         let first = sim.Cabana.Cabana_sim.step_count + 1 in
         for s = first to steps do
+          if inject_nan > 0 && s = inject_nan then
+            sim.Cabana.Cabana_sim.cell_e.Opp_core.Types.d_data.(0) <- Float.nan;
           Opp_obs.Trace.with_span ~cat:"step" "step" (fun () -> Cabana.Cabana_sim.step sim);
+          wtick ~step:s ~particles:sim.Cabana.Cabana_sim.parts.Opp_core.Types.s_size
+            ~capacity:sim.Cabana.Cabana_sim.parts.Opp_core.Types.s_capacity
+            ~nonfinite:
+              (if Option.is_none mon then 0
+               else
+                 Opp_watch.Canary.nonfinite_dats
+                   [
+                     sim.Cabana.Cabana_sim.cell_e;
+                     sim.Cabana.Cabana_sim.cell_b;
+                     sim.Cabana.Cabana_sim.cell_j;
+                   ]);
           if ckpt_every > 0 && s mod ckpt_every = 0 then
             Cabana.Cabana_ckpt.save sim ~dir:ckpt_dir;
           if !Opp_obs.Metrics.enabled then
@@ -167,7 +200,8 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
         | Some s -> Printf.printf "locality: %d sorts performed\n%!" (Opp_locality.Sched.sorts s)
         | None -> ());
         Resil_cli.report_faults ();
-        Resil_cli.obs_finish ~trace ~metrics ~obs_summary
+        Resil_cli.obs_finish ~trace ~metrics ~obs_summary;
+        Resil_cli.watch_finish mon
 
 let cmd =
   let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"cells in x") in
@@ -229,7 +263,8 @@ let cmd =
       $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold
       $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
       $ Resil_cli.restart_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
-      $ Resil_cli.obs_summary_arg)
+      $ Resil_cli.obs_summary_arg $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg
+      $ Resil_cli.heartbeat_every_arg $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -32,9 +32,16 @@ let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
         sort_every;
       }
 
+(* NaN poison for the single-rank backends (--inject-nan): the
+   potential seeds the in-place Newton solve, so the NaN survives into
+   the scattered field and the canary sees it at the next boundary. *)
+let poison_seq (sim : Fempic.Fempic_sim.t) =
+  sim.Fempic.Fempic_sim.node_phi.Opp_core.Types.d_data.(0) <- Float.nan
+
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
     seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold faults
-    ckpt_every ckpt_dir restart trace metrics obs_summary =
+    ckpt_every ckpt_dir restart trace metrics obs_summary watch watch_dir heartbeat_every
+    watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
@@ -65,17 +72,28 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       (* the step span lives on a dedicated driver track, one past the
          last rank, so per-rank timelines stay rank-only *)
       Opp_obs.Trace.name_track ranks "driver";
+      let mon =
+        Resil_cli.watch_setup ~watch ~watch_dir ~heartbeat_every ~watch_strict
+          ~meta:
+            [ ("app", "fempic"); ("backend", "mpi"); ("ranks", string_of_int ranks) ]
+          ~nranks:ranks
+      in
       let dist =
-        Resil_cli.drive ~steps ~ckpt_every ~ckpt_dir ~restart
+        Resil_cli.drive ?watch:mon ~steps ~ckpt_every ~ckpt_dir ~restart
           ~make:(fun () ->
-            Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
-              ?workers:(if hybrid then Some workers else None)
-              ~checked:check ?locality ~profile mesh)
+            let d =
+              Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
+                ?workers:(if hybrid then Some workers else None)
+                ~checked:check ?locality ~profile mesh
+            in
+            Option.iter (Apps_dist.Fempic_dist.set_watch d) mon;
+            d)
           ~destroy:Apps_dist.Fempic_dist.shutdown
           ~step_count:(fun d -> d.Apps_dist.Fempic_dist.step_count)
           ~save:(fun d ~dir -> Apps_dist.Fempic_dist.save_checkpoint d ~dir)
           ~restore:(fun d ~dir -> Apps_dist.Fempic_dist.restore_checkpoint d ~dir)
           ~do_step:(fun dist s ->
+            if inject_nan > 0 && s = inject_nan then Apps_dist.Fempic_dist.poison dist;
             Opp_obs.Trace.with_track ranks (fun () ->
                 Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
                     ignore (Apps_dist.Fempic_dist.step dist)));
@@ -84,11 +102,13 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
               Printf.printf "step %4d: particles=%d migrated=%d\n%!" s
                 (Apps_dist.Fempic_dist.total_particles dist)
                 dist.Apps_dist.Fempic_dist.last_migrated)
+          ()
       in
       finish profile (fun () ->
           Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
             dist.Apps_dist.Fempic_dist.traffic);
-      Apps_dist.Fempic_dist.shutdown dist
+      Apps_dist.Fempic_dist.shutdown dist;
+      Resil_cli.watch_finish mon
   | _ ->
       let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
       let runner, cleanup =
@@ -125,6 +145,12 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       | Some dir ->
           Printf.printf "restart: no snapshot at %s, starting fresh\n%!" (ckpt_file dir)
       | None -> ());
+      let mon =
+        Resil_cli.watch_setup ~watch ~watch_dir ~heartbeat_every ~watch_strict
+          ~meta:[ ("app", "fempic"); ("backend", backend) ]
+          ~nranks:1
+      in
+      let wtick = Resil_cli.seq_watch_ticker mon in
       let first = sim.Fempic.Fempic_sim.step_count + 1 in
       let mcc =
         if neutral_density > 0.0 then
@@ -135,9 +161,21 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
         else None
       in
       for s = first to steps do
+        if inject_nan > 0 && s = inject_nan then poison_seq sim;
         Opp_obs.Trace.with_span ~cat:"step" "step" (fun () ->
             ignore (Fempic.Fempic_sim.step sim);
             match mcc with Some m -> ignore (Fempic.Collisions.apply ~runner m) | None -> ());
+        wtick ~step:s ~particles:sim.Fempic.Fempic_sim.parts.Opp_core.Types.s_size
+          ~capacity:sim.Fempic.Fempic_sim.parts.Opp_core.Types.s_capacity
+          ~nonfinite:
+            (if Option.is_none mon then 0
+             else
+               Opp_watch.Canary.nonfinite_dats
+                 [
+                   sim.Fempic.Fempic_sim.node_phi;
+                   sim.Fempic.Fempic_sim.node_charge_den;
+                   sim.Fempic.Fempic_sim.cell_ef;
+                 ]);
         if ckpt_every > 0 && s mod ckpt_every = 0 then begin
           (try Sys.mkdir ckpt_dir 0o755 with Sys_error _ -> ());
           Fempic.Checkpoint.save sim (ckpt_file ckpt_dir)
@@ -166,7 +204,8 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       finish profile (fun () ->
           match sched with
           | Some s -> Printf.printf "locality: %d sorts performed\n%!" (Opp_locality.Sched.sorts s)
-          | None -> ())
+          | None -> ());
+      Resil_cli.watch_finish mon
 
 let cmd =
   let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"duct hexes in x") in
@@ -240,7 +279,9 @@ let cmd =
       $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ binned
       $ sort_auto $ sort_every $ sort_threshold $ Resil_cli.faults_arg
       $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg
-      $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg)
+      $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg
+      $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg $ Resil_cli.heartbeat_every_arg
+      $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

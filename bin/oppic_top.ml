@@ -1,0 +1,158 @@
+(* oppic_top: terminal status pane for a watched run.
+
+   Renders the status.json snapshot that an opp_watch monitor
+   atomically replaces at every monitored step boundary: one line per
+   rank (progress, population, fill, step wall time, traffic, canary)
+   plus the recent-alert tail.
+
+   Examples:
+     dune exec bin/oppic_top.exe -- --once            (one render, default)
+     dune exec bin/oppic_top.exe -- --follow          (live, clears screen)
+     dune exec bin/oppic_top.exe -- --dir run1/watch --json *)
+
+open Cmdliner
+module J = Opp_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let num ?(default = 0.0) name j = Option.value ~default (Option.bind (J.member name j) J.num)
+
+let render status =
+  let buf = Buffer.create 1024 in
+  let step = int_of_float (num "step" status) in
+  let nranks = int_of_float (num "nranks" status) in
+  let alerts_total = int_of_float (num "alerts_total" status) in
+  let counts =
+    match J.member "alert_counts" status with
+    | Some (J.Obj fields) ->
+        List.filter_map
+          (fun (c, v) ->
+            Option.map (fun n -> Printf.sprintf "%s=%d" c (int_of_float n)) (J.num v))
+          fields
+    | _ -> []
+  in
+  let meta =
+    match J.member "meta" status with
+    | Some (J.Obj fields) ->
+        String.concat " "
+          (List.filter_map (fun (k, v) -> Option.map (fun s -> k ^ "=" ^ s) (J.str v)) fields)
+    | _ -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "oppic_top  %s  step %d  ranks %d  alerts %d%s\n" meta step nranks
+       alerts_total
+       (if counts = [] then "" else " [" ^ String.concat " " counts ^ "]"));
+  Buffer.add_string buf
+    "rank    step  particles   fill  step_ms    comm_KB  retrans  nonfin  dirty  top phase\n";
+  (match J.member "ranks" status with
+  | Some (J.Arr ranks) ->
+      List.iter
+        (fun hb ->
+          match Opp_watch.Heartbeat.of_json hb with
+          | Error _ -> ()
+          | Ok hb ->
+              let top_phase =
+                match
+                  List.fold_left
+                    (fun acc (n, us) ->
+                      match acc with
+                      | Some (_, best) when best >= us -> acc
+                      | _ -> Some (n, us))
+                    None hb.Opp_watch.Heartbeat.hb_phase_us
+                with
+                | Some (n, us) -> Printf.sprintf "%s (%.0fus)" n us
+                | None -> "-"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%4d  %6d  %9d  %5.2f  %7.1f  %9.1f  %7.0f  %6d  %5.2f  %s\n"
+                   hb.Opp_watch.Heartbeat.hb_rank hb.Opp_watch.Heartbeat.hb_step
+                   hb.Opp_watch.Heartbeat.hb_particles hb.Opp_watch.Heartbeat.hb_fill
+                   (hb.Opp_watch.Heartbeat.hb_step_us /. 1000.0)
+                   (hb.Opp_watch.Heartbeat.hb_comm_bytes /. 1024.0)
+                   hb.Opp_watch.Heartbeat.hb_retransmits hb.Opp_watch.Heartbeat.hb_nonfinite
+                   hb.Opp_watch.Heartbeat.hb_dirty_frac top_phase))
+        ranks
+  | _ -> ());
+  (match J.member "recent_alerts" status with
+  | Some (J.Arr (_ :: _ as alerts)) ->
+      Buffer.add_string buf "recent alerts:\n";
+      List.iter
+        (fun aj ->
+          match Opp_watch.Alert.of_json aj with
+          | Ok al -> Buffer.add_string buf (Format.asprintf "  %a\n" Opp_watch.Alert.pp al)
+          | Error _ -> ())
+        alerts
+  | _ -> ());
+  Buffer.contents buf
+
+let run dir follow json interval max_polls =
+  let path = Filename.concat dir "status.json" in
+  let show () =
+    match read_file path with
+    | exception Sys_error _ ->
+        Printf.eprintf "oppic_top: no status at %s (is the run started with --watch?)\n%!" path;
+        false
+    | raw -> (
+        if json then begin
+          print_string raw;
+          true
+        end
+        else
+          match J.of_string raw with
+          | Ok status ->
+              print_string (render status);
+              true
+          | Error msg ->
+              (* a torn read cannot happen (status.json is replaced
+                 atomically); a parse error means a foreign file *)
+              Printf.eprintf "oppic_top: bad status.json: %s\n%!" msg;
+              false)
+  in
+  if not follow then if show () then 0 else 1
+  else begin
+    let polls = ref 0 in
+    let ok = ref true in
+    while !ok && (max_polls = 0 || !polls < max_polls) do
+      print_string "\027[2J\027[H";
+      ignore (show ());
+      incr polls;
+      if max_polls = 0 || !polls < max_polls then Unix.sleepf interval
+    done;
+    0
+  end
+
+let cmd =
+  let dir =
+    Arg.(
+      value & opt string "watch"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"watch artifact directory (from --watch-dir)")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ] ~doc:"keep refreshing the pane (default is one render, --once)")
+  in
+  let once = Arg.(value & flag & info [ "once" ] ~doc:"render once and exit (the default)") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"print the raw status.json instead") in
+  let interval =
+    Arg.(
+      value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc:"refresh period with --follow")
+  in
+  let max_polls =
+    Arg.(
+      value & opt int 0
+      & info [ "max-polls" ] ~docv:"N" ~doc:"stop --follow after $(docv) renders (0 = forever)")
+  in
+  Cmd.v
+    (Cmd.info "oppic_top" ~doc:"terminal status pane for a run monitored with --watch")
+    Term.(
+      const (fun dir follow once json interval max_polls ->
+          run dir (follow && not once) json interval max_polls)
+      $ dir $ follow $ once $ json $ interval $ max_polls)
+
+let () = exit (Cmd.eval' cmd)

@@ -87,6 +87,126 @@ let obs_finish ~trace ~metrics ~obs_summary =
     Format.printf "@.-- metrics summary --@.%a" (fun fmt () -> Opp_obs.Metrics.summary fmt ()) ()
   end
 
+(* --- live health monitoring (opp_watch) ---
+
+   The same flag quartet on every driver: --watch turns the monitor
+   on, --watch-dir places its artifacts (heartbeats.jsonl,
+   alerts.jsonl, status.json — the file oppic_top renders),
+   --heartbeat-every decimates collection, and --watch-strict turns
+   any alert into a non-zero exit for CI. --inject-nan is the canary's
+   self-test hook: it poisons one value at a chosen step so a pipeline
+   can assert that A003 actually fires. *)
+
+let watch_arg =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:
+          "monitor the run live: per-rank heartbeats, anomaly detectors with stable A00x alert \
+           codes, and a status.json snapshot that $(b,oppic_top) renders (docs/OBSERVABILITY.md)")
+
+let watch_dir_arg =
+  Arg.(
+    value & opt string "watch"
+    & info [ "watch-dir" ] ~docv:"DIR" ~doc:"directory for watch artifacts")
+
+let heartbeat_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "heartbeat-every" ] ~docv:"N" ~doc:"collect heartbeats every $(docv)-th step")
+
+let watch_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "watch-strict" ] ~doc:"exit with status 5 if any watch alert fired during the run")
+
+let inject_nan_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "inject-nan" ] ~docv:"STEP"
+        ~doc:
+          "poison one field/particle value with NaN at step $(docv) (0 disables) — the watch \
+           canary's self-test")
+
+let watch_setup ~watch ~watch_dir ~heartbeat_every ~watch_strict ~meta ~nranks =
+  if not watch then None
+  else begin
+    if heartbeat_every < 1 then begin
+      Printf.eprintf "error: --heartbeat-every must be >= 1\n%!";
+      exit 1
+    end;
+    (* alerts are mirrored into the metrics registry (watch.alerts,
+       watch.A00x), so monitoring implies metrics collection *)
+    Opp_obs.Metrics.enable ();
+    let config =
+      {
+        Opp_watch.Monitor.default_config with
+        Opp_watch.Monitor.dir = watch_dir;
+        heartbeat_every;
+        strict = watch_strict;
+      }
+    in
+    Some (Opp_watch.Monitor.create ~config ~meta ~nranks ())
+  end
+
+(* Final snapshot, alert recap, and the strict-mode exit. *)
+let watch_finish mon =
+  match mon with
+  | None -> ()
+  | Some mon ->
+      Opp_watch.Monitor.close mon;
+      let cfg = Opp_watch.Monitor.config mon in
+      let dir = cfg.Opp_watch.Monitor.dir in
+      let total = Opp_watch.Monitor.alerts_total mon in
+      if total = 0 then Printf.printf "watch: clean run, no alerts (%s/status.json)\n%!" dir
+      else begin
+        let by_code =
+          List.filter_map
+            (fun c ->
+              match Opp_watch.Monitor.alert_count mon c with
+              | 0 -> None
+              | n -> Some (Printf.sprintf "%s=%d" c n))
+            Opp_watch.Alert.codes
+        in
+        Printf.printf "watch: %d alert(s) [%s] (%s/alerts.jsonl)\n%!" total
+          (String.concat " " by_code) dir;
+        if cfg.Opp_watch.Monitor.strict then exit 5
+      end
+
+(* Heartbeat collection for the single-rank backends (seq / omp /
+   gpu): the sims announce step boundaries through Runner.step_end and
+   time their kernel launches into the Runner phase ledger; this
+   ticker assembles rank-0 heartbeats from the sim's particle set and
+   watched field dats. Returns a closure to call after every step. *)
+let seq_watch_ticker mon =
+  match mon with
+  | None -> fun ~step:_ ~particles:_ ~capacity:_ ~nonfinite:_ -> ()
+  | Some mon ->
+      Opp_core.Runner.phase_tracking := true;
+      let last = ref (Opp_obs.Clock.now_s ()) in
+      let last_retries = ref 0 in
+      fun ~step ~particles ~capacity ~nonfinite ->
+        if Opp_watch.Monitor.due mon ~step then begin
+          let phases = Opp_core.Runner.drain_phases () in
+          let now = Opp_obs.Clock.now_s () in
+          let step_us = (now -. !last) *. 1e6 in
+          last := now;
+          let fault_stats =
+            match Opp_resil.Fault.active () with
+            | Some inj -> Opp_resil.Fault.stats inj
+            | None -> []
+          in
+          let retries = Option.value ~default:0 (List.assoc_opt "retries" fault_stats) in
+          let dret = retries - !last_retries in
+          last_retries := retries;
+          Opp_watch.Monitor.beat mon
+            (Opp_watch.Heartbeat.make ~rank:0 ~step ~step_us ~particles
+               ~fill:
+                 (if capacity > 0 then float_of_int particles /. float_of_int capacity else 0.0)
+               ~retransmits:(float_of_int dret) ~nonfinite ~phase_us:phases ());
+          Opp_watch.Monitor.step_done ~fault_stats mon ~step
+        end
+
 (* Parse and install the schedule before any simulation state exists,
    so every message of the run is subject to it. *)
 let install_faults = function
@@ -117,8 +237,8 @@ let report_faults () =
    Because checkpoints resume bit-for-bit and every message fault is
    healed by the detection envelope, the recovered run's final state
    equals the fault-free one's. *)
-let drive ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save ~restore
-    ~do_step =
+let drive ?watch ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save
+    ~restore ~do_step () =
   let sim = ref (make ()) in
   let try_restore dirs =
     List.find_map (fun dir -> Option.map (fun s -> (dir, s)) (restore !sim ~dir)) dirs
@@ -132,12 +252,31 @@ let drive ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save
   let recovery_dirs =
     ckpt_dir :: (match restart with Some d when d <> ckpt_dir -> [ d ] | _ -> [])
   in
-  while step_count !sim < steps do
+  let running = ref true in
+  while !running && step_count !sim < steps do
     let s = step_count !sim + 1 in
     match do_step !sim s with
-    | () -> if ckpt_every > 0 && s mod ckpt_every = 0 then save !sim ~dir:ckpt_dir
+    | () ->
+        if ckpt_every > 0 && s mod ckpt_every = 0 then save !sim ~dir:ckpt_dir;
+        Option.iter
+          (fun mon ->
+            (* the policy hook can demand an immediate checkpoint or a
+               clean stop at the next boundary *)
+            if Opp_watch.Monitor.take_checkpoint_request mon then begin
+              Printf.printf "watch: policy requested a checkpoint at step %d\n%!" s;
+              save !sim ~dir:ckpt_dir
+            end;
+            if Opp_watch.Monitor.abort_requested mon then begin
+              Printf.printf "watch: policy requested abort at step %d\n%!" s;
+              running := false
+            end)
+          watch
     | exception Opp_resil.Rank_crash { rank; step } ->
         Printf.printf "rank %d crashed at step %d; recovering\n%!" rank step;
+        Option.iter
+          (fun mon ->
+            Opp_watch.Monitor.raise_alert mon (Opp_watch.Alert.crash ~rank ~step))
+          watch;
         destroy !sim;
         sim := make ();
         (match try_restore recovery_dirs with

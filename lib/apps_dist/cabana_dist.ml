@@ -30,6 +30,7 @@ type t = {
           are tracked independently by physical identity) *)
   mutable step_count : int;
   mutable last_migrated : int;
+  mutable watch : Dist_watch.t option;  (** live health monitor plumbing *)
 }
 
 (* 3 off + 3 vel + 3 disp + 1 w *)
@@ -158,7 +159,19 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
     locality = sched;
     step_count = 0;
     last_migrated = 0;
+    watch = None;
   }
+
+(** Attach a live health monitor; every subsequent {!step} emits
+    per-rank heartbeats through it (see [Opp_watch]). *)
+let set_watch t mon = t.watch <- Some (Dist_watch.create ~nranks:t.nranks mon)
+
+(** Poison one cell of rank 0's electric field with NaN — the watch
+    canary's self-test hook ([--inject-nan]). The leapfrog field
+    update keeps (and spreads) the NaN on every subsequent step. *)
+let poison t =
+  let sim = t.sims.(0) in
+  sim.Cabana.Cabana_sim.cell_e.Types.d_data.(0) <- Float.nan
 
 let exchange_field t (field : Cabana.Cabana_sim.t -> Types.dat) =
   Exch.exchange ~traffic:t.traffic
@@ -173,7 +186,8 @@ let rank_phase t name f =
   Array.iteri
     (fun r sim ->
       Opp_obs.Trace.with_track r (fun () ->
-          Opp_obs.Trace.with_span ~cat:"phase" name (fun () -> f r sim)))
+          Opp_obs.Trace.with_span ~cat:"phase" name (fun () ->
+              Dist_watch.timed t.watch r name (fun () -> f r sim))))
     t.sims
 
 (* --- particle migration (mid-walk, with remaining displacement) --- *)
@@ -209,11 +223,12 @@ let move_deposit t =
   let move_rank r iterate =
     Opp_obs.Trace.with_track r (fun () ->
         Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
-            ignore
-              (Cabana.Cabana_sim.move_deposit
-                 ~should_stop:(fun c -> c >= t.owned.(r))
-                 ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
-                 ~iterate t.sims.(r))))
+            Dist_watch.timed t.watch r "MovePhase" (fun () ->
+                ignore
+                  (Cabana.Cabana_sim.move_deposit
+                     ~should_stop:(fun c -> c >= t.owned.(r))
+                     ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
+                     ~iterate t.sims.(r)))))
   in
   for r = 0 to t.nranks - 1 do
     move_rank r Seq.Iterate_all
@@ -306,7 +321,28 @@ let step t =
     let mean = live /. float_of_int t.nranks in
     Opp_obs.Metrics.set "particles" live;
     Opp_obs.Metrics.set "imbalance" (if mean > 0.0 then (mx /. mean) -. 1.0 else 0.0)
-  end
+  end;
+  Dist_watch.step_done t.watch ~step:t.step_count
+    ~particles:(fun r -> t.sims.(r).Cabana.Cabana_sim.parts.Types.s_size)
+    ~capacity:(fun r -> t.sims.(r).Cabana.Cabana_sim.parts.Types.s_capacity)
+    ~nonfinite:(fun r ->
+      let sim = t.sims.(r) in
+      Opp_watch.Canary.nonfinite_dats
+        [
+          sim.Cabana.Cabana_sim.cell_e;
+          sim.Cabana.Cabana_sim.cell_b;
+          sim.Cabana.Cabana_sim.cell_j;
+        ])
+    ~dirty:(fun r ->
+      let sim = t.sims.(r) in
+      Dist_watch.stale_halo_frac
+        [
+          sim.Cabana.Cabana_sim.cell_e;
+          sim.Cabana.Cabana_sim.cell_b;
+          sim.Cabana.Cabana_sim.cell_j;
+        ])
+    ~traffic:t.traffic;
+  Runner.step_end ~step:t.step_count
 
 let run t ~steps =
   for _ = 1 to steps do

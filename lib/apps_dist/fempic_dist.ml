@@ -38,6 +38,7 @@ type t = {
           are tracked independently by physical identity) *)
   mutable step_count : int;
   mutable last_migrated : int;
+  mutable watch : Dist_watch.t option;  (** live health monitor plumbing *)
 }
 
 (* 3 pos + 3 vel + 4 lc *)
@@ -145,7 +146,19 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     locality = sched;
     step_count = 0;
     last_migrated = 0;
+    watch = None;
   }
+
+(** Attach a live health monitor; every subsequent {!step} emits
+    per-rank heartbeats through it (see [Opp_watch]). *)
+let set_watch t mon = t.watch <- Some (Dist_watch.create ~nranks:t.nranks mon)
+
+(** Poison the gathered potential with one NaN — the watch canary's
+    self-test hook ([--inject-nan]). The potential seeds the in-place
+    Newton solve, so the NaN survives the solve, is scattered to every
+    rank's [node_phi], and spreads into the electric field within the
+    same step. *)
+let poison t = t.g_phi.(0) <- Float.nan
 
 (* Run one rank's share of a phase with its trace track selected and a
    phase span opened, so each rank's par-loop spans land nested on its
@@ -154,7 +167,8 @@ let rank_phase t name f =
   Array.iteri
     (fun r sim ->
       Opp_obs.Trace.with_track r (fun () ->
-          Opp_obs.Trace.with_span ~cat:"phase" name (fun () -> f r sim)))
+          Opp_obs.Trace.with_span ~cat:"phase" name (fun () ->
+              Dist_watch.timed t.watch r name (fun () -> f r sim))))
     t.sims
 
 (* --- particle migration --- *)
@@ -230,11 +244,12 @@ let move_particles t =
     let owned = t.part.Tet_part.locals.(r).Tet_part.lm_cell_owned in
     Opp_obs.Trace.with_track r (fun () ->
         Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
-            ignore
-              (Fempic.Fempic_sim.move
-                 ~should_stop:(fun c -> c >= owned)
-                 ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
-                 ~iterate sim)))
+            Dist_watch.timed t.watch r "MovePhase" (fun () ->
+                ignore
+                  (Fempic.Fempic_sim.move
+                     ~should_stop:(fun c -> c >= owned)
+                     ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
+                     ~iterate sim))))
   in
   for r = 0 to t.nranks - 1 do
     move_rank r Seq.Iterate_all
@@ -431,6 +446,28 @@ let step t =
     Opp_obs.Metrics.set "particles" live;
     Opp_obs.Metrics.set "imbalance" (if mean > 0.0 then (mx /. mean) -. 1.0 else 0.0)
   end;
+  Dist_watch.step_done t.watch ~step:t.step_count
+    ~particles:(fun r -> t.sims.(r).Fempic.Fempic_sim.parts.Types.s_size)
+    ~capacity:(fun r -> t.sims.(r).Fempic.Fempic_sim.parts.Types.s_capacity)
+    ~nonfinite:(fun r ->
+      let sim = t.sims.(r) in
+      Opp_watch.Canary.nonfinite_dats
+        [
+          sim.Fempic.Fempic_sim.node_phi;
+          sim.Fempic.Fempic_sim.node_charge_den;
+          sim.Fempic.Fempic_sim.cell_ef;
+        ])
+    ~dirty:(fun r ->
+      let sim = t.sims.(r) in
+      Dist_watch.stale_halo_frac
+        [
+          sim.Fempic.Fempic_sim.node_charge;
+          sim.Fempic.Fempic_sim.node_charge_den;
+          sim.Fempic.Fempic_sim.cell_ef;
+          sim.Fempic.Fempic_sim.node_phi;
+        ])
+    ~traffic:t.traffic;
+  Runner.step_end ~step:t.step_count;
   !injected
 
 let run t ~steps =

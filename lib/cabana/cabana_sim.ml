@@ -405,7 +405,8 @@ let step t =
   advance_b t ~frac:0.5;
   advance_e t;
   advance_b t ~frac:0.5;
-  t.step_count <- t.step_count + 1
+  t.step_count <- t.step_count + 1;
+  Runner.step_end ~step:t.step_count
 
 let run t ~steps =
   for _ = 1 to steps do

@@ -32,7 +32,41 @@ type t = {
    gets spans and move metrics without per-backend code. When tracing
    and metrics are disabled the cost is one branch per loop launch. *)
 
-let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
+(* --- step boundaries (opp_watch) ---
+
+   A PIC run is a sequence of steps, but the runner only sees loop
+   launches. The step structure is announced from outside: every sim
+   step function (and the distributed drivers) calls {!step_end} when
+   a step completes, and subscribers — the live health monitor first
+   of all — hook in with {!on_step_end}. When the per-launch phase
+   ledger is on, each par_loop / particle_move also accumulates its
+   wall time under its kernel name, so a heartbeat can carry per-phase
+   microseconds without tracing enabled. *)
+
+let step_hooks : (step:int -> unit) list ref = ref []
+let on_step_end f = step_hooks := f :: !step_hooks
+let clear_step_hooks () = step_hooks := []
+let step_end ~step = List.iter (fun f -> f ~step) !step_hooks
+
+let phase_tracking = ref false
+
+let phase_order : string list ref = ref [] (* reversed registration order *)
+let phase_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 32
+
+let phase_add name us =
+  match Hashtbl.find_opt phase_tbl name with
+  | Some r -> r := !r +. us
+  | None ->
+      Hashtbl.add phase_tbl name (ref us);
+      phase_order := name :: !phase_order
+
+let drain_phases () =
+  let out = List.rev_map (fun n -> (n, !(Hashtbl.find phase_tbl n))) !phase_order in
+  Hashtbl.reset phase_tbl;
+  phase_order := [];
+  out
+
+let dispatch_par_loop r ~name ~flops_per_elem kernel set iterate args =
   if !Opp_obs.Trace.enabled then begin
     (* Attach the loop's cost-model inputs to the span so downstream
        analysis (oppic_prof) can place every kernel on the roofline
@@ -57,6 +91,14 @@ let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
         raise e
   end
   else r.r_par_loop name flops_per_elem kernel set iterate args
+
+let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
+  if !phase_tracking then begin
+    let t0 = Opp_obs.Clock.now_s () in
+    dispatch_par_loop r ~name ~flops_per_elem kernel set iterate args;
+    phase_add name ((Opp_obs.Clock.now_s () -. t0) *. 1e6)
+  end
+  else dispatch_par_loop r ~name ~flops_per_elem kernel set iterate args
 
 (** Span + metrics wrapper for a particle-move launch. Exposed so
     call sites that must route around the runner (the distributed
@@ -96,8 +138,18 @@ let traced_move ~name ?(flops_per_elem = 0.0) ?(args = []) run =
   result
 
 let particle_move r ~name ?(flops_per_elem = 0.0) ?dh kernel set ~p2c args =
-  traced_move ~name ~flops_per_elem ~args (fun () ->
-      r.r_particle_move name flops_per_elem dh kernel set p2c args)
+  if !phase_tracking then begin
+    let t0 = Opp_obs.Clock.now_s () in
+    let result =
+      traced_move ~name ~flops_per_elem ~args (fun () ->
+          r.r_particle_move name flops_per_elem dh kernel set p2c args)
+    in
+    phase_add name ((Opp_obs.Clock.now_s () -. t0) *. 1e6);
+    result
+  end
+  else
+    traced_move ~name ~flops_per_elem ~args (fun () ->
+        r.r_particle_move name flops_per_elem dh kernel set p2c args)
 
 (** The sequential reference runner, recording into [profile]. *)
 let seq ?(profile = Profile.global) () =

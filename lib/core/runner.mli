@@ -60,3 +60,31 @@ val traced_move :
 
 val seq : ?profile:Profile.t -> unit -> t
 (** The sequential reference runner. *)
+
+(** {2 Step boundaries}
+
+    The runner only sees loop launches; the step structure of a run is
+    announced from outside. Every sim step function (and the
+    distributed drivers) calls {!step_end} when a step completes;
+    subscribers — the [opp_watch] live health monitor first of all —
+    register with {!on_step_end}. *)
+
+val on_step_end : (step:int -> unit) -> unit
+(** Register a hook fired at every step boundary. *)
+
+val clear_step_hooks : unit -> unit
+val step_end : step:int -> unit
+
+(** {2 Per-step phase ledger}
+
+    With {!phase_tracking} on, every {!par_loop} / {!particle_move}
+    launch accumulates its wall time (µs) under its kernel name, and
+    {!drain_phases} returns-and-clears the ledger — how a heartbeat
+    carries per-phase microseconds without tracing enabled. One clock
+    pair per launch when on; one branch when off. *)
+
+val phase_tracking : bool ref
+
+val drain_phases : unit -> (string * float) list
+(** Accumulated (kernel, µs) pairs in first-launch order; clears the
+    ledger. *)

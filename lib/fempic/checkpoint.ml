@@ -82,19 +82,12 @@ let write_snapshot oc (sim : Fempic_sim.t) =
       write_int oc (Array.length sim.Fempic_sim.face_rng);
       Array.iter (fun rng -> write_i64 oc (Rng.state rng)) sim.Fempic_sim.face_rng
 
-(** Write the simulation state to [path]. The snapshot is written to
-    [path ^ ".tmp"] and renamed into place, so an interrupted save can
-    never leave a torn file under the final name — a previous good
-    snapshot at [path] survives the interruption. *)
+(** Write the simulation state to [path], atomically (temp+rename via
+    {!Opp_obs.Atomic_file.write}): an interrupted save can never leave
+    a torn file under the final name — a previous good snapshot at
+    [path] survives the interruption. *)
 let save (sim : Fempic_sim.t) path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_snapshot oc sim)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Opp_obs.Atomic_file.write path (fun oc -> write_snapshot oc sim)
 
 (** Restore a snapshot into a freshly created simulation on the same
     mesh and parameters. Raises [Corrupt] on format or shape

@@ -433,6 +433,7 @@ let step t =
   ignore (solve_potential t);
   compute_electric_field t;
   t.step_count <- t.step_count + 1;
+  Runner.step_end ~step:t.step_count;
   injected
 
 let run t ~steps =

@@ -1,0 +1,13 @@
+let write ?(bin = true) path f =
+  let tmp = path ^ ".tmp" in
+  let oc = (if bin then open_out_bin else open_out) tmp in
+  (try
+     f oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_string path s = write ~bin:false path (fun oc -> output_string oc s)

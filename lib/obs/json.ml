@@ -24,7 +24,10 @@ let escape b s =
   Buffer.add_char b '"'
 
 let add_num b f =
-  if Float.is_integer f && Float.abs f < 1e15 then Buffer.add_string b (Printf.sprintf "%.0f" f)
+  (* string_of_int is ~6x cheaper than sprintf, and integer-valued
+     numbers dominate hot emitters (heartbeats, metrics rows) *)
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (string_of_int (int_of_float f))
   else Buffer.add_string b (Printf.sprintf "%.12g" f)
 
 let rec to_buffer b = function

@@ -16,7 +16,8 @@ type t = {
   mutable m_order : string list;  (** reversed registration order *)
   hists : (string, hist) Hashtbl.t;
   mutable h_order : string list;
-  mutable ticked : (int * (string * float) list) list;  (** reversed *)
+  mutable ticked : (int * float * float * (string * float) list) list;
+      (** reversed; each row is (step, t_mono, t_epoch, values) *)
 }
 
 let enabled = ref false
@@ -99,6 +100,39 @@ let hist_counts name =
 
 let hist_total name = Option.map (fun h -> h.h_total) (Hashtbl.find_opt g.hists name)
 
+let value name = Option.map (fun m -> m.m_value) (Hashtbl.find_opt g.metrics name)
+
+(* --- bucket-quantile estimation ---
+
+   A log2 histogram only knows each observation's bucket, so a
+   quantile is estimated: walk the cumulative counts to the bucket
+   holding rank ceil(q * total), then interpolate linearly inside that
+   bucket between its bounds. Exact for point masses that fill a
+   bucket boundary-to-boundary; within one bucket width (a factor of
+   2) of the true value otherwise. *)
+
+let quantile_of_counts counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int total)) in
+    let rec find i cum =
+      if i >= Array.length counts then bucket_lo (Array.length counts)
+      else
+        let cum' = cum +. float_of_int counts.(i) in
+        if cum' >= rank then
+          (* position of the rank inside this bucket, in (0, 1] *)
+          let frac = (rank -. cum) /. float_of_int counts.(i) in
+          let lo = bucket_lo i and hi = bucket_lo (i + 1) in
+          lo +. (frac *. (hi -. lo))
+        else find (i + 1) cum'
+    in
+    find 0 0.0
+
+let hist_quantile name q =
+  Option.map (fun h -> quantile_of_counts h.h_counts q) (Hashtbl.find_opt g.hists name)
+
 (* --- per-step rows --- *)
 
 let tick ~step =
@@ -115,10 +149,14 @@ let tick ~step =
               (name, delta))
         g.m_order
     in
-    g.ticked <- (step, row) :: g.ticked
+    (* dual timestamps: monotonic for intra-run deltas, wall-clock
+       epoch so external tailers can align streams across ranks and
+       processes *)
+    g.ticked <- (step, Clock.now_s (), Unix.gettimeofday (), row) :: g.ticked
   end
 
-let rows () = List.rev g.ticked
+let rows () = List.rev_map (fun (step, _, _, row) -> (step, row)) g.ticked
+let rows_timed () = List.rev g.ticked
 
 (* --- export --- *)
 
@@ -128,14 +166,16 @@ let write_jsonl path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       List.iter
-        (fun (step, row) ->
+        (fun (step, t_mono, t_epoch, row) ->
           let fields =
             ("step", Json.Num (float_of_int step))
+            :: ("t_mono", Json.Num t_mono)
+            :: ("t_epoch", Json.Num t_epoch)
             :: List.map (fun (name, v) -> (name, Json.Num v)) row
           in
           output_string oc (Json.to_string (Json.Obj fields));
           output_char oc '\n')
-        (rows ());
+        (rows_timed ());
       List.iter
         (fun name ->
           let h = Hashtbl.find g.hists name in
@@ -157,10 +197,32 @@ let write_jsonl path =
                     ("histogram", Json.Str h.h_name);
                     ("total", Json.Num (float_of_int h.h_total));
                     ("sum", Json.Num h.h_sum);
+                    ("p50", Json.Num (quantile_of_counts h.h_counts 0.50));
+                    ("p95", Json.Num (quantile_of_counts h.h_counts 0.95));
+                    ("p99", Json.Num (quantile_of_counts h.h_counts 0.99));
                     ("buckets", Json.Arr buckets);
                   ]));
           output_char oc '\n')
         (List.rev g.h_order))
+
+(* RFC-4180 quoting for label cells: a name (or histogram label)
+   containing a comma, quote or newline would otherwise shift every
+   column after it. *)
+let csv_escape s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
 
 let write_csv path =
   let names = List.rev g.m_order in
@@ -168,7 +230,7 @@ let write_csv path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (String.concat "," ("step" :: names));
+      output_string oc (String.concat "," ("step" :: List.map csv_escape names));
       output_char oc '\n';
       List.iter
         (fun (step, row) ->
@@ -181,7 +243,19 @@ let write_csv path =
           in
           output_string oc (String.concat "," (string_of_int step :: List.map cell names));
           output_char oc '\n')
-        (rows ()))
+        (rows ());
+      (* histogram summaries ride as comment lines (skipped by CSV
+         readers configured with comment='#'), quantiles included *)
+      List.iter
+        (fun name ->
+          let h = Hashtbl.find g.hists name in
+          Printf.fprintf oc "# histogram,%s,%d,%.12g,%.12g,%.12g,%.12g\n" (csv_escape h.h_name)
+            h.h_total
+            (if h.h_total > 0 then h.h_sum /. float_of_int h.h_total else 0.0)
+            (quantile_of_counts h.h_counts 0.50)
+            (quantile_of_counts h.h_counts 0.95)
+            (quantile_of_counts h.h_counts 0.99))
+        (List.rev g.h_order))
 
 let summary fmt () =
   Format.fprintf fmt "%-28s %8s %16s@." "metric" "kind" "value";

@@ -24,6 +24,9 @@ val add : string -> float -> unit
 val set : string -> float -> unit
 (** Set a gauge (created on first use). No-op when disabled. *)
 
+val value : string -> float option
+(** Current value of a counter or gauge, if it exists. *)
+
 val observe : string -> float -> unit
 (** Add one observation to a log-scale histogram. No-op when disabled. *)
 
@@ -35,6 +38,12 @@ val tick : step:int -> unit
 
 val rows : unit -> (int * (string * float) list) list
 (** Ticked rows in step order, each with its (name, value) pairs. *)
+
+val rows_timed : unit -> (int * float * float * (string * float) list) list
+(** Like {!rows} with each row's timestamps: [(step, t_mono, t_epoch,
+    values)] — the monotonic clock for intra-run deltas plus the
+    wall-clock epoch stamped at {!tick} time, so external tailers can
+    align streams recorded by different processes. *)
 
 (** {2 Histogram buckets} (exposed for the qcheck properties) *)
 
@@ -53,16 +62,30 @@ val hist_counts : string -> int array option
 
 val hist_total : string -> int option
 
+val quantile_of_counts : int array -> float -> float
+(** Bucket-quantile estimate over log2-bucket counts: locate the
+    bucket holding rank [ceil (q * total)] and interpolate linearly
+    inside it. Within one bucket width (a factor of 2) of the true
+    quantile; [0.0] for an empty histogram. Monotone in [q]. *)
+
+val hist_quantile : string -> float -> float option
+(** [hist_quantile name q] estimates the [q]-quantile (e.g. [0.99]) of
+    a recorded histogram via {!quantile_of_counts}. *)
+
 (** {2 Export} *)
 
 val write_jsonl : string -> unit
-(** One JSON object per ticked row: [{"step": s, "<name>": v, ...}],
-    followed by one [{"histogram": name, "buckets": [...]}] object per
-    histogram. *)
+(** One JSON object per ticked row: [{"step": s, "t_mono": m,
+    "t_epoch": e, "<name>": v, ...}], followed by one [{"histogram":
+    name, "p50": ..., "p95": ..., "p99": ..., "buckets": [...]}]
+    object per histogram. *)
 
 val write_csv : string -> unit
 (** Header [step,<name>,...] then one line per ticked row; metrics
-    missing from a row print as 0. *)
+    missing from a row print as 0. Names containing commas, quotes or
+    newlines are RFC-4180 quoted. Histogram summaries are appended as
+    comment lines [# histogram,<name>,<total>,<mean>,<p50>,<p95>,<p99>]
+    (skipped by CSV readers configured with [comment='#']). *)
 
 val summary : Format.formatter -> unit -> unit
 (** Final counter/gauge values and histogram bucket tables. *)

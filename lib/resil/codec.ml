@@ -119,17 +119,7 @@ let read_string ic =
 
 (* --- atomic file writes --- *)
 
-(** Write [path] atomically: emit into [path ^ ".tmp"], then rename
-    over the final name, so a crash mid-write never leaves a torn file
-    under the real path. *)
-let write_atomic path f =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     f oc;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+(** Write [path] atomically (binary). The temp+rename mechanics live
+    in [Opp_obs.Atomic_file], shared with the watch layer's
+    [status.json] snapshots and the legacy Mini-FEM-PIC snapshot. *)
+let write_atomic path f = Opp_obs.Atomic_file.write ~bin:true path f

@@ -39,4 +39,5 @@ val read_string : in_channel -> string
 val write_atomic : string -> (out_channel -> unit) -> unit
 (** [write_atomic path f] writes via [f] into [path ^ ".tmp"] and
     renames it over [path], so a crash mid-write never leaves a torn
-    file under the final name. *)
+    file under the final name. Delegates to
+    {!Opp_obs.Atomic_file.write}. *)

@@ -1,0 +1,92 @@
+(** Structured health alerts with stable codes.
+
+    Every anomaly the watch layer can raise has a short stable code so
+    downstream tooling (CI greps, dashboards, the [oppic_top] status
+    pane) can match on it without parsing prose:
+
+    - [A001] — EWMA step-time regression: the step wall time exceeded
+      [slow_factor] × its exponential moving average for several
+      consecutive heartbeats.
+    - [A002] — particle imbalance: max/mean − 1 across ranks stayed
+      above the threshold.
+    - [A003] — non-finite canary: a watched field dat contains NaN or
+      infinity.
+    - [A004] — particle leak: the global particle count decreased
+      monotonically for a window and lost more than [leak_frac] of the
+      population.
+    - [A005] — retransmit storm: healed communication faults
+      (retries, detected drops/corruptions/duplicates/reorders,
+      rejected stale frames, quarantines) crossed the window
+      threshold.
+    - [A006] — stalled rank: the fault injector stalled a rank, or a
+      rank's heartbeat lags the rest of the run.
+    - [A007] — rank crash: raised by the driver's recovery path when a
+      [Rank_crash] is caught and the run restarts from a checkpoint.
+
+    An alert identifies where ([al_rank]; −1 means run-wide), when
+    ([al_step]), and by how much ([al_value] against
+    [al_threshold]). *)
+
+type t = {
+  al_code : string;
+  al_step : int;
+  al_rank : int;  (** offending rank, or −1 for run-wide conditions *)
+  al_value : float;  (** observed value that tripped the detector *)
+  al_threshold : float;  (** the configured limit it crossed *)
+  al_detail : string;
+}
+
+let codes = [ "A001"; "A002"; "A003"; "A004"; "A005"; "A006"; "A007" ]
+
+let describe = function
+  | "A001" -> "step-time regression (EWMA)"
+  | "A002" -> "particle imbalance"
+  | "A003" -> "non-finite field canary"
+  | "A004" -> "particle leak"
+  | "A005" -> "retransmit storm"
+  | "A006" -> "stalled rank"
+  | "A007" -> "rank crash"
+  | c -> "unknown alert " ^ c
+
+let make ~code ~step ~rank ~value ~threshold detail =
+  { al_code = code; al_step = step; al_rank = rank; al_value = value;
+    al_threshold = threshold; al_detail = detail }
+
+let crash ~rank ~step =
+  make ~code:"A007" ~step ~rank ~value:1.0 ~threshold:0.0
+    (Printf.sprintf "rank %d crashed at step %d; recovering from checkpoint" rank step)
+
+module J = Opp_obs.Json
+
+let to_json al =
+  J.Obj
+    [
+      ("code", J.Str al.al_code);
+      ("step", J.Num (float_of_int al.al_step));
+      ("rank", J.Num (float_of_int al.al_rank));
+      ("value", J.Num al.al_value);
+      ("threshold", J.Num al.al_threshold);
+      ("detail", J.Str al.al_detail);
+      ("what", J.Str (describe al.al_code));
+    ]
+
+let of_json j =
+  let num name = Option.bind (J.member name j) J.num in
+  let str name = Option.bind (J.member name j) J.str in
+  match (str "code", num "step") with
+  | Some code, Some step ->
+      Ok
+        {
+          al_code = code;
+          al_step = int_of_float step;
+          al_rank = (match num "rank" with Some r -> int_of_float r | None -> -1);
+          al_value = Option.value ~default:0.0 (num "value");
+          al_threshold = Option.value ~default:0.0 (num "threshold");
+          al_detail = Option.value ~default:"" (str "detail");
+        }
+  | _ -> Error "alert: missing 'code' or 'step'"
+
+let pp ppf al =
+  Format.fprintf ppf "[%s] step %d%s: %s (%.4g > %.4g)" al.al_code al.al_step
+    (if al.al_rank >= 0 then Printf.sprintf " rank %d" al.al_rank else "")
+    al.al_detail al.al_value al.al_threshold

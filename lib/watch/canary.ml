@@ -1,0 +1,23 @@
+(** Non-finite field canary.
+
+    NaN is viral in a PIC step — one poisoned node potential spreads
+    through the field solve into the electric field and from there
+    into every particle it accelerates — so scanning a handful of
+    small mesh dats each heartbeat is enough to catch numerical
+    blow-ups early, without ever touching the (much larger) particle
+    dats. *)
+
+let nonfinite_dat (d : Opp_core.Types.dat) =
+  let n = d.Opp_core.Types.d_set.Opp_core.Types.s_size * d.Opp_core.Types.d_dim in
+  let data = d.Opp_core.Types.d_data in
+  let n = min n (Array.length data) in
+  let bad = ref 0 in
+  for i = 0 to n - 1 do
+    (* x -. x = 0 exactly when x is finite (NaN and ±inf both yield
+       NaN); unlike Float.is_finite this stays inline in the scan loop. *)
+    let x = data.(i) in
+    if not (x -. x = 0.0) then incr bad
+  done;
+  !bad
+
+let nonfinite_dats dats = List.fold_left (fun acc d -> acc + nonfinite_dat d) 0 dats

@@ -1,0 +1,250 @@
+(** Sliding-window anomaly detectors over the heartbeat stream.
+
+    A detector bank is fed one observation per monitored step — the
+    heartbeats of every rank plus the step's communication-fault and
+    stall deltas from the injector — and returns the {!Alert.t}s that
+    fired. Detection is pure over the observation stream: the same
+    sequence of heartbeats produces the same alerts, which is what the
+    deterministic chaos tests pin down.
+
+    Every detector carries hysteresis: it fires once when its
+    condition is met (some after a persistence count of consecutive
+    over-threshold observations, to ride out one-step jitter) and then
+    disarms until the condition clears, so a sustained anomaly yields
+    one alert, not one per step. *)
+
+type config = {
+  ewma_alpha : float;  (** smoothing for the step-time average *)
+  slow_factor : float;  (** A001 fires above [factor × EWMA] *)
+  slow_warmup : int;  (** observations before A001 arms *)
+  slow_persist : int;  (** consecutive slow observations to fire A001 *)
+  imbalance_max : float;  (** A002 threshold on max/mean − 1 *)
+  imbalance_warmup : int;  (** observations before A002 arms *)
+  imbalance_persist : int;  (** consecutive imbalanced observations *)
+  imbalance_min_particles : int;
+      (** A002 stays quiet below this global population — early fill
+          phases are legitimately lopsided *)
+  leak_steps : int;  (** consecutive decreasing observations for A004 *)
+  leak_frac : float;  (** fraction of the population lost for A004 *)
+  storm_window : int;  (** observations summed for A005 *)
+  storm_threshold : float;  (** healed faults per window for A005 *)
+  stall_behind : int;  (** heartbeats a rank may lag before A006 *)
+}
+
+let default =
+  {
+    ewma_alpha = 0.2;
+    slow_factor = 6.0;
+    slow_warmup = 10;
+    slow_persist = 3;
+    imbalance_max = 1.0;
+    imbalance_warmup = 5;
+    imbalance_persist = 3;
+    imbalance_min_particles = 100;
+    leak_steps = 5;
+    leak_frac = 0.05;
+    storm_window = 8;
+    storm_threshold = 0.5;
+    stall_behind = 3;
+  }
+
+type t = {
+  cfg : config;
+  nranks : int;
+  (* A001 *)
+  mutable ewma : float;
+  mutable ewma_n : int;
+  mutable slow_over : int;
+  mutable slow_armed : bool;
+  (* A002 *)
+  mutable imb_seen : int;
+  mutable imb_over : int;
+  mutable imb_armed : bool;
+  (* A003, per rank *)
+  canary_armed : bool array;
+  (* A004 *)
+  mutable prev_total : int;
+  mutable dec_run : int;
+  mutable dec_start : int;
+  mutable leak_armed : bool;
+  (* A005 *)
+  storm_ring : float array;
+  mutable storm_pos : int;
+  mutable storm_armed : bool;
+  (* A006 *)
+  last_seen : int array;
+  lag_armed : bool array;
+  mutable obs_count : int;
+}
+
+let create ?(config = default) ~nranks () =
+  {
+    cfg = config;
+    nranks;
+    ewma = 0.0;
+    ewma_n = 0;
+    slow_over = 0;
+    slow_armed = true;
+    imb_seen = 0;
+    imb_over = 0;
+    imb_armed = true;
+    canary_armed = Array.make nranks true;
+    prev_total = -1;
+    dec_run = 0;
+    dec_start = 0;
+    leak_armed = true;
+    storm_ring = Array.make (max 1 config.storm_window) 0.0;
+    storm_pos = 0;
+    storm_armed = true;
+    last_seen = Array.make nranks 0;
+    lag_armed = Array.make nranks true;
+    obs_count = 0;
+  }
+
+let config t = t.cfg
+
+let observe t ~step ?(fault_delta = 0.0) ?(stall_delta = 0.0) (beats : Heartbeat.t list) =
+  let cfg = t.cfg in
+  let alerts = ref [] in
+  let fire al = alerts := al :: !alerts in
+  t.obs_count <- t.obs_count + 1;
+  (* A001 — step-time regression against a robust EWMA. Anomalous
+     samples are excluded from the average so a sustained slowdown
+     cannot drag the baseline up, clear its own condition, and
+     re-fire. *)
+  (match beats with
+  | [] -> ()
+  | _ ->
+      let x = List.fold_left (fun acc hb -> Float.max acc hb.Heartbeat.hb_step_us) 0.0 beats in
+      let slow = t.ewma_n > 0 && x > cfg.slow_factor *. t.ewma in
+      if t.ewma_n >= cfg.slow_warmup then begin
+        if slow then begin
+          t.slow_over <- t.slow_over + 1;
+          if t.slow_armed && t.slow_over >= cfg.slow_persist then begin
+            t.slow_armed <- false;
+            fire
+              (Alert.make ~code:"A001" ~step ~rank:(-1) ~value:x
+                 ~threshold:(cfg.slow_factor *. t.ewma)
+                 (Printf.sprintf "step time %.0fus is %.1fx the %.0fus moving average" x
+                    (x /. Float.max 1e-9 t.ewma) t.ewma))
+          end
+        end
+        else begin
+          t.slow_over <- 0;
+          t.slow_armed <- true
+        end
+      end;
+      if not slow then begin
+        t.ewma <-
+          (if t.ewma_n = 0 then x else (cfg.ewma_alpha *. x) +. ((1.0 -. cfg.ewma_alpha) *. t.ewma));
+        t.ewma_n <- t.ewma_n + 1
+      end);
+  (* A002 — particle imbalance across ranks. *)
+  let total = List.fold_left (fun acc hb -> acc + hb.Heartbeat.hb_particles) 0 beats in
+  (if t.nranks > 1 && beats <> [] then begin
+     t.imb_seen <- t.imb_seen + 1;
+     if total >= cfg.imbalance_min_particles && t.imb_seen > cfg.imbalance_warmup then begin
+       let mx =
+         List.fold_left (fun acc hb -> max acc hb.Heartbeat.hb_particles) 0 beats
+       in
+       let mean = float_of_int total /. float_of_int t.nranks in
+       let imb = (float_of_int mx /. Float.max 1.0 mean) -. 1.0 in
+       if imb > cfg.imbalance_max then begin
+         t.imb_over <- t.imb_over + 1;
+         if t.imb_armed && t.imb_over >= cfg.imbalance_persist then begin
+           t.imb_armed <- false;
+           fire
+             (Alert.make ~code:"A002" ~step ~rank:(-1) ~value:imb ~threshold:cfg.imbalance_max
+                (Printf.sprintf "max/mean-1 = %.2f (max %d of %d particles on %d ranks)" imb mx
+                   total t.nranks))
+         end
+       end
+       else begin
+         t.imb_over <- 0;
+         if imb < 0.8 *. cfg.imbalance_max then t.imb_armed <- true
+       end
+     end
+   end);
+  (* A003 — non-finite canary, per rank. *)
+  List.iter
+    (fun hb ->
+      let r = hb.Heartbeat.hb_rank in
+      if r >= 0 && r < t.nranks then
+        if hb.Heartbeat.hb_nonfinite > 0 then begin
+          if t.canary_armed.(r) then begin
+            t.canary_armed.(r) <- false;
+            fire
+              (Alert.make ~code:"A003" ~step ~rank:r
+                 ~value:(float_of_int hb.Heartbeat.hb_nonfinite) ~threshold:0.0
+                 (Printf.sprintf "%d non-finite field values on rank %d"
+                    hb.Heartbeat.hb_nonfinite r))
+          end
+        end
+        else t.canary_armed.(r) <- true)
+    beats;
+  (* A004 — monotonic particle leak. *)
+  (if beats <> [] then begin
+     (if t.prev_total >= 0 then
+        if total < t.prev_total then begin
+          if t.dec_run = 0 then t.dec_start <- t.prev_total;
+          t.dec_run <- t.dec_run + 1;
+          let lost = float_of_int (t.dec_start - total) /. float_of_int (max 1 t.dec_start) in
+          if t.leak_armed && t.dec_run >= cfg.leak_steps && lost >= cfg.leak_frac then begin
+            t.leak_armed <- false;
+            fire
+              (Alert.make ~code:"A004" ~step ~rank:(-1) ~value:lost ~threshold:cfg.leak_frac
+                 (Printf.sprintf
+                    "particle count fell %d consecutive heartbeats: %d -> %d (%.1f%% lost)"
+                    t.dec_run t.dec_start total (100.0 *. lost)))
+          end
+        end
+        else begin
+          t.dec_run <- 0;
+          t.leak_armed <- true
+        end);
+     t.prev_total <- total
+   end);
+  (* A005 — retransmit storm over a sliding window of healed-fault
+     deltas. *)
+  let n = Array.length t.storm_ring in
+  t.storm_ring.(t.storm_pos) <- fault_delta;
+  t.storm_pos <- (t.storm_pos + 1) mod n;
+  let wsum = Array.fold_left ( +. ) 0.0 t.storm_ring in
+  if wsum > cfg.storm_threshold then begin
+    if t.storm_armed then begin
+      t.storm_armed <- false;
+      fire
+        (Alert.make ~code:"A005" ~step ~rank:(-1) ~value:wsum ~threshold:cfg.storm_threshold
+           (Printf.sprintf "%.0f healed communication faults in the last %d heartbeats" wsum n))
+    end
+  end
+  else if wsum = 0.0 then t.storm_armed <- true;
+  (* A006 — stalled rank: injector stalls surface immediately; a rank
+     whose heartbeat lags the front of the run by more than
+     [stall_behind] observations is also flagged. *)
+  if stall_delta > 0.0 then
+    fire
+      (Alert.make ~code:"A006" ~step ~rank:(-1) ~value:stall_delta ~threshold:0.0
+         (Printf.sprintf "%.0f injector stall(s) at step %d" stall_delta step));
+  List.iter
+    (fun hb ->
+      let r = hb.Heartbeat.hb_rank in
+      if r >= 0 && r < t.nranks then t.last_seen.(r) <- max t.last_seen.(r) hb.Heartbeat.hb_step)
+    beats;
+  let front = Array.fold_left max 0 t.last_seen in
+  Array.iteri
+    (fun r seen ->
+      let behind = front - seen in
+      if behind > cfg.stall_behind then begin
+        if t.lag_armed.(r) then begin
+          t.lag_armed.(r) <- false;
+          fire
+            (Alert.make ~code:"A006" ~step ~rank:r ~value:(float_of_int behind)
+               ~threshold:(float_of_int cfg.stall_behind)
+               (Printf.sprintf "rank %d last heartbeat at step %d; front of run is %d" r seen
+                  front))
+        end
+      end
+      else t.lag_armed.(r) <- true)
+    t.last_seen;
+  List.rev !alerts

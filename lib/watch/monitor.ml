@@ -1,0 +1,224 @@
+(** The live health monitor: heartbeat streams, detector bank, alert
+    routing and the [status.json] snapshot.
+
+    One monitor observes a whole run (all simulated ranks). Drivers
+    push one {!Heartbeat.t} per rank per monitored step with {!beat}
+    and then call {!step_done}, which runs the {!Detect} bank, appends
+    the heartbeats to [<dir>/heartbeats.jsonl] and any alerts to
+    [<dir>/alerts.jsonl], mirrors alerts into the {!Opp_obs.Metrics}
+    registry ([watch.alerts] plus one [watch.<code>] counter each),
+    and atomically replaces [<dir>/status.json] — the single file
+    [oppic_top] and other tailers read. Collection is gated by
+    {!due}: with [heartbeat_every = n] the drivers skip the whole
+    collection path on the other [n − 1] steps, so the overhead knob
+    is one modulo.
+
+    A policy hook ({!on_alert}) lets the embedding application react:
+    return {!Checkpoint_now} to request an immediate checkpoint (the
+    driver polls {!take_checkpoint_request}), {!Abort} to ask the run
+    to stop at the next boundary, or {!Note} to just log. *)
+
+type action = Note | Checkpoint_now | Abort
+
+type config = {
+  dir : string;  (** artifact directory, created on {!create} *)
+  heartbeat_every : int;  (** monitor every n-th step *)
+  status_every : int;
+      (** refresh status.json (and flush the heartbeat stream) every
+          n-th monitored step; any alert and {!close} force a refresh.
+          The snapshot is an atomic create+rename, ~hundreds of µs of
+          journalled file-system work — by far the monitor's dominant
+          cost — so this is the overhead/liveness dial. *)
+  strict : bool;  (** caller should exit non-zero if alerts fired *)
+  detect : Detect.config;
+}
+
+let default_config =
+  {
+    dir = "watch";
+    heartbeat_every = 1;
+    status_every = 20;
+    strict = false;
+    detect = Detect.default;
+  }
+
+type t = {
+  cfg : config;
+  nranks : int;
+  det : Detect.t;
+  hb_oc : out_channel;
+  al_oc : out_channel;
+  latest : Heartbeat.t option array;
+  mutable pending : Heartbeat.t list;  (** current step's beats, newest first *)
+  mutable alerts_total : int;
+  alert_counts : (string, int) Hashtbl.t;
+  mutable recent : Alert.t list;  (** newest first, capped *)
+  mutable on_alert : Alert.t -> action;
+  mutable ckpt_requested : bool;
+  mutable abort_requested : bool;
+  mutable last_fault_stats : (string * int) list;
+  mutable last_step : int;
+  mutable monitored : int;  (** monitored-step count, for status cadence *)
+  meta : (string * string) list;
+  mutable closed : bool;
+}
+
+let recent_cap = 20
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(config = default_config) ?(meta = []) ~nranks () =
+  if nranks < 1 then invalid_arg "Monitor.create: nranks < 1";
+  if config.heartbeat_every < 1 then invalid_arg "Monitor.create: heartbeat_every < 1";
+  if config.status_every < 1 then invalid_arg "Monitor.create: status_every < 1";
+  mkdir_p config.dir;
+  let open_log name =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (Filename.concat config.dir name)
+  in
+  {
+    cfg = config;
+    nranks;
+    det = Detect.create ~config:config.detect ~nranks ();
+    hb_oc = open_log "heartbeats.jsonl";
+    al_oc = open_log "alerts.jsonl";
+    latest = Array.make nranks None;
+    pending = [];
+    alerts_total = 0;
+    alert_counts = Hashtbl.create 8;
+    recent = [];
+    on_alert = (fun _ -> Note);
+    ckpt_requested = false;
+    abort_requested = false;
+    last_fault_stats = [];
+    last_step = 0;
+    monitored = 0;
+    meta;
+    closed = false;
+  }
+
+let config t = t.cfg
+let on_alert t f = t.on_alert <- f
+let due t ~step = step mod t.cfg.heartbeat_every = 0
+let alerts_total t = t.alerts_total
+let alert_count t code = Option.value ~default:0 (Hashtbl.find_opt t.alert_counts code)
+
+let take_checkpoint_request t =
+  let r = t.ckpt_requested in
+  t.ckpt_requested <- false;
+  r
+
+let abort_requested t = t.abort_requested
+
+let beat t hb = t.pending <- hb :: t.pending
+
+module J = Opp_obs.Json
+
+let route_alert t al =
+  t.alerts_total <- t.alerts_total + 1;
+  Hashtbl.replace t.alert_counts al.Alert.al_code (alert_count t al.Alert.al_code + 1);
+  t.recent <-
+    (let r = al :: t.recent in
+     if List.length r > recent_cap then List.filteri (fun i _ -> i < recent_cap) r else r);
+  if not t.closed then begin
+    output_string t.al_oc (J.to_string (Alert.to_json al));
+    output_char t.al_oc '\n';
+    flush t.al_oc
+  end;
+  Opp_obs.Metrics.add "watch.alerts" 1.0;
+  Opp_obs.Metrics.add ("watch." ^ al.Alert.al_code) 1.0;
+  match t.on_alert al with
+  | Note -> ()
+  | Checkpoint_now -> t.ckpt_requested <- true
+  | Abort -> t.abort_requested <- true
+
+let status_json t =
+  let ranks =
+    Array.to_list t.latest
+    |> List.filter_map (fun o -> Option.map Heartbeat.to_json o)
+  in
+  J.Obj
+    [
+      ("schema", J.Str "oppic-watch-status 1");
+      ("updated_mono", J.Num (Opp_obs.Clock.now_s ()));
+      ("updated_epoch", J.Num (Unix.gettimeofday ()));
+      ("step", J.Num (float_of_int t.last_step));
+      ("nranks", J.Num (float_of_int t.nranks));
+      ("heartbeat_every", J.Num (float_of_int t.cfg.heartbeat_every));
+      ("alerts_total", J.Num (float_of_int t.alerts_total));
+      ( "alert_counts",
+        J.Obj
+          (Hashtbl.fold (fun c n acc -> (c, J.Num (float_of_int n)) :: acc) t.alert_counts []
+          |> List.sort compare) );
+      ("meta", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) t.meta));
+      ("ranks", J.Arr ranks);
+      ("recent_alerts", J.Arr (List.rev_map Alert.to_json t.recent));
+    ]
+
+let write_status t =
+  Opp_obs.Atomic_file.write_string
+    (Filename.concat t.cfg.dir "status.json")
+    (J.to_string (status_json t) ^ "\n")
+
+(* Healed/handled communication faults by stat-counter convention:
+   retries plus everything the detectors caught or the freshness layer
+   rejected. Injected-but-not-yet-detected counts are deliberately
+   excluded — the monitor reports what the run experienced. *)
+let comm_fault_keys = [ "retries"; "quarantined" ]
+
+let is_comm_fault_key k =
+  List.mem k comm_fault_keys
+  || Filename.check_suffix k ".detected"
+  || Filename.check_suffix k ".rejected"
+
+let fault_deltas t stats =
+  let delta key_pred =
+    List.fold_left
+      (fun acc (k, v) ->
+        if key_pred k then
+          let prev =
+            Option.value ~default:0 (List.assoc_opt k t.last_fault_stats)
+          in
+          acc +. float_of_int (v - prev)
+        else acc)
+      0.0 stats
+  in
+  let comm = delta is_comm_fault_key in
+  let stalls = delta (fun k -> k = "stalls") in
+  (comm, stalls)
+
+let raise_alert t al = route_alert t al
+
+let step_done ?(fault_stats = []) t ~step =
+  let beats = List.rev t.pending in
+  t.pending <- [];
+  t.last_step <- step;
+  t.monitored <- t.monitored + 1;
+  let fault_delta, stall_delta = fault_deltas t fault_stats in
+  if fault_stats <> [] then t.last_fault_stats <- fault_stats;
+  let alerts = Detect.observe t.det ~step ~fault_delta ~stall_delta beats in
+  List.iter (route_alert t) alerts;
+  List.iter
+    (fun hb ->
+      let r = hb.Heartbeat.hb_rank in
+      if r >= 0 && r < t.nranks then t.latest.(r) <- Some hb;
+      if not t.closed then begin
+        output_string t.hb_oc (J.to_string (Heartbeat.to_json hb));
+        output_char t.hb_oc '\n'
+      end)
+    beats;
+  if alerts <> [] || t.monitored mod t.cfg.status_every = 0 then begin
+    if not t.closed then flush t.hb_oc;
+    write_status t
+  end
+
+let close t =
+  if not t.closed then begin
+    write_status t;
+    t.closed <- true;
+    close_out_noerr t.hb_oc;
+    close_out_noerr t.al_oc
+  end

@@ -18,4 +18,5 @@ let () =
       ("landau", Test_landau.suite);
       ("resil", Test_resil.suite);
       ("prof", Test_prof.suite);
+      ("watch", Test_watch.suite);
     ]

@@ -238,11 +238,15 @@ let test_metrics_roundtrip () =
                   hists
                |> Json.member "total")
                Json.num));
-      (* CSV: a header plus one line per step, header keyed by step *)
+      (* CSV: a header plus one line per step, header keyed by step;
+         histogram summaries ride along as trailing # comment lines *)
       match read_lines csv with
       | header :: data ->
           Alcotest.(check bool) "csv header" true (String.length header > 4 && String.sub header 0 5 = "step,");
-          Alcotest.(check int) "csv rows" steps (List.length data)
+          let rows = List.filter (fun l -> l = "" || l.[0] <> '#') data in
+          Alcotest.(check int) "csv rows" steps (List.length rows);
+          Alcotest.(check bool) "csv histogram comment" true
+            (List.exists (fun l -> l <> "" && l.[0] = '#') data)
       | [] -> Alcotest.fail "empty csv")
 
 (* --- histogram properties --- *)

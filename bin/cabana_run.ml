@@ -44,7 +44,7 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
   end
 
 let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check binned sort_auto
-    sort_every sort_threshold faults ckpt_every ckpt_dir restart trace metrics obs_summary watch
+    sort_every sort_threshold plan faults ckpt_every ckpt_dir restart trace metrics obs_summary watch
     watch_dir heartbeat_every watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
@@ -99,7 +99,7 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
               let d =
                 Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
                   ?workers:(if hybrid then Some workers else None)
-                  ~checked:check ?locality ~profile ()
+                  ~checked:check ?locality ~plan ~profile ()
               in
               Option.iter (Apps_dist.Cabana_dist.set_watch d) mon;
               d)
@@ -126,6 +126,13 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
         in
         Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
           dist.Apps_dist.Cabana_dist.traffic;
+        (match Apps_dist.Cabana_dist.exec dist with
+        | Some e ->
+            Printf.printf "%s; exchanges skipped %d of %d\n%!"
+              (Opp_plan.Plan.summary (Opp_plan.Exec.plan e))
+              (Opp_plan.Exec.skipped e)
+              (Opp_plan.Exec.skipped e + Opp_plan.Exec.performed e)
+        | None -> ());
         Apps_dist.Cabana_dist.shutdown dist;
         Resil_cli.report_faults ();
         Resil_cli.obs_finish ~trace ~metrics ~obs_summary;
@@ -256,11 +263,19 @@ let cmd =
           ~doc:"mean p2c jump distance that triggers an automatic sort (implies \
                 $(b,--sort-auto); 0 keeps the default)")
   in
+  let plan =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "mpi backend: record the first step's program, prove a plan (opp_plan), and skip \
+             redundant halo exchanges from step 2 on")
+  in
   Cmd.v
     (Cmd.info "cabana_run" ~doc:"CabanaPIC: electromagnetic two-stream PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
-      $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold
+      $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold $ plan
       $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
       $ Resil_cli.restart_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
       $ Resil_cli.obs_summary_arg $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg

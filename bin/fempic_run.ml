@@ -39,9 +39,9 @@ let poison_seq (sim : Fempic.Fempic_sim.t) =
   sim.Fempic.Fempic_sim.node_phi.Opp_core.Types.d_data.(0) <- Float.nan
 
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
-    seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold faults
-    ckpt_every ckpt_dir restart trace metrics obs_summary watch watch_dir heartbeat_every
-    watch_strict inject_nan =
+    seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold plan
+    faults ckpt_every ckpt_dir restart trace metrics obs_summary watch watch_dir
+    heartbeat_every watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
@@ -84,7 +84,7 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
             let d =
               Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
                 ?workers:(if hybrid then Some workers else None)
-                ~checked:check ?locality ~profile mesh
+                ~checked:check ?locality ~profile ~plan mesh
             in
             Option.iter (Apps_dist.Fempic_dist.set_watch d) mon;
             d)
@@ -106,7 +106,14 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       in
       finish profile (fun () ->
           Format.printf "traffic: %a@." (fun fmt -> Opp_dist.Traffic.pp fmt)
-            dist.Apps_dist.Fempic_dist.traffic);
+            dist.Apps_dist.Fempic_dist.traffic;
+          match Apps_dist.Fempic_dist.exec dist with
+          | Some e ->
+              Printf.printf "%s; exchanges skipped %d of %d\n%!"
+                (Opp_plan.Plan.summary (Opp_plan.Exec.plan e))
+                (Opp_plan.Exec.skipped e)
+                (Opp_plan.Exec.skipped e + Opp_plan.Exec.performed e)
+          | None -> ());
       Apps_dist.Fempic_dist.shutdown dist;
       Resil_cli.watch_finish mon
   | _ ->
@@ -272,12 +279,20 @@ let cmd =
           ~doc:"mean p2c jump distance that triggers an automatic sort (implies \
                 $(b,--sort-auto); 0 keeps the default)")
   in
+  let plan =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "mpi backend: record the first step's program, prove a plan (opp_plan), and skip \
+             redundant halo exchanges from step 2 on")
+  in
   Cmd.v
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
       $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ binned
-      $ sort_auto $ sort_every $ sort_threshold $ Resil_cli.faults_arg
+      $ sort_auto $ sort_every $ sort_threshold $ plan $ Resil_cli.faults_arg
       $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg
       $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg
       $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg $ Resil_cli.heartbeat_every_arg

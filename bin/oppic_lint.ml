@@ -1,20 +1,64 @@
 (* Static analyzer CLI for OP-PIC loop manifests.
 
-   Runs the opp_check analyses over a .oppic spec and reports
-   diagnostics (stable codes, see docs/ANALYSIS.md) plus the
-   loop-to-loop dependence graph:
+   Runs the opp_check per-loop analyses over a .oppic spec — plus,
+   when the manifest carries step structure (exchange/reduce/fresh
+   statements), the opp_plan whole-step dataflow analysis — and
+   reports diagnostics (stable codes, see docs/ANALYSIS.md) in a
+   deterministic order with duplicates collapsed:
 
      dune exec bin/oppic_lint.exe -- examples/specs/fempic.oppic
      dune exec bin/oppic_lint.exe -- spec.oppic --json
      dune exec bin/oppic_lint.exe -- spec.oppic --strict        # warnings fail too
      dune exec bin/oppic_lint.exe -- spec.oppic --dot deps.dot  # Graphviz graph
+     dune exec bin/oppic_lint.exe -- spec.oppic --json --baseline base.json
+
+   --baseline ratchets against a checked-in --json artifact: any
+   error/warning code whose count exceeds the baseline fails the run
+   (new codes count from zero); shrinking or equal counts pass, so
+   the baseline only ever tightens. Informational findings (I...)
+   never ratchet.
 
    Exit codes: 0 clean (info-level findings never count), 1 errors
-   (or, under --strict, warnings), 2 unparseable input. *)
+   (or, under --strict, warnings; or a ratchet regression), 2
+   unparseable input. *)
 
 open Cmdliner
 
-let run input json strict dot_out =
+(* per-code counts of ratchet-relevant (non-Info) diagnostics *)
+let code_counts codes =
+  List.fold_left
+    (fun acc code ->
+      let n = try List.assoc code acc with Not_found -> 0 in
+      (code, n + 1) :: List.remove_assoc code acc)
+    [] codes
+
+let baseline_counts path =
+  let source =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let json =
+    match Opp_obs.Json.of_string source with
+    | Ok j -> j
+    | Error msg ->
+        Printf.eprintf "%s: baseline parse error %s\n" path msg;
+        exit 2
+  in
+  match Opp_obs.Json.member "diagnostics" json with
+  | Some (Opp_obs.Json.Arr ds) ->
+      code_counts
+        (List.filter_map
+           (fun d ->
+             match (Opp_obs.Json.member "code" d, Opp_obs.Json.member "severity" d) with
+             | Some (Opp_obs.Json.Str _), Some (Opp_obs.Json.Str "info") -> None
+             | Some (Opp_obs.Json.Str c), _ -> Some c
+             | _ -> None)
+           ds)
+  | _ -> []
+
+let run input json strict dot_out baseline =
   let source =
     let ic = open_in input in
     Fun.protect
@@ -31,27 +75,105 @@ let run input json strict dot_out =
   in
   let desc = Opp_check.Descriptor.of_ir program in
   let result = Opp_check.Static.analyze desc in
+  (* whole-step dataflow (W110/W111/I120/E090) when the manifest
+     interleaves collectives with its loops *)
+  let step =
+    if Opp_codegen.Ir.has_step_structure program then
+      let prog = Opp_plan.Prog.of_ir program in
+      Some (prog, Opp_plan.Flow.analyze prog)
+    else None
+  in
+  let loop_order = List.map (fun (l : Opp_codegen.Ir.loop) -> l.Opp_codegen.Ir.l_name) program.Opp_codegen.Ir.p_loops in
+  let diags =
+    Opp_check.Diag.dedup
+      (Opp_check.Diag.sort ~loop_order
+         (result.Opp_check.Static.res_diags
+         @ match step with Some (_, f) -> f.Opp_plan.Flow.f_diags | None -> []))
+  in
   (match dot_out with
   | None -> ()
   | Some path ->
       let oc = open_out path in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Opp_check.Static.to_dot desc result)));
-  let errors = Opp_check.Static.errors result in
-  let warnings = Opp_check.Static.warnings result in
-  if json then print_endline (Opp_obs.Json.to_string (Opp_check.Static.to_json result))
+        (fun () ->
+          output_string oc
+            (match step with
+            | Some (prog, _) -> Opp_plan.Prog.to_dot prog
+            | None -> Opp_check.Static.to_dot desc result)));
+  let errors = List.filter (fun (d : Opp_check.Diag.t) -> d.Opp_check.Diag.severity = Opp_check.Diag.Error) diags in
+  let warnings =
+    List.filter (fun (d : Opp_check.Diag.t) -> d.Opp_check.Diag.severity = Opp_check.Diag.Warning) diags
+  in
+  (* the ratchet compares non-Info per-code counts of the (deduped)
+     report against the checked-in --json artifact *)
+  let regressions =
+    match baseline with
+    | None -> []
+    | Some path ->
+        let base = baseline_counts path in
+        let cur =
+          code_counts
+            (List.filter_map
+               (fun (d : Opp_check.Diag.t) ->
+                 if d.Opp_check.Diag.severity = Opp_check.Diag.Info then None
+                 else Some d.Opp_check.Diag.code)
+               diags)
+        in
+        List.filter_map
+          (fun (code, n) ->
+            let b = try List.assoc code base with Not_found -> 0 in
+            if n > b then Some (code, n, b) else None)
+          (List.sort compare cur)
+  in
+  if json then begin
+    let open Opp_obs.Json in
+    let deps =
+      match Opp_check.Static.to_json result with
+      | Obj fields -> ( match List.assoc_opt "dependences" fields with Some d -> d | None -> Arr [])
+      | _ -> Arr []
+    in
+    print_endline
+      (to_string
+         (Obj
+            ([
+               ("program", Str result.Opp_check.Static.res_program);
+               ("errors", Num (float_of_int (List.length errors)));
+               ("warnings", Num (float_of_int (List.length warnings)));
+               ("diagnostics", Arr (List.map Opp_check.Diag.to_json diags));
+               ("dependences", deps);
+             ]
+            @
+            match step with
+            | Some (prog, f) -> [ ("step", Opp_plan.Flow.result_to_json prog f) ]
+            | None -> [])))
+  end
   else begin
-    List.iter
-      (fun d -> print_endline (Opp_check.Diag.to_string d))
-      result.Opp_check.Static.res_diags;
+    List.iter (fun d -> print_endline (Opp_check.Diag.to_string d)) diags;
     Printf.printf "%s: %d loop(s), %d dependence edge(s); %d error(s), %d warning(s)\n"
       result.Opp_check.Static.res_program
       (List.length desc.Opp_check.Descriptor.pr_loops)
       (List.length result.Opp_check.Static.res_deps)
-      (List.length errors) (List.length warnings)
+      (List.length errors) (List.length warnings);
+    match step with
+    | None -> ()
+    | Some (prog, f) ->
+        let elidable =
+          List.filter
+            (fun (x : Opp_plan.Flow.xinfo) -> x.Opp_plan.Flow.x_redundant || x.Opp_plan.Flow.x_unused)
+            f.Opp_plan.Flow.f_exchanges
+        in
+        Printf.printf "step program: %d event(s), %d exchange site(s) (%d elidable), %d fusable group(s)\n"
+          (List.length prog.Opp_plan.Prog.pg_events)
+          (List.length f.Opp_plan.Flow.f_exchanges)
+          (List.length elidable)
+          (List.length f.Opp_plan.Flow.f_groups)
   end;
-  if errors <> [] || (strict && warnings <> []) then exit 1
+  List.iter
+    (fun (code, n, b) ->
+      Printf.eprintf "ratchet: %s count %d exceeds baseline %d\n" code n b)
+    regressions;
+  if errors <> [] || (strict && warnings <> []) || regressions <> [] then exit 1
 
 let cmd =
   let input =
@@ -63,10 +185,22 @@ let cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "dot" ] ~docv:"FILE" ~doc:"write the loop dependence graph as Graphviz DOT")
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "write a Graphviz DOT graph: the step-program schedule when the manifest has step \
+             structure, the loop dependence graph otherwise")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "ratchet against a checked-in --json artifact: fail when any non-info code's count \
+             exceeds the baseline's (shrinking passes)")
   in
   Cmd.v
     (Cmd.info "oppic_lint" ~doc:"static loop-dependence & race analysis for OP-PIC manifests")
-    Term.(const run $ input $ json $ strict $ dot_out)
+    Term.(const run $ input $ json $ strict $ dot_out $ baseline)
 
 let () = exit (Cmd.eval cmd)

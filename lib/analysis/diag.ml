@@ -59,6 +59,58 @@ let to_json d =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Deterministic ordering and deduplication (the lint-baseline step in
+   CI diffs reports textually, so the order must be stable across runs
+   and chained-loop programs must not spam one copy per step).         *)
+
+(** Sort for stable output: loop position in the program (per
+    [loop_order], unknown or loop-less diagnostics last), then dat,
+    then code, then message. *)
+let sort ?(loop_order = []) diags =
+  let rank = function
+    | None -> max_int
+    | Some l -> (
+        let rec idx i = function
+          | [] -> max_int
+          | x :: _ when x = l -> i
+          | _ :: tl -> idx (i + 1) tl
+        in
+        idx 0 loop_order)
+  in
+  List.stable_sort
+    (fun a b ->
+      let c = compare (rank a.loop, a.loop) (rank b.loop, b.loop) in
+      if c <> 0 then c
+      else
+        let c = compare a.dat b.dat in
+        if c <> 0 then c
+        else
+          let c = compare a.code b.code in
+          if c <> 0 then c else compare a.message b.message)
+    diags
+
+(** Collapse diagnostics with identical (code, loop, dat) keys into the
+    first occurrence, suffixing its message with the multiplicity
+    ("(x3)"). Preserves first-occurrence order. *)
+let dedup diags =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun d ->
+      let key = (d.code, d.loop, d.dat) in
+      match Hashtbl.find_opt tbl key with
+      | Some (first, n) -> Hashtbl.replace tbl key (first, n + 1)
+      | None ->
+          Hashtbl.add tbl key (d, 1);
+          order := key :: !order)
+    diags;
+  List.rev_map
+    (fun key ->
+      let d, n = Hashtbl.find tbl key in
+      if n = 1 then d else { d with message = Printf.sprintf "%s (x%d)" d.message n })
+    !order
+
+(* ------------------------------------------------------------------ *)
 (* Runtime violations.                                                 *)
 
 type violation = {

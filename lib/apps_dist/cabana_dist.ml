@@ -28,6 +28,10 @@ type t = {
   locality : Opp_locality.Sched.t option;
       (** shared sort scheduler (one instance, per-rank particle sets
           are tracked independently by physical identity) *)
+  plan : Opp_plan.Exec.t option;
+      (** step-program recorder / legality-proved plan applier: step 1
+          records the schedule, later steps skip proved-redundant
+          exchanges (see [Opp_plan.Exec]) *)
   mutable step_count : int;
   mutable last_migrated : int;
   mutable watch : Dist_watch.t option;  (** live health monitor plumbing *)
@@ -89,7 +93,7 @@ let build_topology (prm : Cabana.Cabana_params.t) (mesh : Opp_mesh.Hex_mesh.t) ~
   (topology, g2l)
 
 let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checked = false)
-    ?locality ?(profile = Profile.global) () =
+    ?locality ?(profile = Profile.global) ?(plan = false) ?(plan_verbose = true) () =
   let mesh =
     Opp_mesh.Hex_mesh.build ~nx:prm.Cabana.Cabana_params.nx ~ny:prm.Cabana.Cabana_params.ny
       ~nz:prm.Cabana.Cabana_params.nz ~lx:prm.Cabana.Cabana_params.lx
@@ -157,6 +161,9 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
     traffic = Traffic.create ();
     profile;
     locality = sched;
+    plan =
+      (if plan then Some (Opp_plan.Exec.create ~verbose:plan_verbose ~name:"cabana_dist" ())
+       else None);
     step_count = 0;
     last_migrated = 0;
     watch = None;
@@ -173,11 +180,14 @@ let poison t =
   let sim = t.sims.(0) in
   sim.Cabana.Cabana_sim.cell_e.Types.d_data.(0) <- Float.nan
 
-let exchange_field t (field : Cabana.Cabana_sim.t -> Types.dat) =
-  Exch.exchange ~traffic:t.traffic
-    ~dats:(Array.map (fun sim -> field sim) t.sims)
-    t.cell_exch ~dim:3
-    ~data:(fun r -> (field t.sims.(r)).Types.d_data)
+(* [site] keys the planner's elision decisions and must be stable
+   across steps (repeat sites carry a "#n" suffix). *)
+let exchange_field t ~site ~dat (field : Cabana.Cabana_sim.t -> Types.dat) =
+  Opp_plan.Exec.collective t.plan ~site ~kind:`Exchange ~dats:[ dat ] (fun () ->
+      Exch.exchange ~traffic:t.traffic
+        ~dats:(Array.map (fun sim -> field sim) t.sims)
+        t.cell_exch ~dim:3
+        ~data:(fun r -> (field t.sims.(r)).Types.d_data))
 
 (* Run one rank's share of a phase with its trace track selected and a
    phase span opened, so each rank's par-loop spans land nested on its
@@ -185,9 +195,10 @@ let exchange_field t (field : Cabana.Cabana_sim.t -> Types.dat) =
 let rank_phase t name f =
   Array.iteri
     (fun r sim ->
-      Opp_obs.Trace.with_track r (fun () ->
-          Opp_obs.Trace.with_span ~cat:"phase" name (fun () ->
-              Dist_watch.timed t.watch r name (fun () -> f r sim))))
+      Opp_plan.Exec.with_rank t.plan r (fun () ->
+          Opp_obs.Trace.with_track r (fun () ->
+              Opp_obs.Trace.with_span ~cat:"phase" name (fun () ->
+                  Dist_watch.timed t.watch r name (fun () -> f r sim)))))
     t.sims
 
 (* --- particle migration (mid-walk, with remaining displacement) --- *)
@@ -221,14 +232,15 @@ let move_deposit t =
   Array.iter Cabana.Cabana_sim.reset_accumulator t.sims;
   let migrated = ref 0 in
   let move_rank r iterate =
-    Opp_obs.Trace.with_track r (fun () ->
-        Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
-            Dist_watch.timed t.watch r "MovePhase" (fun () ->
-                ignore
-                  (Cabana.Cabana_sim.move_deposit
-                     ~should_stop:(fun c -> c >= t.owned.(r))
-                     ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
-                     ~iterate t.sims.(r)))))
+    Opp_plan.Exec.with_rank t.plan r (fun () ->
+        Opp_obs.Trace.with_track r (fun () ->
+            Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
+                Dist_watch.timed t.watch r "MovePhase" (fun () ->
+                    ignore
+                      (Cabana.Cabana_sim.move_deposit
+                         ~should_stop:(fun c -> c >= t.owned.(r))
+                         ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
+                         ~iterate t.sims.(r))))))
   in
   for r = 0 to t.nranks - 1 do
     move_rank r Seq.Iterate_all
@@ -292,6 +304,7 @@ let restore_checkpoint t ~dir =
 (* --- the distributed step --- *)
 
 let step t =
+  Opp_plan.Exec.step_begin t.plan;
   (* armed rank faults (crash / stall) fire before any state mutates,
      so a crashed step can be replayed from the last checkpoint *)
   (match Opp_resil.Fault.active () with
@@ -301,15 +314,19 @@ let step t =
   if t.locality <> None then
     rank_phase t "SortSchedule" (fun _ sim -> Cabana.Cabana_sim.schedule_locality sim);
   (* refresh E and B halos ("Update_Ghosts") before the stencils *)
-  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
-  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);
+  exchange_field t ~site:"cell_e.exchange" ~dat:"cell_e" (fun sim ->
+      sim.Cabana.Cabana_sim.cell_e);
+  exchange_field t ~site:"cell_b.exchange" ~dat:"cell_b" (fun sim ->
+      sim.Cabana.Cabana_sim.cell_b);
   rank_phase t "Interpolate" (fun _ sim -> Cabana.Cabana_sim.interpolate sim);
   ignore (move_deposit t);
   rank_phase t "AccumulateCurrent" (fun _ sim -> Cabana.Cabana_sim.accumulate_current sim);
   rank_phase t "AdvanceB" (fun _ sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5);
-  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_b);
+  exchange_field t ~site:"cell_b.exchange#1" ~dat:"cell_b" (fun sim ->
+      sim.Cabana.Cabana_sim.cell_b);
   rank_phase t "AdvanceE" (fun _ sim -> Cabana.Cabana_sim.advance_e sim);
-  exchange_field t (fun sim -> sim.Cabana.Cabana_sim.cell_e);
+  exchange_field t ~site:"cell_e.exchange#1" ~dat:"cell_e" (fun sim ->
+      sim.Cabana.Cabana_sim.cell_e);
   rank_phase t "AdvanceB2" (fun _ sim -> Cabana.Cabana_sim.advance_b sim ~frac:0.5);
   t.step_count <- t.step_count + 1;
   if !Opp_obs.Metrics.enabled then begin
@@ -342,6 +359,7 @@ let step t =
           sim.Cabana.Cabana_sim.cell_j;
         ])
     ~traffic:t.traffic;
+  Opp_plan.Exec.step_end t.plan;
   Runner.step_end ~step:t.step_count
 
 let run t ~steps =
@@ -363,6 +381,9 @@ let energies t =
 
 let total_particles t =
   Array.fold_left (fun acc sim -> acc + sim.Cabana.Cabana_sim.parts.Types.s_size) 0 t.sims
+
+(** The step-program planner attached at [create ~plan:true], if any. *)
+let exec t = t.plan
 
 (** Release the hybrid backend's worker domains, if any. *)
 let shutdown t =

@@ -36,6 +36,10 @@ type t = {
   locality : Opp_locality.Sched.t option;
       (** shared sort scheduler (one instance, per-rank particle sets
           are tracked independently by physical identity) *)
+  plan : Opp_plan.Exec.t option;
+      (** step-program recorder / legality-proved plan applier: step 1
+          records the schedule, later steps skip proved-redundant
+          exchanges (see [Opp_plan.Exec]) *)
   mutable step_count : int;
   mutable last_migrated : int;
   mutable watch : Dist_watch.t option;  (** live health monitor plumbing *)
@@ -46,7 +50,8 @@ let payload_dim = 10
 
 let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns)
     ?(use_direct_hop = false) ?workers ?(checked = false) ?locality
-    ?(profile = Profile.global) (mesh : Opp_mesh.Tet_mesh.t) =
+    ?(profile = Profile.global) ?(plan = false) ?(plan_verbose = true)
+    (mesh : Opp_mesh.Tet_mesh.t) =
   let centroid c =
     [|
       mesh.Opp_mesh.Tet_mesh.cell_centroid.(3 * c);
@@ -144,6 +149,9 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     traffic = Traffic.create ();
     profile;
     locality = sched;
+    plan =
+      (if plan then Some (Opp_plan.Exec.create ~verbose:plan_verbose ~name:"fempic_dist" ())
+       else None);
     step_count = 0;
     last_migrated = 0;
     watch = None;
@@ -166,9 +174,10 @@ let poison t = t.g_phi.(0) <- Float.nan
 let rank_phase t name f =
   Array.iteri
     (fun r sim ->
-      Opp_obs.Trace.with_track r (fun () ->
-          Opp_obs.Trace.with_span ~cat:"phase" name (fun () ->
-              Dist_watch.timed t.watch r name (fun () -> f r sim))))
+      Opp_plan.Exec.with_rank t.plan r (fun () ->
+          Opp_obs.Trace.with_track r (fun () ->
+              Opp_obs.Trace.with_span ~cat:"phase" name (fun () ->
+                  Dist_watch.timed t.watch r name (fun () -> f r sim)))))
     t.sims
 
 (* --- particle migration --- *)
@@ -242,6 +251,7 @@ let move_particles t =
   let move_rank r iterate =
     let sim = t.sims.(r) in
     let owned = t.part.Tet_part.locals.(r).Tet_part.lm_cell_owned in
+    Opp_plan.Exec.with_rank t.plan r (fun () ->
     Opp_obs.Trace.with_track r (fun () ->
         Opp_obs.Trace.with_span ~cat:"phase" "MovePhase" (fun () ->
             Dist_watch.timed t.watch r "MovePhase" (fun () ->
@@ -249,7 +259,7 @@ let move_particles t =
                   (Fempic.Fempic_sim.move
                      ~should_stop:(fun c -> c >= owned)
                      ~on_pending:(fun ~p ~cell -> pack t r mail ~p ~cell)
-                     ~iterate sim))))
+                     ~iterate sim)))))
   in
   for r = 0 to t.nranks - 1 do
     move_rank r Seq.Iterate_all
@@ -407,6 +417,7 @@ let restore_checkpoint t ~dir =
 (* --- the distributed step --- *)
 
 let step t =
+  Opp_plan.Exec.step_begin t.plan;
   (* armed rank faults (crash / stall) fire before any state mutates,
      so a crashed step can be replayed from the last checkpoint *)
   (match Opp_resil.Fault.active () with
@@ -425,16 +436,26 @@ let step t =
      (the exchange also clears node_charge's halo-dirty bit) *)
   let node_charge r = t.sims.(r).Fempic.Fempic_sim.node_charge.Types.d_data in
   let node_charge_dats = Array.map (fun sim -> sim.Fempic.Fempic_sim.node_charge) t.sims in
-  Exch.reduce ~traffic:t.traffic t.part.Tet_part.node_exch ~dim:1 ~data:node_charge;
-  Exch.exchange ~traffic:t.traffic ~dats:node_charge_dats t.part.Tet_part.node_exch ~dim:1
-    ~data:node_charge;
+  Opp_plan.Exec.collective t.plan ~site:"node_charge.reduce" ~kind:`Reduce
+    ~dats:[ "node_charge" ] (fun () ->
+      Exch.reduce ~traffic:t.traffic t.part.Tet_part.node_exch ~dim:1 ~data:node_charge);
+  Opp_plan.Exec.collective t.plan ~site:"node_charge.exchange" ~kind:`Exchange
+    ~dats:[ "node_charge" ] (fun () ->
+      Exch.exchange ~traffic:t.traffic ~dats:node_charge_dats t.part.Tet_part.node_exch
+        ~dim:1 ~data:node_charge);
   rank_phase t "ChargeDensity" (fun _ sim -> Fempic.Fempic_sim.compute_charge_density sim);
   (* Iterate_all over replicated fresh inputs recomputes the halo
      copies locally: no exchange needed, assert freshness instead *)
   Array.iter (fun sim -> Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge_den) t.sims;
+  Opp_plan.Exec.mark_fresh t.plan ~dats:[ "node_charge_density" ];
+  (* gathers owned densities only; the scatter covers owned AND halo
+     potentials, so node_potential comes back fresh *)
+  Opp_plan.Exec.opaque t.plan ~name:"Solve" ~reads:[ "node_charge_density" ]
+    ~fresh:[ "node_potential" ] ();
   ignore (solve_field t);
   rank_phase t "ElectricField" (fun _ sim -> Fempic.Fempic_sim.compute_electric_field sim);
   Array.iter (fun sim -> Freshness.mark_fresh sim.Fempic.Fempic_sim.cell_ef) t.sims;
+  Opp_plan.Exec.mark_fresh t.plan ~dats:[ "electric_field" ];
   t.step_count <- t.step_count + 1;
   if !Opp_obs.Metrics.enabled then begin
     let counts =
@@ -467,6 +488,7 @@ let step t =
           sim.Fempic.Fempic_sim.node_phi;
         ])
     ~traffic:t.traffic;
+  Opp_plan.Exec.step_end t.plan;
   Runner.step_end ~step:t.step_count;
   !injected
 
@@ -489,6 +511,9 @@ let total_owned_charge t =
 
 (** Gathered global potential (valid after a step). *)
 let potential t = t.g_phi
+
+(** The step-program planner attached at [create ~plan:true], if any. *)
+let exec t = t.plan
 
 (** Release the hybrid backend's worker domains, if any. *)
 let shutdown t =

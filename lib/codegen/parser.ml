@@ -11,15 +11,22 @@
     particle_set <name> <cells-set>
     map <name> <from-set> <to-set> <arity>
     dat <name> <set> <dim>
-    loop <label> kernel <fn> over <set> iterate all|injected
+    loop <label> kernel <fn> over <set> iterate all|core|injected
       arg <dat> [idx <i> map <m>] [p2c <m>] read|write|inc|rw
       ...
     end
     move <label> kernel <fn> over <set> c2c <map> p2c <map>
       arg ...
     end
+    exchange <dat> ...   # halo exchange (owners -> halo copies)
+    reduce <dat> ...     # halo reduction (halo contributions -> owners)
+    fresh <dat> ...      # assert halo copies were recomputed locally
     # comments and blank lines are ignored
-    v} *)
+    v}
+
+    Statements are ordered: the file is the step program, and the
+    collective statements interleave with the loops in execution
+    order. *)
 
 exception Parse_error of string
 
@@ -57,6 +64,7 @@ let parse_lax source =
   let lines = String.split_on_char '\n' source in
   let name = ref "unnamed" in
   let sets = ref [] and maps = ref [] and dats = ref [] and loops = ref [] in
+  let steps = ref [] in
   (* current loop being collected, if any *)
   let pending : (Ir.loop * Ir.arg list ref) option ref = ref None in
   let close_pending line_no =
@@ -65,6 +73,7 @@ let parse_lax source =
     | Some (l, args) ->
         if !args = [] then fail line_no "loop %s has no arguments" l.Ir.l_name;
         loops := { l with Ir.l_args = List.rev !args } :: !loops;
+        steps := Ir.Step_loop l.Ir.l_name :: !steps;
         pending := None
   in
   List.iteri
@@ -97,6 +106,7 @@ let parse_lax source =
             let iterate =
               match it with
               | "all" -> `All
+              | "core" -> `Core
               | "injected" -> `Injected
               | _ -> fail line_no "bad iterate '%s'" it
             in
@@ -121,6 +131,9 @@ let parse_lax source =
                     l_args = [];
                   },
                   ref [] )
+        | "exchange" :: (_ :: _ as ds), None -> steps := Ir.Step_exchange ds :: !steps
+        | "reduce" :: (_ :: _ as ds), None -> steps := Ir.Step_reduce ds :: !steps
+        | "fresh" :: (_ :: _ as ds), None -> steps := Ir.Step_fresh ds :: !steps
         | _, Some _ -> fail line_no "expected 'arg' or 'end' inside a loop"
         | _, None -> fail line_no "cannot parse '%s'" line)
     lines;
@@ -133,6 +146,7 @@ let parse_lax source =
     p_maps = List.rev !maps;
     p_dats = List.rev !dats;
     p_loops = List.rev !loops;
+    p_steps = List.rev !steps;
   }
 
 let parse source = Ir.validate (parse_lax source)

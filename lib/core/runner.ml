@@ -48,6 +48,42 @@ let on_step_end f = step_hooks := f :: !step_hooks
 let clear_step_hooks () = step_hooks := []
 let step_end ~step = List.iter (fun f -> f ~step) !step_hooks
 
+(* --- launch observers (opp_plan recording mode) ---
+
+   The whole-step planner reconstructs the step program by watching
+   loop launches at this dispatch point: every par_loop (any backend)
+   and every traced particle-move announces itself to the registered
+   observers. Observation is passive — kernels, data and results are
+   untouched — and free when no observer is registered (one list probe
+   per launch). *)
+
+type launch = {
+  lc_name : string;
+  lc_set : Types.set;
+  lc_iterate : Seq.iterate;
+  lc_args : Arg.t list;
+}
+
+let launch_hooks : (launch -> unit) list ref = ref []
+let on_launch f = launch_hooks := f :: !launch_hooks
+
+let move_hooks : (name:string -> args:Arg.t list -> unit) list ref = ref []
+let on_move_launch f = move_hooks := f :: !move_hooks
+
+let clear_launch_hooks () =
+  launch_hooks := [];
+  move_hooks := []
+
+let notify_launch ~name set iterate args =
+  match !launch_hooks with
+  | [] -> ()
+  | hooks ->
+      let lc = { lc_name = name; lc_set = set; lc_iterate = iterate; lc_args = args } in
+      List.iter (fun f -> f lc) hooks
+
+let notify_move ~name ~args =
+  match !move_hooks with [] -> () | hooks -> List.iter (fun f -> f ~name ~args) hooks
+
 let phase_tracking = ref false
 
 let phase_order : string list ref = ref [] (* reversed registration order *)
@@ -93,12 +129,29 @@ let dispatch_par_loop r ~name ~flops_per_elem kernel set iterate args =
   else r.r_par_loop name flops_per_elem kernel set iterate args
 
 let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
+  notify_launch ~name set iterate args;
   if !phase_tracking then begin
     let t0 = Opp_obs.Clock.now_s () in
     dispatch_par_loop r ~name ~flops_per_elem kernel set iterate args;
     phase_add name ((Opp_obs.Clock.now_s () -. t0) *. 1e6)
   end
   else dispatch_par_loop r ~name ~flops_per_elem kernel set iterate args
+
+(** Execute a legally-fusable group of loops as one loop body (the
+    runtime counterpart of the fused bodies {!Opp_codegen.Emit} emits).
+    Runs on the sequential reference engine regardless of the runner's
+    backend — fusion is a plan-level optimization whose bit-identity is
+    proved against back-to-back execution, and the reference engine is
+    where that proof lives. Observers see one launch per member, so
+    recorded step programs are unchanged by fusion. *)
+let par_loop_fused _r ~name group set iterate =
+  List.iter (fun (gname, _, _, args) -> notify_launch ~name:gname set iterate args) group;
+  if !phase_tracking then begin
+    let t0 = Opp_obs.Clock.now_s () in
+    Seq.par_loop_fused ~name group set iterate;
+    phase_add name ((Opp_obs.Clock.now_s () -. t0) *. 1e6)
+  end
+  else Seq.par_loop_fused ~name group set iterate
 
 (** Span + metrics wrapper for a particle-move launch. Exposed so
     call sites that must route around the runner (the distributed
@@ -107,6 +160,7 @@ let par_loop r ~name ?(flops_per_elem = 0.0) kernel set iterate args =
     (per hop, like the mover's own cost accounting) let the span carry
     roofline inputs; the element count is the executed hop total. *)
 let traced_move ~name ?(flops_per_elem = 0.0) ?(args = []) run =
+  notify_move ~name ~args;
   let result =
     if !Opp_obs.Trace.enabled then begin
       let d0 = Opp_obs.Trace.depth () in

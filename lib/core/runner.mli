@@ -32,6 +32,18 @@ val par_loop :
   unit
 (** Execute a parallel loop under this runner. *)
 
+val par_loop_fused :
+  t ->
+  name:string ->
+  (string * float * Seq.kernel * Arg.t list) list ->
+  Types.set ->
+  Seq.iterate ->
+  unit
+(** Execute a legally-fusable group of [(name, flops, kernel, args)]
+    loops as one loop body (see {!Seq.par_loop_fused}); launch
+    observers see one launch per member. Callers obtain legality from
+    the [opp_plan] fusion judgment. *)
+
 val particle_move :
   t ->
   name:string ->
@@ -60,6 +72,28 @@ val traced_move :
 
 val seq : ?profile:Profile.t -> unit -> t
 (** The sequential reference runner. *)
+
+(** {2 Launch observers}
+
+    The whole-step planner ([opp_plan]) reconstructs the step program
+    by watching launches at this dispatch point. Observation is
+    passive and free when no observer is registered. *)
+
+type launch = {
+  lc_name : string;
+  lc_set : Types.set;
+  lc_iterate : Seq.iterate;
+  lc_args : Arg.t list;
+}
+
+val on_launch : (launch -> unit) -> unit
+(** Register an observer fired before every {!par_loop} launch. *)
+
+val on_move_launch : (name:string -> args:Arg.t list -> unit) -> unit
+(** Register an observer fired before every {!traced_move} (and hence
+    every {!particle_move}) launch. *)
+
+val clear_launch_hooks : unit -> unit
 
 (** {2 Step boundaries}
 

@@ -1,0 +1,231 @@
+(** Runtime side of the planner: record one live step, analyze it,
+    prove a plan, then apply it to every following step.
+
+    Lifecycle: the driver creates an {!t} and brackets its step with
+    {!step_begin} / {!step_end}, wraps each halo collective in
+    {!collective} (with a stable site name), and announces host-side
+    phases ({!opaque}) and locally-recomputed halos ({!mark_fresh}).
+    Step 1 runs completely unplanned while the {!Opp_core.Runner}
+    launch observers record the ordered event list; at the first
+    {!step_end} the recorded program is analyzed ({!Flow}), a plan is
+    derived ({!Plan.derive}) and independently re-proved
+    ({!Plan.verify}); from step 2 on, {!collective} skips elided
+    exchange sites. A failed proof falls back to the empty plan — the
+    run is then merely unoptimized, never wrong.
+
+    Recording filters to rank 0 of the SPMD driver loop (the step
+    program is the same on every rank; interleaved per-rank launches
+    would corrupt the schedule) and collapses consecutive duplicate
+    launches (per-round move launches, per-rank resets outside the
+    rank scope) so multi-round phases appear once. *)
+
+module D = Opp_check.Descriptor
+
+type mode = Record | Apply
+
+type t = {
+  e_name : string;
+  e_verbose : bool;
+  mutable e_mode : mode;
+  mutable e_in_step : bool;  (** inside the recorded step right now *)
+  mutable e_rank : int;  (** current SPMD rank scope; record rank 0 only *)
+  mutable e_rev : Prog.event list;  (** recorded events, reversed *)
+  mutable e_desc : D.t;  (** union descriptor of everything seen *)
+  mutable e_prog : Prog.t option;
+  mutable e_flow : Flow.result option;
+  mutable e_plan : Plan.t;
+  mutable e_verified : bool;
+  mutable e_skipped : int;  (** elided collective executions, cumulative *)
+  mutable e_performed : int;  (** collective executions actually run *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor union.                                                   *)
+
+let empty_desc name =
+  { D.pr_name = name; pr_sets = []; pr_maps = []; pr_dats = []; pr_loops = [] }
+
+let merge_desc (a : D.t) (b : D.t) =
+  let add_by key xs ys =
+    xs @ List.filter (fun y -> not (List.exists (fun x -> key x = key y) xs)) ys
+  in
+  {
+    D.pr_name = a.D.pr_name;
+    pr_sets = add_by (fun (s : D.set_d) -> s.D.sd_name) a.D.pr_sets b.D.pr_sets;
+    pr_maps = add_by (fun (m : D.map_d) -> m.D.md_name) a.D.pr_maps b.D.pr_maps;
+    pr_dats = add_by (fun (d : D.dat_d) -> d.D.dd_name) a.D.pr_dats b.D.pr_dats;
+    pr_loops = add_by (fun (l : D.loop_d) -> l.D.ld_name) a.D.pr_loops b.D.pr_loops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Recording.                                                          *)
+
+let recording t = t.e_mode = Record && t.e_in_step && t.e_prog = None
+
+let last_loop_name t =
+  match t.e_rev with
+  | Prog.Loop { e_loop; _ } :: _ -> Some e_loop.D.ld_name
+  | _ -> None
+
+let append_event t ev = t.e_rev <- ev :: t.e_rev
+
+let record_loop t ~name ~(kind : D.loop_kind_d) ~(iterate : Prog.iterate) ~set args =
+  (* collapse consecutive duplicate launches: multi-round movers and
+     per-rank loops outside the rank scope record once *)
+  if last_loop_name t <> Some name then begin
+    let desc = D.of_live ~name ~kind ~set args in
+    t.e_desc <- merge_desc t.e_desc desc;
+    match List.find_opt (fun (l : D.loop_d) -> l.D.ld_name = name) desc.D.pr_loops with
+    | Some e_loop -> append_event t (Prog.Loop { e_loop; e_iterate = iterate })
+    | None -> ()
+  end
+
+let iterate_of_seq = function
+  | Opp_core.Seq.Iterate_all -> `All
+  | Opp_core.Seq.Iterate_core -> `Core
+  | Opp_core.Seq.Iterate_injected -> `Injected
+
+(* A move launch carries a name and args but no set (the dist movers
+   route around the runner); record it as a particle_move over the set
+   reachable from its first particle-dat argument, or anonymous. *)
+let record_move t ~name ~(args : Opp_core.Arg.t list) =
+  if last_loop_name t <> Some name then begin
+    let set =
+      List.find_map
+        (fun (a : Opp_core.Arg.t) ->
+          match a with
+          | Opp_core.Arg.Arg_dat d when d.p2c = None && d.map = None ->
+              Some d.dat.Opp_core.Types.d_set
+          | _ -> None)
+        args
+    in
+    match set with
+    | Some set -> record_loop t ~name ~kind:D.Particle_move_d ~iterate:`All ~set args
+    | None ->
+        (* argless mover: record a footprint-less move event *)
+        append_event t
+          (Prog.Loop
+             {
+               e_loop = { D.ld_name = name; ld_set = ""; ld_kind = D.Particle_move_d; ld_args = [] };
+               e_iterate = `All;
+             })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public lifecycle.                                                   *)
+
+let create ?(verbose = true) ~name () =
+  let t =
+    {
+      e_name = name;
+      e_verbose = verbose;
+      e_mode = Record;
+      e_in_step = false;
+      e_rank = 0;
+      e_rev = [];
+      e_desc = empty_desc name;
+      e_prog = None;
+      e_flow = None;
+      e_plan = Plan.empty;
+      e_verified = false;
+      e_skipped = 0;
+      e_performed = 0;
+    }
+  in
+  Opp_core.Runner.on_launch (fun (lc : Opp_core.Runner.launch) ->
+      if recording t && t.e_rank = 0 then
+        record_loop t ~name:lc.Opp_core.Runner.lc_name ~kind:D.Par_loop_d
+          ~iterate:(iterate_of_seq lc.Opp_core.Runner.lc_iterate)
+          ~set:lc.Opp_core.Runner.lc_set lc.Opp_core.Runner.lc_args);
+  Opp_core.Runner.on_move_launch (fun ~name ~args ->
+      if recording t && t.e_rank = 0 then record_move t ~name ~args);
+  t
+
+let with_rank topt r f =
+  match topt with
+  | None -> f ()
+  | Some t ->
+      let prev = t.e_rank in
+      t.e_rank <- r;
+      Fun.protect ~finally:(fun () -> t.e_rank <- prev) f
+
+let step_begin = function
+  | None -> ()
+  | Some t -> if t.e_mode = Record && t.e_prog = None then t.e_in_step <- true
+
+let mark_fresh topt ~dats =
+  match topt with
+  | Some t when recording t -> append_event t (Prog.Fresh dats)
+  | _ -> ()
+
+let opaque topt ~name ?(reads = []) ?(hreads = []) ?(writes = []) ?(fresh = []) () =
+  match topt with
+  | Some t when recording t ->
+      append_event t
+        (Prog.Opaque
+           { Prog.o_name = name; o_reads = reads; o_hreads = hreads; o_writes = writes; o_fresh = fresh })
+  | _ -> ()
+
+(** Execute (or skip) one halo collective. [site] must be stable
+    across steps — it keys the plan's elisions. *)
+let collective topt ~site ~kind ~dats thunk =
+  match topt with
+  | None -> thunk ()
+  | Some t ->
+      if recording t then begin
+        (match kind with
+        | `Exchange -> append_event t (Prog.Exchange { Prog.c_site = site; c_dats = dats })
+        | `Reduce -> append_event t (Prog.Reduce { Prog.c_site = site; c_dats = dats }));
+        t.e_performed <- t.e_performed + 1;
+        thunk ()
+      end
+      else if
+        t.e_mode = Apply && kind = `Exchange && List.mem site t.e_plan.Plan.p_elide
+      then t.e_skipped <- t.e_skipped + 1
+      else begin
+        t.e_performed <- t.e_performed + 1;
+        thunk ()
+      end
+
+let finalize t =
+  let prog =
+    { Prog.pg_name = t.e_name; pg_desc = t.e_desc; pg_events = List.rev t.e_rev }
+  in
+  t.e_prog <- Some prog;
+  let flow = Flow.analyze prog in
+  t.e_flow <- Some flow;
+  let plan = Plan.derive prog flow in
+  (match Plan.verify prog plan with
+  | Ok () ->
+      t.e_plan <- plan;
+      t.e_verified <- true
+  | Error reason ->
+      (* a failed proof means an analysis bug: run unoptimized, never wrong *)
+      t.e_plan <- Plan.empty;
+      t.e_verified <- false;
+      if t.e_verbose then
+        Printf.printf "plan[%s]: proof failed (%s); running unplanned\n%!" t.e_name reason);
+  t.e_mode <- Apply;
+  if t.e_verbose then
+    Printf.printf "plan[%s]: recorded %d-event step program; %s%s\n%!" t.e_name
+      (List.length prog.Prog.pg_events)
+      (Plan.summary t.e_plan)
+      (if t.e_verified then " (legality proved)" else "")
+
+let step_end = function
+  | None -> ()
+  | Some t ->
+      if recording t then begin
+        t.e_in_step <- false;
+        finalize t
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection.                                                      *)
+
+let plan t = t.e_plan
+let program t = t.e_prog
+let flow t = t.e_flow
+let skipped t = t.e_skipped
+let performed t = t.e_performed
+let verified t = t.e_verified

@@ -1,0 +1,179 @@
+(** The optimized plan derived from a {!Flow} analysis, and its
+    independent legality proof.
+
+    A plan names exchange sites to elide and adjacent loop groups to
+    fuse. {!derive} takes what the analysis offers; {!verify} re-proves
+    the plan from scratch on the *optimized* program (elided sites
+    replaced by probes), so a bug in derivation cannot smuggle an
+    illegal elision past the gate: every elided site must still be
+    redundant at its probe, no stale indirect read may appear, and
+    every fused group must re-judge as legal. Runtime equivalence is
+    proved a third time by the qcheck harness (planned state hash ==
+    unplanned state hash) and the driver-level bit-identity gate in
+    [bench --pr7]. *)
+
+type t = {
+  p_elide : string list;  (** exchange site names to skip *)
+  p_fuse : string list list;  (** adjacent loop groups to run as one body *)
+}
+
+let empty = { p_elide = []; p_fuse = [] }
+
+let is_empty p = p.p_elide = [] && p.p_fuse = []
+
+let derive (_prog : Prog.t) (flow : Flow.result) : t =
+  {
+    p_elide =
+      List.filter_map
+        (fun (x : Flow.xinfo) ->
+          if (not x.Flow.x_probe) && (x.Flow.x_redundant || x.Flow.x_unused) then
+            Some x.Flow.x_site
+          else None)
+        flow.Flow.f_exchanges;
+    p_fuse = flow.Flow.f_groups;
+  }
+
+(** The optimized program: elided exchange sites become probes (so the
+    verifying analysis can still observe the state where they stood). *)
+let apply (prog : Prog.t) (plan : t) : Prog.t =
+  {
+    prog with
+    Prog.pg_events =
+      List.map
+        (fun (ev : Prog.event) ->
+          match ev with
+          | Prog.Exchange c when List.mem c.Prog.c_site plan.p_elide -> Prog.Probe c
+          | _ -> ev)
+        prog.Prog.pg_events;
+  }
+
+(** Independent legality proof of [plan] against [prog]. Checks, on
+    the optimized program:
+    - every elided site still proves redundant-or-unused at its probe;
+    - no E090 (stale indirect read) anywhere;
+    - every fused group is a run of adjacent loops that re-judges as
+      pairwise fusable.
+    Returns [Error reason] on the first failure. *)
+let verify (prog : Prog.t) (plan : t) : (unit, string) result =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  (* elided sites must exist *)
+  let sites =
+    List.filter_map
+      (function Prog.Exchange c -> Some c.Prog.c_site | _ -> None)
+      prog.Prog.pg_events
+  in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if List.mem s sites then Ok ()
+        else Error (Printf.sprintf "elided site %s is not an exchange of the program" s))
+      (Ok ()) plan.p_elide
+  in
+  let optimized = apply prog plan in
+  let flow = Flow.analyze optimized in
+  (* every probe must still prove out *)
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        match
+          List.find_opt
+            (fun (x : Flow.xinfo) -> x.Flow.x_probe && x.Flow.x_site = s)
+            flow.Flow.f_exchanges
+        with
+        | None -> Error (Printf.sprintf "no probe state recorded for elided site %s" s)
+        | Some x ->
+            if x.Flow.x_redundant || x.Flow.x_unused then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "elision of %s is illegal: halo copies are stale at the site and are \
+                    read downstream"
+                   s))
+      (Ok ()) plan.p_elide
+  in
+  (* no stale indirect read may appear in the optimized schedule *)
+  let* () =
+    match
+      List.find_opt (fun (d : Opp_check.Diag.t) -> d.Opp_check.Diag.code = "E090") flow.Flow.f_diags
+    with
+    | Some d -> Error ("optimized program has a stale read: " ^ d.Opp_check.Diag.message)
+    | None -> Ok ()
+  in
+  (* fused groups must be adjacent and pairwise legal *)
+  let events = Array.of_list prog.Prog.pg_events in
+  let loop_at i =
+    match events.(i) with
+    | Prog.Loop { e_loop; e_iterate } -> Some (e_loop, e_iterate)
+    | _ -> None
+  in
+  let find_loop name =
+    let rec go i =
+      if i >= Array.length events then None
+      else
+        match loop_at i with
+        | Some (l, _) when l.Opp_check.Descriptor.ld_name = name -> Some i
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  List.fold_left
+    (fun acc group ->
+      let* () = acc in
+      match group with
+      | [] | [ _ ] -> Error "fused group must have at least two members"
+      | first :: rest -> (
+          match find_loop first with
+          | None -> Error (Printf.sprintf "fused group member %s not found" first)
+          | Some i0 ->
+              (* every pair of the group must re-judge fusable, not
+                 just consecutive members: an interposed neutral loop
+                 must not launder a cross-element dependence *)
+              let rec chain i prevs = function
+                | [] -> Ok ()
+                | name :: tl -> (
+                    match loop_at (i + 1) with
+                    | Some (l, it)
+                      when l.Opp_check.Descriptor.ld_name = name -> (
+                        match
+                          List.find_opt
+                            (fun (pl, pit) -> not (Flow.fusable_pair pl pit l it))
+                            prevs
+                        with
+                        | Some (pl, _) ->
+                            Error
+                              (Printf.sprintf "fusing %s with %s crosses a dependence edge"
+                                 pl.Opp_check.Descriptor.ld_name name)
+                        | None -> chain (i + 1) ((l, it) :: prevs) tl)
+                    | _ ->
+                        Error
+                          (Printf.sprintf "fused group member %s is not adjacent to its \
+                                           predecessor"
+                             name))
+              in
+              let l0 = Option.get (loop_at i0) in
+              chain i0 [ l0 ] rest))
+    (Ok ()) plan.p_fuse
+
+let summary (plan : t) =
+  Printf.sprintf "plan: %d exchange site%s elided%s, %d fused group%s%s"
+    (List.length plan.p_elide)
+    (if List.length plan.p_elide = 1 then "" else "s")
+    (match plan.p_elide with [] -> "" | l -> " [" ^ String.concat ", " l ^ "]")
+    (List.length plan.p_fuse)
+    (if List.length plan.p_fuse = 1 then "" else "s")
+    (match plan.p_fuse with
+    | [] -> ""
+    | gs -> " [" ^ String.concat "; " (List.map (String.concat "+") gs) ^ "]")
+
+let to_json (plan : t) : Opp_obs.Json.t =
+  Opp_obs.Json.Obj
+    [
+      ("elide", Arr (List.map (fun s -> Opp_obs.Json.Str s) plan.p_elide));
+      ( "fuse",
+        Arr
+          (List.map
+             (fun g -> Opp_obs.Json.Arr (List.map (fun s -> Opp_obs.Json.Str s) g))
+             plan.p_fuse) );
+    ]

@@ -19,4 +19,5 @@ let () =
       ("resil", Test_resil.suite);
       ("prof", Test_prof.suite);
       ("watch", Test_watch.suite);
+      ("plan", Test_plan.suite);
     ]

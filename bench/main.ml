@@ -10,8 +10,9 @@
      dune exec bench/main.exe -- --pr5        -- profiling smoke -> BENCH_PR5.json
      dune exec bench/main.exe -- --pr6        -- watch overhead gate -> BENCH_PR6.json
      dune exec bench/main.exe -- --pr7        -- plan equivalence gate -> BENCH_PR7.json
+     dune exec bench/main.exe -- --pr8        -- heal recovery-latency gate -> BENCH_PR8.json
 
-   Gated runs (--pr4 through --pr7) also append a timestamped record to the
+   Gated runs (--pr4 through --pr8) also append a timestamped record to the
    cumulative trajectory log (JSONL, default BENCH.json, --log FILE to
    move it), so successive sessions accumulate a perf history instead
    of each overwriting its own one-off file.
@@ -759,6 +760,125 @@ let run_pr7 ~log out =
     exit 1
   end
 
+(* --- PR8 heal recovery-latency gate (docs/RESILIENCE.md, "Online
+   recovery") ---
+
+   Bounds the cost of opp_heal's online recovery: a distributed fempic
+   run journals every step, rank 1 is then declared dead, and
+   [Dist_heal.recover] rebuilds it. The gate requires the respawn path
+   (verified journal replay + in-place rank reconstruction + epoch
+   fence) to finish within five clean distributed steps of wall time —
+   recovery must cost less than the checkpoint-restart work it avoids.
+   The shrink path is measured and reported alongside, ungated: its
+   one-off re-partition is amortised over the whole degraded
+   remainder of the run, not against a per-step budget. Both paths are
+   also re-checked against the order-canonical state hash, so the gate
+   can never pass on a recovery that was fast but wrong. *)
+
+let pr8_nranks = 3
+let pr8_steps = 6
+let pr8_reps = 5
+let pr8_tolerance = 5.0
+
+let pr8_fempic () =
+  Apps_dist.Fempic_dist.create ~prm:Experiments.Config.fempic_small_prm ~nranks:pr8_nranks
+    ~profile:(Opp_core.Profile.create ())
+    (Experiments.Config.fempic_mesh ())
+
+let pr8_median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+(* Journal [pr8_steps] steps on a fresh app, then time one recovery of
+   rank 1 in [mode]; [check] validates the healed app before teardown. *)
+let pr8_recover_sample ~mode ~check () =
+  let app = pr8_fempic () in
+  let healer = Apps_dist.Dist_heal.fempic ~mode () in
+  Apps_dist.Dist_heal.record healer app ~step:0;
+  for _ = 1 to pr8_steps do
+    ignore (Apps_dist.Fempic_dist.step app);
+    Apps_dist.Dist_heal.record healer app ~step:app.Apps_dist.Fempic_dist.step_count
+  done;
+  let before = Apps_dist.Fempic_dist.state_hash app in
+  let t0 = Opp_obs.Clock.now_s () in
+  ignore (Apps_dist.Dist_heal.recover healer app ~rank:1 ~step:pr8_steps);
+  let dt = Opp_obs.Clock.now_s () -. t0 in
+  check app ~before;
+  (* the healed app must keep stepping without the dead rank *)
+  ignore (Apps_dist.Fempic_dist.step app);
+  Apps_dist.Fempic_dist.shutdown app;
+  dt
+
+let run_pr8 ~log out =
+  (* clean step cost at the same point in the run the recovery fires *)
+  let clean = pr8_fempic () in
+  Apps_dist.Fempic_dist.run clean ~steps:pr8_steps;
+  let clean_samples =
+    Array.init pr8_reps (fun _ ->
+        let t0 = Opp_obs.Clock.now_s () in
+        ignore (Apps_dist.Fempic_dist.step clean);
+        Opp_obs.Clock.now_s () -. t0)
+  in
+  let step_s = pr8_median clean_samples in
+  Apps_dist.Fempic_dist.shutdown clean;
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "FAIL: pr8 %s\n%!" m; exit 1) fmt in
+  let respawn_samples =
+    Array.init pr8_reps (fun _ ->
+        pr8_recover_sample ~mode:Opp_heal.Heal.Respawn () ~check:(fun app ~before ->
+            if Apps_dist.Fempic_dist.state_hash app <> before then
+              fail "respawn changed the global state"))
+  in
+  let shrink_samples =
+    Array.init pr8_reps (fun _ ->
+        pr8_recover_sample ~mode:Opp_heal.Heal.Shrink () ~check:(fun app ~before ->
+            if app.Apps_dist.Fempic_dist.nranks <> pr8_nranks - 1 then
+              fail "shrink kept the dead rank";
+            if Apps_dist.Fempic_dist.state_hash app <> before then
+              fail "shrink changed the global state"))
+  in
+  let respawn_s = pr8_median respawn_samples in
+  let shrink_s = pr8_median shrink_samples in
+  let budget = pr8_tolerance *. step_s in
+  let pass = respawn_s <= budget in
+  let row name seconds =
+    Opp_obs.Json.Obj [ ("name", Opp_obs.Json.Str name); ("seconds", Opp_obs.Json.Num seconds) ]
+  in
+  let json =
+    Opp_obs.Json.Obj
+      [
+        ("bench", Opp_obs.Json.Str "pr8-heal");
+        ("nranks", Opp_obs.Json.Num (float_of_int pr8_nranks));
+        ("steps_journaled", Opp_obs.Json.Num (float_of_int pr8_steps));
+        ( "rows",
+          Opp_obs.Json.Arr
+            [
+              row "heal:clean_step" step_s;
+              row "heal:respawn_recovery" respawn_s;
+              row "heal:shrink_recovery" shrink_s;
+            ] );
+        ("respawn_over_step", Opp_obs.Json.Num (respawn_s /. step_s));
+        ("tolerance_steps", Opp_obs.Json.Num pr8_tolerance);
+        ("pass", Opp_obs.Json.Bool pass);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Opp_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  append_record ~log json;
+  Printf.printf "%-24s %12s\n" "pr8 benchmark" "time/run";
+  let pr name s = Printf.printf "%-24s %9.3f ms\n" name (s *. 1e3) in
+  pr "clean dist step" step_s;
+  pr "respawn recovery" respawn_s;
+  pr "shrink recovery" shrink_s;
+  Printf.printf "respawn/step ratio %.2f (gate %.1f clean steps)\n" (respawn_s /. step_s)
+    pr8_tolerance;
+  Printf.printf "results written to %s\n%!" out;
+  if not pass then
+    fail "recovery-latency gate (respawn %.3f ms > %.1f x step %.3f ms)" (respawn_s *. 1e3)
+      pr8_tolerance (step_s *. 1e3)
+
 let find_flag_value args flag =
   let rec go = function
     | a :: b :: _ when a = flag -> Some b
@@ -792,6 +912,10 @@ let () =
      run_pr7
        ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
        (Option.value ~default:"BENCH_PR7.json" (find_flag_value args "--out"))
+   else if List.mem "--pr8" args then
+     run_pr8
+       ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
+       (Option.value ~default:"BENCH_PR8.json" (find_flag_value args "--out"))
    else
      match find_flag_value args "--only" with
      | Some id -> (

@@ -44,8 +44,8 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
   end
 
 let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check binned sort_auto
-    sort_every sort_threshold plan faults ckpt_every ckpt_dir restart trace metrics obs_summary watch
-    watch_dir heartbeat_every watch_strict inject_nan =
+    sort_every sort_threshold plan faults ckpt_every ckpt_dir restart heal trace metrics
+    obs_summary watch watch_dir heartbeat_every watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
@@ -93,8 +93,13 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
               [ ("app", "cabana"); ("backend", "mpi"); ("ranks", string_of_int ranks) ]
             ~nranks:ranks
         in
+        let healer =
+          Option.map
+            (fun mode -> Apps_dist.Dist_heal.cabana ~mode ())
+            (Resil_cli.parse_heal heal)
+        in
         let dist =
-          Resil_cli.drive ?watch:mon ~steps ~ckpt_every ~ckpt_dir ~restart
+          Resil_cli.drive ?watch:mon ?healer ~steps ~ckpt_every ~ckpt_dir ~restart
             ~make:(fun () ->
               let d =
                 Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
@@ -138,6 +143,8 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
         Resil_cli.obs_finish ~trace ~metrics ~obs_summary;
         Resil_cli.watch_finish mon
     | _ ->
+        if heal <> None then
+          Printf.printf "heal: --heal only applies to the mpi backend; ignored\n%!";
         let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
         let runner, cleanup =
           match backend with
@@ -277,7 +284,7 @@ let cmd =
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
       $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold $ plan
       $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
-      $ Resil_cli.restart_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
+      $ Resil_cli.restart_arg $ Resil_cli.heal_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
       $ Resil_cli.obs_summary_arg $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg
       $ Resil_cli.heartbeat_every_arg $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
 

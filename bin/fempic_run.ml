@@ -40,7 +40,7 @@ let poison_seq (sim : Fempic.Fempic_sim.t) =
 
 let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
     seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold plan
-    faults ckpt_every ckpt_dir restart trace metrics obs_summary watch watch_dir
+    faults ckpt_every ckpt_dir restart heal trace metrics obs_summary watch watch_dir
     heartbeat_every watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
@@ -78,8 +78,11 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
             [ ("app", "fempic"); ("backend", "mpi"); ("ranks", string_of_int ranks) ]
           ~nranks:ranks
       in
+      let healer =
+        Option.map (fun mode -> Apps_dist.Dist_heal.fempic ~mode ()) (Resil_cli.parse_heal heal)
+      in
       let dist =
-        Resil_cli.drive ?watch:mon ~steps ~ckpt_every ~ckpt_dir ~restart
+        Resil_cli.drive ?watch:mon ?healer ~steps ~ckpt_every ~ckpt_dir ~restart
           ~make:(fun () ->
             let d =
               Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
@@ -117,6 +120,8 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       Apps_dist.Fempic_dist.shutdown dist;
       Resil_cli.watch_finish mon
   | _ ->
+      if heal <> None then
+        Printf.printf "heal: --heal only applies to the mpi backend; ignored\n%!";
       let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
       let runner, cleanup =
         match backend with
@@ -294,7 +299,7 @@ let cmd =
       $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ binned
       $ sort_auto $ sort_every $ sort_threshold $ plan $ Resil_cli.faults_arg
       $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg
-      $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg
+      $ Resil_cli.heal_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg
       $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg $ Resil_cli.heartbeat_every_arg
       $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
 

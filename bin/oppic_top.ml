@@ -43,16 +43,36 @@ let render status =
           (List.filter_map (fun (k, v) -> Option.map (fun s -> k ^ "=" ^ s) (J.str v)) fields)
     | _ -> ""
   in
+  (* health states per rank (opp_heal): ok / dead / recovering /
+     respawned / degraded *)
+  let rank_states =
+    match J.member "rank_states" status with
+    | Some (J.Arr states) -> Array.of_list (List.filter_map J.str states)
+    | _ -> [||]
+  in
+  let degraded = Option.bind (J.member "degraded" status) J.str in
   Buffer.add_string buf
-    (Printf.sprintf "oppic_top  %s  step %d  ranks %d  alerts %d%s\n" meta step nranks
+    (Printf.sprintf "oppic_top  %s  step %d  ranks %d%s  alerts %d%s\n" meta step nranks
+       (match degraded with Some _ -> " (degraded)" | None -> "")
        alerts_total
        (if counts = [] then "" else " [" ^ String.concat " " counts ^ "]"));
+  (match degraded with
+  | Some d -> Buffer.add_string buf (Printf.sprintf "DEGRADED: %s\n" d)
+  | None -> ());
+  (* column widths follow the live rank count and states, so the table
+     stays aligned when the run shrinks (or a state label widens)
+     mid-run *)
+  let rank_w = max 4 (String.length (string_of_int (max 0 (nranks - 1)))) in
+  let state_w =
+    Array.fold_left (fun w s -> max w (String.length s)) (String.length "state") rank_states
+  in
   Buffer.add_string buf
-    "rank    step  particles   fill  step_ms    comm_KB  retrans  nonfin  dirty  top phase\n";
+    (Printf.sprintf "%*s  %-*s    step  particles   fill  step_ms    comm_KB  retrans  nonfin  dirty  top phase\n"
+       rank_w "rank" state_w "state");
   (match J.member "ranks" status with
   | Some (J.Arr ranks) ->
-      List.iter
-        (fun hb ->
+      List.iteri
+        (fun i hb ->
           match Opp_watch.Heartbeat.of_json hb with
           | Error _ -> ()
           | Ok hb ->
@@ -68,9 +88,14 @@ let render status =
                 | Some (n, us) -> Printf.sprintf "%s (%.0fus)" n us
                 | None -> "-"
               in
+              (* the row position is the live rank id — after a shrink
+                 the snapshot's heartbeats may still carry pre-shrink
+                 rank numbers until every survivor beats again *)
+              let state = if i < Array.length rank_states then rank_states.(i) else "ok" in
               Buffer.add_string buf
-                (Printf.sprintf "%4d  %6d  %9d  %5.2f  %7.1f  %9.1f  %7.0f  %6d  %5.2f  %s\n"
-                   hb.Opp_watch.Heartbeat.hb_rank hb.Opp_watch.Heartbeat.hb_step
+                (Printf.sprintf
+                   "%*d  %-*s  %6d  %9d  %5.2f  %7.1f  %9.1f  %7.0f  %6d  %5.2f  %s\n" rank_w i
+                   state_w state hb.Opp_watch.Heartbeat.hb_step
                    hb.Opp_watch.Heartbeat.hb_particles hb.Opp_watch.Heartbeat.hb_fill
                    (hb.Opp_watch.Heartbeat.hb_step_us /. 1000.0)
                    (hb.Opp_watch.Heartbeat.hb_comm_bytes /. 1024.0)
@@ -80,6 +105,21 @@ let render status =
   | _ -> ());
   (match J.member "recent_alerts" status with
   | Some (J.Arr (_ :: _ as alerts)) ->
+      (* the array is oldest-first; the newest A008 is the run's last
+         completed online recovery *)
+      (match
+         List.fold_left
+           (fun acc aj ->
+             match Opp_watch.Alert.of_json aj with
+             | Ok al when al.Opp_watch.Alert.al_code = "A008" -> Some al
+             | _ -> acc)
+           None alerts
+       with
+      | Some al ->
+          Buffer.add_string buf
+            (Printf.sprintf "last recovery: %s (%.2f ms)\n" al.Opp_watch.Alert.al_detail
+               al.Opp_watch.Alert.al_value)
+      | None -> ());
       Buffer.add_string buf "recent alerts:\n";
       List.iter
         (fun aj ->

@@ -34,6 +34,30 @@ let restart_arg =
     & info [ "restart" ] ~docv:"DIR"
         ~doc:"resume from the newest valid checkpoint under $(docv)")
 
+let heal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "heal" ] ~docv:"MODE"
+        ~doc:
+          "mpi backend: recover rank failures online instead of restarting the job — \
+           $(b,respawn) rebuilds the dead rank in place from its checkpoint shard plus the \
+           replayed delta journal (bit-identical continuation), $(b,shrink) re-partitions its \
+           cells onto the survivors and continues degraded (docs/RESILIENCE.md)")
+
+(* Resolve --heal before any simulation state exists. *)
+let parse_heal = function
+  | None -> None
+  | Some s -> (
+      match Opp_heal.Heal.mode_of_string s with
+      | Ok m ->
+          Printf.printf "heal: online recovery armed (mode=%s)\n%!"
+            (Opp_heal.Heal.mode_to_string m);
+          Some m
+      | Error msg ->
+          Printf.eprintf "error: bad --heal: %s\n%!" msg;
+          exit 1)
+
 (* The standard observability artifact flags. Every driver takes the
    same trio so that a trace or metrics file from any of them feeds
    bin/oppic_prof unchanged. *)
@@ -237,7 +261,7 @@ let report_faults () =
    Because checkpoints resume bit-for-bit and every message fault is
    healed by the detection envelope, the recovered run's final state
    equals the fault-free one's. *)
-let drive ?watch ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save
+let drive ?watch ?healer ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save
     ~restore ~do_step () =
   let sim = ref (make ()) in
   let try_restore dirs =
@@ -252,36 +276,89 @@ let drive ?watch ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_coun
   let recovery_dirs =
     ckpt_dir :: (match restart with Some d when d <> ckpt_dir -> [ d ] | _ -> [])
   in
+  (* seed the heal journal with the initial (or just-restored) state,
+     so a crash on the very first step is recoverable *)
+  Option.iter (fun h -> Apps_dist.Dist_heal.record h !sim ~step:(step_count !sim)) healer;
+  (* Recover rank [rank] online, in place, without tearing the world
+     down: reconstruct from journal replay, respawn or shrink, raise
+     A008, and account the recovery latency. *)
+  let heal_recover h ~rank ~step =
+    let t0 = Opp_obs.Clock.now_s () in
+    let detail = Apps_dist.Dist_heal.recover h !sim ~rank ~step in
+    let ms = (Opp_obs.Clock.now_s () -. t0) *. 1000.0 in
+    let mode = Apps_dist.Dist_heal.mode h in
+    Opp_heal.Heal.record_recovery ~mode ~ms;
+    Option.iter
+      (fun mon ->
+        Opp_watch.Monitor.raise_alert mon
+          (Opp_watch.Alert.recovered
+             ~mode:(Opp_heal.Heal.mode_to_string mode)
+             ~rank ~step ~ms detail))
+      watch;
+    Printf.printf "heal: rank %d %s at step %d — %s (%.2f ms)\n%!" rank
+      (match mode with Opp_heal.Heal.Respawn -> "respawned" | Opp_heal.Heal.Shrink -> "lost")
+      step detail ms
+  in
   let running = ref true in
   while !running && step_count !sim < steps do
     let s = step_count !sim + 1 in
     match do_step !sim s with
     | () ->
-        if ckpt_every > 0 && s mod ckpt_every = 0 then save !sim ~dir:ckpt_dir;
+        let saved = ref false in
+        if ckpt_every > 0 && s mod ckpt_every = 0 then begin
+          save !sim ~dir:ckpt_dir;
+          saved := true
+        end;
         Option.iter
           (fun mon ->
-            (* the policy hook can demand an immediate checkpoint or a
-               clean stop at the next boundary *)
+            (* the policy hook can demand an immediate checkpoint, an
+               online recovery, or a clean stop at the next boundary *)
             if Opp_watch.Monitor.take_checkpoint_request mon then begin
               Printf.printf "watch: policy requested a checkpoint at step %d\n%!" s;
-              save !sim ~dir:ckpt_dir
+              save !sim ~dir:ckpt_dir;
+              saved := true
             end;
             if Opp_watch.Monitor.abort_requested mon then begin
               Printf.printf "watch: policy requested abort at step %d\n%!" s;
               running := false
             end)
-          watch
-    | exception Opp_resil.Rank_crash { rank; step } ->
-        Printf.printf "rank %d crashed at step %d; recovering\n%!" rank step;
+          watch;
+        Option.iter
+          (fun h ->
+            (* a durable checkpoint re-bases the journal (the chains
+               only need to cover steps past the newest shard on disk);
+               otherwise journal this step's deltas *)
+            if !saved then Apps_dist.Dist_heal.rebase h !sim ~step:s
+            else Apps_dist.Dist_heal.record h !sim ~step:s;
+            Option.iter
+              (fun mon ->
+                match Opp_watch.Monitor.take_heal_request mon with
+                | Some rank ->
+                    Printf.printf "watch: policy requested recovery of rank %d at step %d\n%!"
+                      rank s;
+                    heal_recover h ~rank ~step:s
+                | None -> ())
+              watch)
+          healer
+    | exception Opp_resil.Rank_crash { rank; step } -> (
         Option.iter
           (fun mon ->
             Opp_watch.Monitor.raise_alert mon (Opp_watch.Alert.crash ~rank ~step))
           watch;
-        destroy !sim;
-        sim := make ();
-        (match try_restore recovery_dirs with
-        | Some (dir, s') ->
-            Printf.printf "recovered: replaying from step %d (checkpoint in %s)\n%!" s' dir
-        | None -> Printf.printf "recovered: no checkpoint found, replaying from the start\n%!")
+        match healer with
+        | Some h ->
+            (* online path: no teardown, no restart — the survivors
+               fence the communicator and recover in place *)
+            Printf.printf "rank %d crashed at step %d; healing online\n%!" rank step;
+            heal_recover h ~rank ~step
+        | None ->
+            Printf.printf "rank %d crashed at step %d; recovering\n%!" rank step;
+            destroy !sim;
+            sim := make ();
+            (match try_restore recovery_dirs with
+            | Some (dir, s') ->
+                Printf.printf "recovered: replaying from step %d (checkpoint in %s)\n%!" s' dir
+            | None ->
+                Printf.printf "recovered: no checkpoint found, replaying from the start\n%!"))
   done;
   !sim

@@ -13,16 +13,19 @@ open Opp_core
 open Opp_dist
 
 type t = {
-  nranks : int;
+  mutable nranks : int;
   prm : Cabana.Cabana_params.t;
   mesh : Opp_mesh.Hex_mesh.t;  (** global geometry *)
-  cell_rank : int array;
-  sims : Cabana.Cabana_sim.t array;
+  mutable cell_rank : int array;
+  mutable sims : Cabana.Cabana_sim.t array;
   threads : Opp_thread.Thread_runner.t option;
-  tops : Cabana.Cabana_sim.topology array;
-  cell_g2l : (int, int) Hashtbl.t array;
-  owned : int array;  (** owned cell count per rank *)
-  cell_exch : Exch.t;
+  mutable tops : Cabana.Cabana_sim.topology array;
+  mutable cell_g2l : (int, int) Hashtbl.t array;
+  mutable owned : int array;  (** owned cell count per rank *)
+  mutable cell_exch : Exch.t;
+  mk_sim : Cabana.Cabana_sim.topology -> Cabana.Cabana_sim.t;
+      (** rank-sim factory (captures runner/profile/locality), used by
+          online recovery to rebuild a rank's sim in place *)
   traffic : Traffic.t;
   profile : Profile.t;
   locality : Opp_locality.Sched.t option;
@@ -92,6 +95,30 @@ let build_topology (prm : Cabana.Cabana_params.t) (mesh : Opp_mesh.Hex_mesh.t) ~
   in
   (topology, g2l)
 
+(* Halo links + guarded exchange over a (topology, g2l) set — used at
+   create and again after a shrink re-partition (Exch.create re-runs
+   the E070–E072 link validation on the rebuilt world). *)
+let build_exch ~nranks ~cell_rank tops_pairs =
+  let cell_g2l = Array.map snd tops_pairs in
+  let links =
+    Array.init nranks (fun r ->
+        let tp, _ = tops_pairs.(r) in
+        Array.init
+          (tp.Cabana.Cabana_sim.tp_ncells - tp.Cabana.Cabana_sim.tp_owned)
+          (fun i ->
+            let l = tp.Cabana.Cabana_sim.tp_owned + i in
+            let g = tp.Cabana.Cabana_sim.tp_cell_gid.(l) in
+            let owner = cell_rank.(g) in
+            {
+              Exch.l_local = l;
+              Exch.l_owner_rank = owner;
+              Exch.l_owner_index = Hashtbl.find cell_g2l.(owner) g;
+            }))
+  in
+  Exch.create
+    ~sizes:(Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_ncells) tops_pairs)
+    ~nranks links
+
 let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checked = false)
     ?locality ?(profile = Profile.global) ?(plan = false) ?(plan_verbose = true) () =
   let mesh =
@@ -121,29 +148,12 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
      instrumented engine (stale-halo reads included; see Freshness) *)
   let runner = if checked then Opp_check.checked ~profile runner else runner in
   let tops = Array.init nranks (fun r -> build_topology prm mesh ~cell_rank ~r) in
-  let sims =
-    Array.map
-      (fun (topology, _) ->
-        Cabana.Cabana_sim.create ~prm ~runner ~profile ?locality:sched ~topology ())
-      tops
+  let mk_sim topology =
+    Cabana.Cabana_sim.create ~prm ~runner ~profile ?locality:sched ~topology ()
   in
+  let sims = Array.map (fun (topology, _) -> mk_sim topology) tops in
   let cell_g2l = Array.map snd tops in
   let owned = Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_owned) tops in
-  let links =
-    Array.init nranks (fun r ->
-        let tp, _ = tops.(r) in
-        Array.init
-          (tp.Cabana.Cabana_sim.tp_ncells - tp.Cabana.Cabana_sim.tp_owned)
-          (fun i ->
-            let l = tp.Cabana.Cabana_sim.tp_owned + i in
-            let g = tp.Cabana.Cabana_sim.tp_cell_gid.(l) in
-            let owner = cell_rank.(g) in
-            {
-              Exch.l_local = l;
-              Exch.l_owner_rank = owner;
-              Exch.l_owner_index = Hashtbl.find cell_g2l.(owner) g;
-            }))
-  in
   {
     nranks;
     prm;
@@ -154,10 +164,8 @@ let create ?(prm = Cabana.Cabana_params.default) ?(nranks = 2) ?workers ?(checke
     tops = Array.map fst tops;
     cell_g2l;
     owned;
-    cell_exch =
-      Exch.create
-        ~sizes:(Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_ncells) tops)
-        ~nranks links;
+    cell_exch = build_exch ~nranks ~cell_rank tops;
+    mk_sim;
     traffic = Traffic.create ();
     profile;
     locality = sched;
@@ -300,6 +308,259 @@ let restore_checkpoint t ~dir =
           Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_interp)
         t.sims;
       Some step
+
+(* --- online recovery (opp_heal, docs/RESILIENCE.md) --- *)
+
+(** Every rank's checkpoint sections — what the heal journal records
+    at each step boundary. *)
+let sections_all t = Array.init t.nranks (fun r -> Cabana.Cabana_ckpt.sections t.sims.(r))
+
+(** Respawn recovery: rebuild rank [rank]'s sim in place from its
+    reconstructed sections (checkpoint shard + replayed journal
+    deltas), then epoch-fence the exchange so stragglers stamped with
+    the dead epoch are rejected as stale. Bit-identical continuation:
+    crashes fire at the top of a step, before any state mutates. *)
+let respawn t ~rank sections =
+  if rank < 0 || rank >= t.nranks then invalid_arg "Cabana_dist.respawn: bad rank";
+  let sim = t.mk_sim t.tops.(rank) in
+  t.sims.(rank) <- sim;
+  Cabana.Cabana_ckpt.restore sim sections;
+  sim.Cabana.Cabana_sim.step_count <- t.step_count;
+  Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_e;
+  Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_b;
+  Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_j;
+  Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_interp;
+  Exch.fence t.cell_exch;
+  (match t.watch with
+  | Some wo -> Opp_watch.Monitor.set_rank_state (Dist_watch.monitor wo) rank "respawned"
+  | None -> ())
+
+(** Shrink recovery: re-bisect the dead rank's slab cells among its
+    stencil neighbours, rebuild topologies/halo links on the compacted
+    rank numbering, copy E/B/J to every new local slot by global cell
+    id (current-step scratch — accumulator, interpolator — is
+    recomputed before use), and redistribute particles: survivors' in
+    place, the dead rank's through the mailbox delivery-deadline
+    reroute. Returns the new rank count. Not bit-identical to the
+    clean run; validated by conservation and the state-hash oracle. *)
+let shrink t ~dead dead_sections =
+  if t.nranks < 2 then invalid_arg "Cabana_dist.shrink: nothing to shrink onto";
+  if dead < 0 || dead >= t.nranks then invalid_arg "Cabana_dist.shrink: bad rank";
+  let old_nranks = t.nranks in
+  let old_sims = t.sims and old_tops = t.tops in
+  Exch.fence t.cell_exch;
+  let neighbours c =
+    let seen = Hashtbl.create 32 in
+    for s = 0 to 26 do
+      let nb = t.mesh.Opp_mesh.Hex_mesh.cell_cell27.((27 * c) + s) in
+      if nb <> c then Hashtbl.replace seen nb ()
+    done;
+    Hashtbl.fold (fun c' () acc -> c' :: acc) seen [] |> List.sort compare
+  in
+  let centroid c =
+    [|
+      t.mesh.Opp_mesh.Hex_mesh.cell_centroid.(3 * c);
+      t.mesh.Opp_mesh.Hex_mesh.cell_centroid.((3 * c) + 1);
+      t.mesh.Opp_mesh.Hex_mesh.cell_centroid.((3 * c) + 2);
+    |]
+  in
+  let new_rank_old =
+    Partition.heal_reassign ~nranks:old_nranks ~dead ~cell_rank:t.cell_rank ~centroid
+      ~neighbours
+  in
+  let compact = Array.make old_nranks (-1) in
+  let nn = ref 0 in
+  for r = 0 to old_nranks - 1 do
+    if r <> dead then begin
+      compact.(r) <- !nn;
+      incr nn
+    end
+  done;
+  let nranks = old_nranks - 1 in
+  let cell_rank = Array.map (fun r -> compact.(r)) new_rank_old in
+  let tops_pairs = Array.init nranks (fun r -> build_topology t.prm t.mesh ~cell_rank ~r) in
+  let cell_exch = build_exch ~nranks ~cell_rank tops_pairs in
+  Exch.adopt_wire_state ~from:t.cell_exch cell_exch;
+  let sims = Array.map (fun (topology, _) -> t.mk_sim topology) tops_pairs in
+  Array.iter
+    (fun sim ->
+      sim.Cabana.Cabana_sim.step_count <- t.step_count;
+      (* drop the factory's freshly loaded initial particles — the
+         real population arrives below *)
+      Particle.resize sim.Cabana.Cabana_sim.parts 0)
+    sims;
+  (* gather persistent fields from their owners (dead rank's from its
+     reconstructed sections), scatter to owned and halo, re-derive
+     freshness *)
+  let ncells_g = t.mesh.Opp_mesh.Hex_mesh.ncells in
+  let g_e = Array.make (3 * ncells_g) 0.0
+  and g_b = Array.make (3 * ncells_g) 0.0
+  and g_j = Array.make (3 * ncells_g) 0.0 in
+  let gather (tp : Cabana.Cabana_sim.topology) ~e ~b ~j =
+    for l = 0 to tp.Cabana.Cabana_sim.tp_owned - 1 do
+      let g = tp.Cabana.Cabana_sim.tp_cell_gid.(l) in
+      Array.blit e (3 * l) g_e (3 * g) 3;
+      Array.blit b (3 * l) g_b (3 * g) 3;
+      Array.blit j (3 * l) g_j (3 * g) 3
+    done
+  in
+  Array.iteri
+    (fun r sim ->
+      if r <> dead then
+        gather old_tops.(r) ~e:sim.Cabana.Cabana_sim.cell_e.Types.d_data
+          ~b:sim.Cabana.Cabana_sim.cell_b.Types.d_data
+          ~j:sim.Cabana.Cabana_sim.cell_j.Types.d_data)
+    old_sims;
+  gather old_tops.(dead)
+    ~e:(Ckpt.floats dead_sections "cell_e")
+    ~b:(Ckpt.floats dead_sections "cell_b")
+    ~j:(Ckpt.floats dead_sections "cell_j");
+  Array.iteri
+    (fun rn sim ->
+      let tp, _ = tops_pairs.(rn) in
+      Array.iteri
+        (fun l g ->
+          Array.blit g_e (3 * g) sim.Cabana.Cabana_sim.cell_e.Types.d_data (3 * l) 3;
+          Array.blit g_b (3 * g) sim.Cabana.Cabana_sim.cell_b.Types.d_data (3 * l) 3;
+          Array.blit g_j (3 * g) sim.Cabana.Cabana_sim.cell_j.Types.d_data (3 * l) 3)
+        tp.Cabana.Cabana_sim.tp_cell_gid;
+      Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_e;
+      Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_b;
+      Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_j;
+      Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_interp)
+    sims;
+  (* survivors' particles re-localize in place (their cells stayed
+     owned; only the local indexing changed) *)
+  let new_g2l = Array.map snd tops_pairs in
+  Array.iteri
+    (fun r sim ->
+      if r <> dead then begin
+        let rn = compact.(r) in
+        let nsim = sims.(rn) in
+        let n = sim.Cabana.Cabana_sim.parts.Types.s_size in
+        Particle.resize nsim.Cabana.Cabana_sim.parts n;
+        Array.blit sim.Cabana.Cabana_sim.part_off.Types.d_data 0
+          nsim.Cabana.Cabana_sim.part_off.Types.d_data 0 (3 * n);
+        Array.blit sim.Cabana.Cabana_sim.part_vel.Types.d_data 0
+          nsim.Cabana.Cabana_sim.part_vel.Types.d_data 0 (3 * n);
+        Array.blit sim.Cabana.Cabana_sim.part_disp.Types.d_data 0
+          nsim.Cabana.Cabana_sim.part_disp.Types.d_data 0 (3 * n);
+        Array.blit sim.Cabana.Cabana_sim.part_w.Types.d_data 0
+          nsim.Cabana.Cabana_sim.part_w.Types.d_data 0 n;
+        for p = 0 to n - 1 do
+          let g = old_tops.(r).Cabana.Cabana_sim.tp_cell_gid.(
+                    sim.Cabana.Cabana_sim.p2c.Types.m_data.(p)) in
+          nsim.Cabana.Cabana_sim.p2c.Types.m_data.(p) <- Hashtbl.find new_g2l.(rn) g
+        done
+      end)
+    old_sims;
+  (* dead rank's reconstructed particles migrate through the mailbox:
+     the dead destination is marked, so the delivery deadline reroutes
+     each migrant to its cell's recovery owner *)
+  let mail = Mailbox.create ~nranks:old_nranks ~payload_dim in
+  Mailbox.mark_dead mail dead;
+  (let nparts = (Ckpt.ints dead_sections "meta").(0) in
+   let off = Ckpt.floats dead_sections "part_off"
+   and vel = Ckpt.floats dead_sections "part_vel"
+   and disp = Ckpt.floats dead_sections "part_disp"
+   and w = Ckpt.floats dead_sections "part_w"
+   and p2c = Ckpt.ints dead_sections "p2c" in
+   for p = 0 to nparts - 1 do
+     let payload = Array.make payload_dim 0.0 in
+     Array.blit off (3 * p) payload 0 3;
+     Array.blit vel (3 * p) payload 3 3;
+     Array.blit disp (3 * p) payload 6 3;
+     payload.(9) <- w.(p);
+     Mailbox.post mail ~src:dead ~dest:dead
+       ~cell:old_tops.(dead).Cabana.Cabana_sim.tp_cell_gid.(p2c.(p))
+       ~payload
+   done);
+  ignore
+    (Mailbox.deliver ~traffic:t.traffic
+       ~reroute:(fun ~cell -> new_rank_old.(cell))
+       mail
+       (fun r batch ->
+         let rn = compact.(r) in
+         let nsim = sims.(rn) in
+         let start = Opp.inject nsim.Cabana.Cabana_sim.parts (List.length batch) in
+         List.iteri
+           (fun i (gcell, payload) ->
+             let idx = start + i in
+             Array.blit payload 0 nsim.Cabana.Cabana_sim.part_off.Types.d_data (3 * idx) 3;
+             Array.blit payload 3 nsim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * idx) 3;
+             Array.blit payload 6 nsim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * idx) 3;
+             nsim.Cabana.Cabana_sim.part_w.Types.d_data.(idx) <- payload.(9);
+             nsim.Cabana.Cabana_sim.p2c.Types.m_data.(idx) <- Hashtbl.find new_g2l.(rn) gcell)
+           batch));
+  Array.iter (fun sim -> Opp.reset_injected sim.Cabana.Cabana_sim.parts) sims;
+  (* swap the world in place *)
+  t.cell_rank <- cell_rank;
+  t.tops <- Array.map fst tops_pairs;
+  t.cell_g2l <- new_g2l;
+  t.owned <- Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_owned) tops_pairs;
+  t.cell_exch <- cell_exch;
+  t.sims <- sims;
+  t.nranks <- nranks;
+  (match t.watch with
+  | Some wo ->
+      let mon = Dist_watch.monitor wo in
+      Opp_watch.Monitor.shrink_ranks mon ~dead
+        ~detail:
+          (Printf.sprintf "rank %d lost at step %d; shrunk to %d ranks" dead t.step_count
+             nranks);
+      t.watch <- Some (Dist_watch.create ~nranks mon)
+  | None -> ());
+  nranks
+
+(** Order-canonical FNV-64 hash of the global persistent state: E/B/J
+    in global cell order plus the particle multiset sorted by (global
+    cell, payload bits) — invariant under any re-partition that
+    preserves the physics. *)
+let state_hash t =
+  let module Codec = Opp_resil.Codec in
+  let ncells_g = t.mesh.Opp_mesh.Hex_mesh.ncells in
+  let g_e = Array.make (3 * ncells_g) 0.0
+  and g_b = Array.make (3 * ncells_g) 0.0
+  and g_j = Array.make (3 * ncells_g) 0.0 in
+  let parts = ref [] in
+  Array.iteri
+    (fun r sim ->
+      let tp = t.tops.(r) in
+      for l = 0 to tp.Cabana.Cabana_sim.tp_owned - 1 do
+        let g = tp.Cabana.Cabana_sim.tp_cell_gid.(l) in
+        Array.blit sim.Cabana.Cabana_sim.cell_e.Types.d_data (3 * l) g_e (3 * g) 3;
+        Array.blit sim.Cabana.Cabana_sim.cell_b.Types.d_data (3 * l) g_b (3 * g) 3;
+        Array.blit sim.Cabana.Cabana_sim.cell_j.Types.d_data (3 * l) g_j (3 * g) 3
+      done;
+      for p = 0 to sim.Cabana.Cabana_sim.parts.Types.s_size - 1 do
+        let row = Array.make payload_dim 0.0 in
+        Array.blit sim.Cabana.Cabana_sim.part_off.Types.d_data (3 * p) row 0 3;
+        Array.blit sim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * p) row 3 3;
+        Array.blit sim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * p) row 6 3;
+        row.(9) <- sim.Cabana.Cabana_sim.part_w.Types.d_data.(p);
+        parts :=
+          (tp.Cabana.Cabana_sim.tp_cell_gid.(sim.Cabana.Cabana_sim.p2c.Types.m_data.(p)), row)
+          :: !parts
+      done)
+    t.sims;
+  let bits a = Array.map Int64.bits_of_float a in
+  let rows =
+    List.sort
+      (fun (ga, ra) (gb, rb) ->
+        let c = compare ga gb in
+        if c <> 0 then c else compare (bits ra) (bits rb))
+      !parts
+  in
+  let sums =
+    [
+      Codec.checksum_floats g_e;
+      Codec.checksum_floats g_b;
+      Codec.checksum_floats g_j;
+      Codec.checksum_ints (Array.of_list (List.map fst rows));
+      Codec.checksum_i64s (Array.concat (List.map (fun (_, row) -> bits row) rows));
+    ]
+  in
+  Codec.checksum_i64s (Array.of_list sums)
 
 (* --- the distributed step --- *)
 

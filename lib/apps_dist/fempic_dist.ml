@@ -18,10 +18,13 @@ open Opp_core
 open Opp_dist
 
 type t = {
-  nranks : int;
+  mutable nranks : int;  (** shrinks when a rank is lost under --heal=shrink *)
   prm : Fempic.Params.t;
-  part : Tet_part.t;
-  sims : Fempic.Fempic_sim.t array;
+  mutable part : Tet_part.t;
+  mutable sims : Fempic.Fempic_sim.t array;
+  mk_sim : Tet_part.local_mesh -> Fempic.Fempic_sim.t;
+      (** rank-sim factory (captures runner/profile/locality), used by
+          online recovery to rebuild a rank's sim in place *)
   threads : Opp_thread.Thread_runner.t option;
       (** MPI+OpenMP hybrid: one Domains pool shared by the (serially
           executed) ranks *)
@@ -93,18 +96,16 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
   (* sanitized runs execute every rank's loops under the opp_check
      instrumented engine (stale-halo reads included; see Freshness) *)
   let runner = if checked then Opp_check.checked ~profile runner else runner in
-  let sims =
-    Array.map
-      (fun lm ->
-        let sim =
-          Fempic.Fempic_sim.create ~prm ~runner ~profile ?locality:sched ~total_inlet_area
-            lm.Tet_part.lm_mesh
-        in
-        sim.Fempic.Fempic_sim.cells.Types.s_exec_size <- lm.Tet_part.lm_cell_owned;
-        sim.Fempic.Fempic_sim.nodes.Types.s_exec_size <- lm.Tet_part.lm_node_owned;
-        sim)
-      part.Tet_part.locals
+  let mk_sim lm =
+    let sim =
+      Fempic.Fempic_sim.create ~prm ~runner ~profile ?locality:sched ~total_inlet_area
+        lm.Tet_part.lm_mesh
+    in
+    sim.Fempic.Fempic_sim.cells.Types.s_exec_size <- lm.Tet_part.lm_cell_owned;
+    sim.Fempic.Fempic_sim.nodes.Types.s_exec_size <- lm.Tet_part.lm_node_owned;
+    sim
   in
+  let sims = Array.map mk_sim part.Tet_part.locals in
   (* global field solver with the same boundary conditions *)
   let nnodes = mesh.Opp_mesh.Tet_mesh.nnodes in
   let active = Array.make nnodes true in
@@ -141,6 +142,7 @@ let create ?(prm = Fempic.Params.default) ?(nranks = 2) ?(partitioner = `Columns
     prm;
     part;
     sims;
+    mk_sim;
     threads;
     overlay;
     global_solver;
@@ -413,6 +415,317 @@ let restore_checkpoint t ~dir =
         (fun sim -> sim.Fempic.Fempic_sim.step_count <- t.step_count)
         t.sims;
       Some step
+
+(* --- online recovery (opp_heal, docs/RESILIENCE.md) --- *)
+
+(** Every rank's checkpoint sections — what the heal journal records
+    at each step boundary. *)
+let sections_all t = Array.init t.nranks (fun r -> rank_sections t r)
+
+(** Respawn recovery: rebuild rank [rank]'s sim in place from its
+    reconstructed sections (checkpoint shard + replayed journal
+    deltas), then epoch-fence both exchanges so any straggler stamped
+    with the dead epoch is rejected as stale. Survivors are untouched;
+    the continuation is bit-identical to the fault-free run because
+    crashes fire at the top of a step, before any state mutates. *)
+let respawn t ~rank sections =
+  if rank < 0 || rank >= t.nranks then invalid_arg "Fempic_dist.respawn: bad rank";
+  t.sims.(rank) <- t.mk_sim t.part.Tet_part.locals.(rank);
+  restore_rank t rank sections;
+  t.sims.(rank).Fempic.Fempic_sim.step_count <- t.step_count;
+  Exch.fence t.part.Tet_part.cell_exch;
+  Exch.fence t.part.Tet_part.node_exch;
+  (match t.watch with
+  | Some wo -> Opp_watch.Monitor.set_rank_state (Dist_watch.monitor wo) rank "respawned"
+  | None -> ())
+
+(* Cell adjacency by shared node — the neighbour relation
+   heal_reassign re-bisects over. *)
+let cell_neighbours (mesh : Opp_mesh.Tet_mesh.t) =
+  let node_cells = Array.make mesh.Opp_mesh.Tet_mesh.nnodes [] in
+  for c = 0 to mesh.Opp_mesh.Tet_mesh.ncells - 1 do
+    for k = 0 to 3 do
+      let n = mesh.Opp_mesh.Tet_mesh.cell_nodes.((4 * c) + k) in
+      node_cells.(n) <- c :: node_cells.(n)
+    done
+  done;
+  fun c ->
+    let seen = Hashtbl.create 16 in
+    for k = 0 to 3 do
+      let n = mesh.Opp_mesh.Tet_mesh.cell_nodes.((4 * c) + k) in
+      List.iter (fun c' -> if c' <> c then Hashtbl.replace seen c' ()) node_cells.(n)
+    done;
+    Hashtbl.fold (fun c' () acc -> c' :: acc) seen [] |> List.sort compare
+
+let mesh_centroid (mesh : Opp_mesh.Tet_mesh.t) c =
+  [|
+    mesh.Opp_mesh.Tet_mesh.cell_centroid.(3 * c);
+    mesh.Opp_mesh.Tet_mesh.cell_centroid.((3 * c) + 1);
+    mesh.Opp_mesh.Tet_mesh.cell_centroid.((3 * c) + 2);
+  |]
+
+(** Shrink recovery: the job degrades onto the surviving ranks. The
+    dead rank's cells are re-bisected among its neighbours
+    ({!Partition.heal_reassign}), the partition is rebuilt with the
+    compacted rank numbering (survivors ascending; [Exch.create]
+    revalidates every link, E070–E072), field dats are copied to every
+    new owned AND halo slot by global identity and freshness re-derived,
+    injection state follows its global face identity, and particles
+    are redistributed — survivors' in place, the dead rank's through
+    the mailbox with the dead destination marked, so they arrive via
+    the delivery-deadline reroute path. Returns the new rank count.
+    Not bit-identical to the clean run (reduction order changes);
+    conservation and the state-hash oracle validate it. *)
+let shrink t ~dead dead_sections =
+  if t.nranks < 2 then invalid_arg "Fempic_dist.shrink: nothing to shrink onto";
+  if dead < 0 || dead >= t.nranks then invalid_arg "Fempic_dist.shrink: bad rank";
+  let old_nranks = t.nranks in
+  let old_part = t.part in
+  let old_sims = t.sims in
+  let mesh = old_part.Tet_part.global in
+  (* fence the dying communicator: in-flight traffic from the dead
+     epoch is quarantined, not applied to recovered state *)
+  Exch.fence old_part.Tet_part.cell_exch;
+  Exch.fence old_part.Tet_part.node_exch;
+  (* re-bisect the dead region among adjacent survivors, then compact
+     the rank numbering (survivors keep their relative order) *)
+  let new_rank_old =
+    Partition.heal_reassign ~nranks:old_nranks ~dead ~cell_rank:old_part.Tet_part.cell_rank
+      ~centroid:(mesh_centroid mesh) ~neighbours:(cell_neighbours mesh)
+  in
+  let compact = Array.make old_nranks (-1) in
+  let nn = ref 0 in
+  for r = 0 to old_nranks - 1 do
+    if r <> dead then begin
+      compact.(r) <- !nn;
+      incr nn
+    end
+  done;
+  let nranks = old_nranks - 1 in
+  let cell_rank = Array.map (fun r -> compact.(r)) new_rank_old in
+  let part = Tet_part.build mesh ~cell_rank ~nranks in
+  Exch.adopt_wire_state ~from:old_part.Tet_part.cell_exch part.Tet_part.cell_exch;
+  Exch.adopt_wire_state ~from:old_part.Tet_part.node_exch part.Tet_part.node_exch;
+  let sims = Array.map t.mk_sim part.Tet_part.locals in
+  Array.iter (fun sim -> sim.Fempic.Fempic_sim.step_count <- t.step_count) sims;
+  (* gather the global field state from its owners (dead rank's from
+     its reconstructed sections), then scatter to every new local slot
+     — owned and halo — and re-derive the freshness bits *)
+  let nnodes = mesh.Opp_mesh.Tet_mesh.nnodes and ncells = mesh.Opp_mesh.Tet_mesh.ncells in
+  let g_node_phi = Array.make nnodes 0.0
+  and g_node_charge = Array.make nnodes 0.0
+  and g_node_den = Array.make nnodes 0.0
+  and g_cell_ef = Array.make (3 * ncells) 0.0 in
+  let gather_rank lm ~node_phi ~node_charge ~node_den ~cell_ef =
+    let open Tet_part in
+    for l = 0 to lm.lm_node_owned - 1 do
+      let g = lm.lm_node_g.(l) in
+      g_node_phi.(g) <- node_phi.(l);
+      g_node_charge.(g) <- node_charge.(l);
+      g_node_den.(g) <- node_den.(l)
+    done;
+    for l = 0 to lm.lm_cell_owned - 1 do
+      Array.blit cell_ef (3 * l) g_cell_ef (3 * lm.lm_cell_g.(l)) 3
+    done
+  in
+  Array.iteri
+    (fun r sim ->
+      if r <> dead then
+        gather_rank old_part.Tet_part.locals.(r)
+          ~node_phi:sim.Fempic.Fempic_sim.node_phi.Types.d_data
+          ~node_charge:sim.Fempic.Fempic_sim.node_charge.Types.d_data
+          ~node_den:sim.Fempic.Fempic_sim.node_charge_den.Types.d_data
+          ~cell_ef:sim.Fempic.Fempic_sim.cell_ef.Types.d_data)
+    old_sims;
+  gather_rank old_part.Tet_part.locals.(dead)
+    ~node_phi:(Ckpt.floats dead_sections "node_phi")
+    ~node_charge:(Ckpt.floats dead_sections "node_charge")
+    ~node_den:(Ckpt.floats dead_sections "node_charge_den")
+    ~cell_ef:(Ckpt.floats dead_sections "cell_ef");
+  Array.iteri
+    (fun rn sim ->
+      let lm = part.Tet_part.locals.(rn) in
+      Array.iteri
+        (fun l g ->
+          sim.Fempic.Fempic_sim.node_phi.Types.d_data.(l) <- g_node_phi.(g);
+          sim.Fempic.Fempic_sim.node_charge.Types.d_data.(l) <- g_node_charge.(g);
+          sim.Fempic.Fempic_sim.node_charge_den.Types.d_data.(l) <- g_node_den.(g))
+        lm.Tet_part.lm_node_g;
+      Array.iteri
+        (fun l g ->
+          Array.blit g_cell_ef (3 * g) sim.Fempic.Fempic_sim.cell_ef.Types.d_data (3 * l) 3)
+        lm.Tet_part.lm_cell_g;
+      Freshness.mark_fresh sim.Fempic.Fempic_sim.node_phi;
+      Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge;
+      Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge_den;
+      Freshness.mark_fresh sim.Fempic.Fempic_sim.cell_ef)
+    sims;
+  (* injection state follows its global face identity (face_rng streams
+     are keyed by f_id, so a face keeps its RNG stream whoever owns it) *)
+  let fmap = Hashtbl.create 64 in
+  Array.iteri
+    (fun r sim ->
+      if r <> dead then
+        Array.iteri
+          (fun i (f : Opp_mesh.Tet_mesh.face) ->
+            Hashtbl.replace fmap f.Opp_mesh.Tet_mesh.f_id
+              ( sim.Fempic.Fempic_sim.face_carry.(i),
+                Rng.state sim.Fempic.Fempic_sim.face_rng.(i) ))
+          old_part.Tet_part.locals.(r).Tet_part.lm_mesh.Opp_mesh.Tet_mesh.inlet_faces)
+    old_sims;
+  (let carry = Ckpt.floats dead_sections "face_carry"
+   and rng = Ckpt.i64s dead_sections "face_rng" in
+   Array.iteri
+     (fun i (f : Opp_mesh.Tet_mesh.face) ->
+       Hashtbl.replace fmap f.Opp_mesh.Tet_mesh.f_id (carry.(i), rng.(i)))
+     old_part.Tet_part.locals.(dead).Tet_part.lm_mesh.Opp_mesh.Tet_mesh.inlet_faces);
+  Array.iteri
+    (fun rn sim ->
+      Array.iteri
+        (fun i (f : Opp_mesh.Tet_mesh.face) ->
+          match Hashtbl.find_opt fmap f.Opp_mesh.Tet_mesh.f_id with
+          | Some (carry, rng) ->
+              sim.Fempic.Fempic_sim.face_carry.(i) <- carry;
+              Rng.set_state sim.Fempic.Fempic_sim.face_rng.(i) rng
+          | None -> ())
+        part.Tet_part.locals.(rn).Tet_part.lm_mesh.Opp_mesh.Tet_mesh.inlet_faces)
+    sims;
+  (* survivors' particles re-localize in place (their cells stayed
+     owned; only the local indexing changed) *)
+  Array.iteri
+    (fun r sim ->
+      if r <> dead then begin
+        let rn = compact.(r) in
+        let nsim = sims.(rn) in
+        let lm = old_part.Tet_part.locals.(r) in
+        let n = sim.Fempic.Fempic_sim.parts.Types.s_size in
+        Particle.resize nsim.Fempic.Fempic_sim.parts n;
+        Array.blit sim.Fempic.Fempic_sim.part_pos.Types.d_data 0
+          nsim.Fempic.Fempic_sim.part_pos.Types.d_data 0 (3 * n);
+        Array.blit sim.Fempic.Fempic_sim.part_vel.Types.d_data 0
+          nsim.Fempic.Fempic_sim.part_vel.Types.d_data 0 (3 * n);
+        Array.blit sim.Fempic.Fempic_sim.part_lc.Types.d_data 0
+          nsim.Fempic.Fempic_sim.part_lc.Types.d_data 0 (4 * n);
+        for p = 0 to n - 1 do
+          let g = lm.Tet_part.lm_cell_g.(sim.Fempic.Fempic_sim.p2c.Types.m_data.(p)) in
+          nsim.Fempic.Fempic_sim.p2c.Types.m_data.(p) <-
+            Hashtbl.find part.Tet_part.cell_g2l.(rn) g
+        done
+      end)
+    old_sims;
+  (* the dead rank's reconstructed particles migrate through the
+     mailbox: the dead destination is marked, so the delivery deadline
+     reroutes each migrant to its cell's recovery owner *)
+  let mail = Mailbox.create ~nranks:old_nranks ~payload_dim in
+  Mailbox.mark_dead mail dead;
+  (let nparts = (Ckpt.ints dead_sections "meta").(0) in
+   let pos = Ckpt.floats dead_sections "part_pos"
+   and vel = Ckpt.floats dead_sections "part_vel"
+   and lc = Ckpt.floats dead_sections "part_lc"
+   and p2c = Ckpt.ints dead_sections "p2c" in
+   let lm = old_part.Tet_part.locals.(dead) in
+   for p = 0 to nparts - 1 do
+     let payload = Array.make payload_dim 0.0 in
+     Array.blit pos (3 * p) payload 0 3;
+     Array.blit vel (3 * p) payload 3 3;
+     Array.blit lc (4 * p) payload 6 4;
+     Mailbox.post mail ~src:dead ~dest:dead ~cell:lm.Tet_part.lm_cell_g.(p2c.(p)) ~payload
+   done);
+  let orphaned =
+    Mailbox.deliver ~traffic:t.traffic ~reroute:(fun ~cell -> new_rank_old.(cell)) mail
+      (fun r batch ->
+        let rn = compact.(r) in
+        let nsim = sims.(rn) in
+        let n = List.length batch in
+        let start = Opp.inject nsim.Fempic.Fempic_sim.parts n in
+        List.iteri
+          (fun i (gcell, payload) ->
+            let idx = start + i in
+            Array.blit payload 0 nsim.Fempic.Fempic_sim.part_pos.Types.d_data (3 * idx) 3;
+            Array.blit payload 3 nsim.Fempic.Fempic_sim.part_vel.Types.d_data (3 * idx) 3;
+            Array.blit payload 6 nsim.Fempic.Fempic_sim.part_lc.Types.d_data (4 * idx) 4;
+            nsim.Fempic.Fempic_sim.p2c.Types.m_data.(idx) <-
+              Hashtbl.find part.Tet_part.cell_g2l.(rn) gcell)
+          batch)
+  in
+  ignore orphaned;
+  Array.iter (fun sim -> Opp.reset_injected sim.Fempic.Fempic_sim.parts) sims;
+  (* swap the world in place; the global solver, g_phi/g_den, traffic
+     and profile all survive (they are defined over the global mesh) *)
+  t.part <- part;
+  t.sims <- sims;
+  t.nranks <- nranks;
+  (match t.overlay with
+  | Some ov -> Opp_mesh.Overlay.assign_ranks ov ~cell_rank
+  | None -> ());
+  (match t.watch with
+  | Some wo ->
+      let mon = Dist_watch.monitor wo in
+      Opp_watch.Monitor.shrink_ranks mon ~dead
+        ~detail:
+          (Printf.sprintf "rank %d lost at step %d; shrunk to %d ranks" dead t.step_count
+             nranks);
+      t.watch <- Some (Dist_watch.create ~nranks mon)
+  | None -> ());
+  nranks
+
+(** Order-canonical FNV-64 hash of the global owned state: field dats
+    in global element order, particles as a sorted multiset of
+    (global cell, payload) rows — invariant under any re-partition
+    that preserves the physics, which is what the shrink oracle
+    asserts. *)
+let state_hash t =
+  let module Codec = Opp_resil.Codec in
+  let mesh = t.part.Tet_part.global in
+  let nnodes = mesh.Opp_mesh.Tet_mesh.nnodes and ncells = mesh.Opp_mesh.Tet_mesh.ncells in
+  let g_phi = Array.make nnodes 0.0
+  and g_charge = Array.make nnodes 0.0
+  and g_den = Array.make nnodes 0.0
+  and g_ef = Array.make (3 * ncells) 0.0 in
+  let parts = ref [] in
+  Array.iteri
+    (fun r sim ->
+      let lm = t.part.Tet_part.locals.(r) in
+      for l = 0 to lm.Tet_part.lm_node_owned - 1 do
+        let g = lm.Tet_part.lm_node_g.(l) in
+        g_phi.(g) <- sim.Fempic.Fempic_sim.node_phi.Types.d_data.(l);
+        g_charge.(g) <- sim.Fempic.Fempic_sim.node_charge.Types.d_data.(l);
+        g_den.(g) <- sim.Fempic.Fempic_sim.node_charge_den.Types.d_data.(l)
+      done;
+      for l = 0 to lm.Tet_part.lm_cell_owned - 1 do
+        Array.blit sim.Fempic.Fempic_sim.cell_ef.Types.d_data (3 * l) g_ef
+          (3 * lm.Tet_part.lm_cell_g.(l))
+          3
+      done;
+      for p = 0 to sim.Fempic.Fempic_sim.parts.Types.s_size - 1 do
+        let row = Array.make payload_dim 0.0 in
+        Array.blit sim.Fempic.Fempic_sim.part_pos.Types.d_data (3 * p) row 0 3;
+        Array.blit sim.Fempic.Fempic_sim.part_vel.Types.d_data (3 * p) row 3 3;
+        Array.blit sim.Fempic.Fempic_sim.part_lc.Types.d_data (4 * p) row 6 4;
+        parts :=
+          (lm.Tet_part.lm_cell_g.(sim.Fempic.Fempic_sim.p2c.Types.m_data.(p)), row) :: !parts
+      done)
+    t.sims;
+  let bits a = Array.map Int64.bits_of_float a in
+  let rows =
+    List.sort
+      (fun (ga, ra) (gb, rb) ->
+        let c = compare ga gb in
+        if c <> 0 then c else compare (bits ra) (bits rb))
+      !parts
+  in
+  let sums =
+    [
+      Codec.checksum_floats g_phi;
+      Codec.checksum_floats g_charge;
+      Codec.checksum_floats g_den;
+      Codec.checksum_floats g_ef;
+      Codec.checksum_ints (Array.of_list (List.map fst rows));
+      Codec.checksum_i64s
+        (Array.concat (List.map (fun (_, row) -> bits row) rows));
+    ]
+  in
+  Codec.checksum_i64s (Array.of_list sums)
 
 (* --- the distributed step --- *)
 

@@ -26,11 +26,13 @@ let flip_bit payload bit =
     given, enables stale-replay injection (the replayed copy carries
     the previous epoch and is rejected by the tag check); [tag] salts
     the checksum with integer metadata riding along (e.g. a migrant's
-    destination cell). Returns the validated payload; raises
-    [Retry.Exhausted] past the schedule's attempt budget. *)
-let transmit inj ~chan ~what ~seq ?epoch ?tag payload =
+    destination cell); [link], when given, charges retransmissions
+    against that (src, dst) pair's per-step retry budget. Returns the
+    validated payload; raises [Retry.Exhausted] past the schedule's
+    attempt budget or the link budget. *)
+let transmit inj ~chan ~what ~seq ?epoch ?tag ?link payload =
   let sum = Codec.checksum_floats ?tag payload in
-  Retry.with_retry inj ~what (fun attempt ->
+  Retry.with_retry inj ~what ~chan ~seq ?link (fun attempt ->
       if Fault.fires inj Fault.Drop chan ~seq ~attempt then begin
         Fault.count inj "drop.injected";
         (* the receiver knows the round's message set and sees the gap;

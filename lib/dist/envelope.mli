@@ -10,13 +10,16 @@ val transmit :
   seq:int ->
   ?epoch:int ->
   ?tag:int ->
+  ?link:int * int ->
   float array ->
   float array
 (** Push one message through the injector until the receiver validates
     it, healing drops, corruption, and stale replays with bounded
     retransmission. [epoch] enables stale-replay injection/rejection;
-    [tag] salts the checksum with integer metadata riding along.
-    Raises [Opp_resil.Retry.Exhausted] past the attempt budget. *)
+    [tag] salts the checksum with integer metadata riding along;
+    [link] charges retransmissions to that (src, dst) pair's per-step
+    retry budget. Raises [Opp_resil.Retry.Exhausted] past the attempt
+    budget or the link budget. *)
 
 val observe_arrivals :
   Opp_resil.Fault.t -> chan:Opp_resil.Fault.chan -> (int * bool) list -> unit

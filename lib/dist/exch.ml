@@ -90,6 +90,28 @@ let create ?sizes ~nranks links =
 
 let halo_count t r = Array.length t.links.(r)
 
+(* --- epoch fencing & wire-state adoption (opp_heal) --- *)
+
+(** Epoch-fence the exchange after a rank failure: bump the epoch by a
+    stride much larger than one collective's increment, so any
+    in-flight straggler stamped with the dead epoch (or any epoch the
+    dead rank could still produce) is rejected by the stale-tag check
+    rather than applied to recovered state. Counts [heal.fences]. *)
+let fence ?(stride = 1024) t =
+  t.epoch <- t.epoch + stride;
+  if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.add "heal.fences" 1.0
+
+(** Carry the wire state (seq counter, epoch tag) of a pre-recovery
+    exchange into its rebuilt replacement, so the fault schedule —
+    a pure function of message coordinates — keeps advancing instead
+    of replaying the run's first decisions against recovered state. *)
+let adopt_wire_state ~from t =
+  t.seq <- from.seq;
+  t.epoch <- from.epoch
+
+let wire_seq t = t.seq
+let epoch t = t.epoch
+
 (* Message count: one per (halo-holder, owner) neighbour pair with at
    least one element, in each direction. *)
 let count_messages t =
@@ -146,7 +168,8 @@ let guarded_collective inj t ~dim ~what ~gather ~apply =
           let payload = Array.make (Array.length ls * dim) 0.0 in
           gather r owner ls payload;
           let wire =
-            Envelope.transmit inj ~chan:Fault.Halo ~what ~seq ~epoch:t.epoch payload
+            Envelope.transmit inj ~chan:Fault.Halo ~what ~seq ~epoch:t.epoch
+              ~link:(owner, r) payload
           in
           let dup = Fault.fires inj Fault.Dup Fault.Halo ~seq ~attempt:0 in
           if dup then Fault.count inj "dup.injected";

@@ -36,6 +36,20 @@ val create : ?sizes:int array -> nranks:int -> link array array -> t
 val halo_count : t -> int -> int
 val count_messages : t -> int
 
+val fence : ?stride:int -> t -> unit
+(** Epoch-fence the exchange after a rank failure: bump the epoch far
+    past anything in flight so stragglers from the dead epoch are
+    rejected as stale instead of applied to recovered state. Counts
+    [heal.fences] (opp_heal, docs/RESILIENCE.md "Online recovery"). *)
+
+val adopt_wire_state : from:t -> t -> unit
+(** Carry a pre-recovery exchange's wire state (sequence counter,
+    epoch) into its rebuilt replacement so the deterministic fault
+    schedule keeps advancing across a heal. *)
+
+val wire_seq : t -> int
+val epoch : t -> int
+
 val exchange :
   ?traffic:Traffic.t ->
   ?dats:Opp_core.Types.dat array ->

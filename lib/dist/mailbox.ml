@@ -6,13 +6,24 @@
     mailbox; [deliver] hands each destination rank its batch in
     deterministic order, where the driver appends the particles and
     resumes their walks. Hole filling on the sending side is the
-    mover's [remove_flagged]. *)
+    mover's [remove_flagged].
+
+    {b Delivery deadline} (opp_heal): a batch addressed to a rank
+    marked dead ({!mark_dead}) cannot wait for an ack that will never
+    come — the delivery round {e is} the deadline. When the caller
+    supplies a [reroute] (the recovery owner of each destination
+    cell), such migrants are forwarded there in posting order instead
+    of being quarantined forever; without one they land in the dead
+    letter count. Either way no migrant silently vanishes under a
+    crash fault. *)
 
 type t = {
   nranks : int;
   payload_dim : int;  (** doubles of particle data per migrant *)
-  boxes : (int * float array) list array;  (** per destination, reversed *)
+  boxes : (int * int * float array) list array;
+      (** per destination, reversed: (src rank, dest global cell, payload) *)
   counts : int array;
+  dead : bool array;  (** destinations known dead this round *)
   mutable sources : (int * int) list;  (** (src, dst) message pairs this round *)
   mutable wire_seq : int;  (** sequence number of the next guarded migrant *)
 }
@@ -23,6 +34,7 @@ let create ~nranks ~payload_dim =
     payload_dim;
     boxes = Array.make nranks [];
     counts = Array.make nranks 0;
+    dead = Array.make nranks false;
     sources = [];
     wire_seq = 0;
   }
@@ -34,25 +46,35 @@ let total t = Array.fold_left ( + ) 0 t.counts
 let post t ~src ~dest ~cell ~payload =
   if Array.length payload <> t.payload_dim then invalid_arg "Mailbox.post: payload size";
   if dest < 0 || dest >= t.nranks then invalid_arg "Mailbox.post: bad destination rank";
-  t.boxes.(dest) <- (cell, payload) :: t.boxes.(dest);
+  t.boxes.(dest) <- (src, cell, payload) :: t.boxes.(dest);
   t.counts.(dest) <- t.counts.(dest) + 1;
   if not (List.mem (src, dest) t.sources) then t.sources <- (src, dest) :: t.sources
+
+(** Mark a destination rank dead: its pending and future batches miss
+    the delivery deadline and are rerouted (or dead-lettered) by the
+    next {!deliver}. *)
+let mark_dead t rank =
+  if rank < 0 || rank >= t.nranks then invalid_arg "Mailbox.mark_dead: bad rank";
+  t.dead.(rank) <- true
+
+let is_dead t rank = t.dead.(rank)
 
 module Fault = Opp_resil.Fault
 
 (* Guarded unpacking of one destination's batch: each migrant is its
    own message through the envelope (its destination cell rides as the
-   checksum tag). A migrant whose retries exhaust, or whose payload
-   carries a non-finite value, is {e quarantined} — dropped from the
-   batch and counted, the messaging analogue of flagging a particle
-   NEED_REMOVE — rather than poisoning the receiving rank. Validated
-   migrants are applied in posting order whatever the simulated arrival
-   order, keeping the receiver's append order (and so the whole run)
+   checksum tag; its (src, dst) pair charges the link retry budget). A
+   migrant whose retries exhaust, or whose payload carries a
+   non-finite value, is {e quarantined} — dropped from the batch and
+   counted, the messaging analogue of flagging a particle NEED_REMOVE
+   — rather than poisoning the receiving rank. Validated migrants are
+   applied in posting order whatever the simulated arrival order,
+   keeping the receiver's append order (and so the whole run)
    bit-for-bit identical to the fault-free one. *)
-let guarded_batch inj t batch =
+let guarded_batch inj t ~dest batch =
   let validated =
     List.filter_map
-      (fun (cell, payload) ->
+      (fun (src, cell, payload) ->
         let seq = t.wire_seq in
         t.wire_seq <- t.wire_seq + 1;
         if Array.exists (fun x -> not (Float.is_finite x)) payload then begin
@@ -62,7 +84,7 @@ let guarded_batch inj t batch =
         else
           match
             Envelope.transmit inj ~chan:Fault.Migrate ~what:"particle migration" ~seq
-              ~tag:cell payload
+              ~tag:cell ~link:(src, dest) payload
           with
           | wire ->
               let dup = Fault.fires inj Fault.Dup Fault.Migrate ~seq ~attempt:0 in
@@ -79,8 +101,47 @@ let guarded_batch inj t batch =
 
 (** Deliver all batches ([handler rank batch] with the batch in posting
     order), count the traffic, and clear the mailbox. Returns how many
-    particles actually moved rank (quarantined migrants excluded). *)
-let deliver ?traffic t handler =
+    particles actually moved rank (quarantined migrants excluded).
+
+    Batches for a dead destination are forwarded to [reroute ~cell]
+    (each migrant's recovery owner) ahead of delivery, appended after
+    that owner's own batch in posting order so the merged order stays
+    deterministic; [reroute] must name a live rank. Without [reroute],
+    dead-destination migrants are dropped and counted as
+    [migrate.dead_letter]. *)
+let deliver ?traffic ?reroute t handler =
+  (* deadline pass: move dead-destination migrants to recovery owners *)
+  let rerouted = ref 0 and dead_letter = ref 0 in
+  for r = 0 to t.nranks - 1 do
+    if t.dead.(r) && t.boxes.(r) <> [] then begin
+      let stranded = List.rev t.boxes.(r) in
+      t.boxes.(r) <- [];
+      t.counts.(r) <- 0;
+      (match reroute with
+      | Some owner_of ->
+          List.iter
+            (fun (src, cell, payload) ->
+              let dest = owner_of ~cell in
+              if dest < 0 || dest >= t.nranks || t.dead.(dest) then begin
+                incr dead_letter
+              end
+              else begin
+                t.boxes.(dest) <- (src, cell, payload) :: t.boxes.(dest);
+                t.counts.(dest) <- t.counts.(dest) + 1;
+                if not (List.mem (src, dest) t.sources) then
+                  t.sources <- (src, dest) :: t.sources;
+                incr rerouted
+              end)
+            stranded
+      | None -> dead_letter := !dead_letter + List.length stranded);
+      t.sources <- List.filter (fun (_, dst) -> dst <> r) t.sources
+    end
+  done;
+  if !Opp_obs.Metrics.enabled then begin
+    if !rerouted > 0 then Opp_obs.Metrics.add "migrate.rerouted" (float_of_int !rerouted);
+    if !dead_letter > 0 then
+      Opp_obs.Metrics.add "migrate.dead_letter" (float_of_int !dead_letter)
+  end;
   let posted = total t in
   (match traffic with
   | Some (tr : Traffic.t) ->
@@ -101,7 +162,11 @@ let deliver ?traffic t handler =
     let batch = List.rev t.boxes.(r) in
     t.boxes.(r) <- [];
     t.counts.(r) <- 0;
-    let batch = match inj with None -> batch | Some inj -> guarded_batch inj t batch in
+    let batch =
+      match inj with
+      | None -> List.map (fun (_, cell, payload) -> (cell, payload)) batch
+      | Some inj -> guarded_batch inj t ~dest:r batch
+    in
     delivered := !delivered + List.length batch;
     if batch <> [] then handler r batch
   done;

@@ -13,7 +13,19 @@ val post : t -> src:int -> dest:int -> cell:int -> payload:float array -> unit
 (** Post one particle: destination rank, destination (global) cell,
     and its packed dat payload. *)
 
-val deliver : ?traffic:Traffic.t -> t -> (int -> (int * float array) list -> unit) -> int
+val mark_dead : t -> int -> unit
+(** Mark a destination rank dead: its pending and future batches miss
+    the delivery deadline and are rerouted (or dead-lettered) by the
+    next {!deliver} instead of waiting forever. *)
+
+val is_dead : t -> int -> bool
+
+val deliver :
+  ?traffic:Traffic.t ->
+  ?reroute:(cell:int -> int) ->
+  t ->
+  (int -> (int * float array) list -> unit) ->
+  int
 (** Hand each destination rank its batch (in posting order), count the
     traffic, clear the mailbox; returns how many particles moved rank.
     Under an installed fault schedule each migrant travels through the
@@ -22,4 +34,10 @@ val deliver : ?traffic:Traffic.t -> t -> (int -> (int * float array) list -> uni
     retransmission and migrants that exhaust their retries or carry
     non-finite payloads are quarantined — excluded from the batch and
     the return count, and tallied in the [quarantined] stat (the
-    messaging analogue of NEED_REMOVE). *)
+    messaging analogue of NEED_REMOVE).
+
+    Batches addressed to a rank marked dead ({!mark_dead}) are
+    forwarded to [reroute ~cell] — each migrant's recovery owner —
+    appended after that owner's own batch in posting order (counted
+    as [migrate.rerouted]); without [reroute] they are dropped and
+    counted as [migrate.dead_letter]. *)

@@ -78,6 +78,89 @@ let columns ~nranks ~ncells ~x ~y =
   done;
   cell_rank
 
+(** Shrink-recovery re-partition (opp_heal): survivors keep every cell
+    they own; the dead rank's region alone is re-bisected — the same
+    recursive coordinate bisection as {!rcb}, restricted to the dead
+    cells — among the surviving ranks adjacent to it (owners of a
+    neighbour of a dead cell, via [neighbours]), each survivor taking
+    one contiguous chunk. Chunks are matched to survivors by position
+    along the dead region's axis of largest extent, so each annexed
+    chunk abuts its new owner and the halo surface stays small. Ranks
+    keep their original numbers — callers compact the numbering after
+    reassignment. Falls back to all survivors when the dead rank had
+    no live neighbour (empty or isolated region). *)
+let heal_reassign ~nranks ~dead ~cell_rank ~centroid ~neighbours =
+  if dead < 0 || dead >= nranks then invalid_arg "Partition.heal_reassign: bad dead rank";
+  if nranks < 2 then invalid_arg "Partition.heal_reassign: nothing to shrink onto";
+  let ncells = Array.length cell_rank in
+  let new_rank = Array.copy cell_rank in
+  let dead_cells =
+    Array.init ncells Fun.id |> Array.to_list
+    |> List.filter (fun c -> cell_rank.(c) = dead)
+    |> Array.of_list
+  in
+  if Array.length dead_cells = 0 then new_rank
+  else begin
+    (* surviving ranks touching the dead region *)
+    let adj = Hashtbl.create 8 in
+    Array.iter
+      (fun c ->
+        List.iter
+          (fun n ->
+            if n >= 0 && n < ncells && cell_rank.(n) <> dead then
+              Hashtbl.replace adj cell_rank.(n) ())
+          (neighbours c))
+      dead_cells;
+    let takers =
+      let ranks = Hashtbl.fold (fun r () acc -> r :: acc) adj [] in
+      match ranks with
+      | [] -> List.init nranks Fun.id |> List.filter (fun r -> r <> dead)
+      | rs -> rs
+    in
+    (* order takers by their owned region's position along the dead
+       region's widest axis, so chunk i lands next to taker i *)
+    let extent axis =
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun c ->
+          let v = (centroid c).(axis) in
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        dead_cells;
+      !hi -. !lo
+    in
+    let axis = ref 0 in
+    if extent 1 > extent !axis then axis := 1;
+    if extent 2 > extent !axis then axis := 2;
+    let axis = !axis in
+    let taker_pos r =
+      let sum = ref 0.0 and n = ref 0 in
+      Array.iteri
+        (fun c owner ->
+          if owner = r then begin
+            sum := !sum +. (centroid c).(axis);
+            incr n
+          end)
+        cell_rank;
+      if !n = 0 then 0.0 else !sum /. float_of_int !n
+    in
+    let takers =
+      List.sort
+        (fun a b ->
+          let c = compare (taker_pos a) (taker_pos b) in
+          if c <> 0 then c else compare a b)
+        takers
+      |> Array.of_list
+    in
+    let k = Array.length takers in
+    (* re-bisect the dead region into k chunks (indices 0..k-1), then
+       map chunk index -> adjacent survivor *)
+    let chunk = Array.make ncells 0 in
+    assign_rcb chunk centroid dead_cells 0 k;
+    Array.iter (fun c -> new_rank.(c) <- takers.(chunk.(c))) dead_cells;
+    new_rank
+  end
+
 (** Cells per rank, for balance checks. *)
 let rank_counts ~nranks cell_rank =
   let counts = Array.make nranks 0 in

@@ -17,6 +17,20 @@ val slab : nranks:int -> ncells:int -> coord:(int -> float) -> int array
 val columns : nranks:int -> ncells:int -> x:(int -> float) -> y:(int -> float) -> int array
 (** An approximately square grid of transverse columns. *)
 
+val heal_reassign :
+  nranks:int ->
+  dead:int ->
+  cell_rank:int array ->
+  centroid:(int -> float array) ->
+  neighbours:(int -> int list) ->
+  int array
+(** Shrink-recovery re-partition (opp_heal): survivors keep every cell
+    they own; the dead rank's cells are re-bisected (incremental RCB
+    restricted to the dead region) among the surviving ranks adjacent
+    to it, chunks matched to survivors by position so annexed cells
+    abut their new owner. Rank numbers are unchanged — compact after.
+    [neighbours] is the cell adjacency (face or stencil). *)
+
 val rank_counts : nranks:int -> int array -> int array
 (** Cells per rank; raises [Invalid_argument] on out-of-range ranks. *)
 

@@ -1,0 +1,18 @@
+(** [opp_heal]: online rank-failure recovery — respawn and shrinking
+    re-partition without a job restart (docs/RESILIENCE.md, "Online
+    recovery").
+
+    - {!Heal}: the recovery mode ([Respawn] / [Shrink]), its CLI
+      spelling, and the [heal.*] metrics.
+    - {!Journal}: the per-rank since-checkpoint delta journal (XOR
+      deltas with per-section checksums, re-based at each durable
+      checkpoint) that respawn replays to reconstruct a dead rank's
+      exact end-of-step state.
+
+    The communicator-side pieces live with the communicators
+    ([Opp_dist.Exch.fence], [Opp_dist.Mailbox.mark_dead]/reroute,
+    [Opp_dist.Partition.heal_reassign]); the app-specific
+    reconstruction drivers live in [Opp_apps_dist.Dist_heal]. *)
+
+module Heal = Heal
+module Journal = Journal

@@ -38,10 +38,12 @@ type t = {
   seed : int;
   rates : (kind * chan option * float) list;  (** [None] chan = any *)
   max_attempts : int;
+  link_budget : int;  (** max retransmissions per (chan, link) per step *)
   mutable crash : (int * int) option;  (** (rank, step), one-shot *)
   mutable stall : (int * int) option;
   mutable step : int;
   stats : (string, int) Hashtbl.t;
+  budgets : (int * int * int, int) Hashtbl.t;  (** (chan, src, dst) -> retries used *)
 }
 
 exception Rank_crash of { rank : int; step : int }
@@ -74,15 +76,17 @@ let chan_id = function Halo -> 1 | Migrate -> 2 | Allreduce -> 3
 
 (* --- construction --- *)
 
-let create ?(seed = 1) ?(max_attempts = 10) ?crash ?stall rates =
+let create ?(seed = 1) ?(max_attempts = 10) ?(link_budget = max_int) ?crash ?stall rates =
   {
     seed;
     rates;
     max_attempts;
+    link_budget;
     crash;
     stall;
     step = 0;
     stats = Hashtbl.create 16;
+    budgets = Hashtbl.create 64;
   }
 
 let kind_of_string = function
@@ -122,7 +126,7 @@ let parse spec =
     |> List.map String.trim
     |> List.filter (fun s -> s <> "")
   in
-  let seed = ref 1 and max_attempts = ref 10 in
+  let seed = ref 1 and max_attempts = ref 10 and link_budget = ref max_int in
   let crash = ref None and stall = ref None in
   let rates = ref [] in
   let err = ref None in
@@ -143,6 +147,10 @@ let parse spec =
               match int_of_string_opt v with
               | Some n when n >= 1 -> max_attempts := n
               | _ -> fail (Printf.sprintf "retries: expected a positive integer, got '%s'" v))
+          | "link_budget" -> (
+              match int_of_string_opt v with
+              | Some n when n >= 1 -> link_budget := n
+              | _ -> fail (Printf.sprintf "link_budget: expected a positive integer, got '%s'" v))
           | "crash" -> (
               match parse_rank_step "crash" v with
               | Ok rs -> crash := Some rs
@@ -174,8 +182,8 @@ let parse spec =
   | Some msg -> Error msg
   | None ->
       Ok
-        (create ~seed:!seed ~max_attempts:!max_attempts ?crash:!crash ?stall:!stall
-           (List.rev !rates))
+        (create ~seed:!seed ~max_attempts:!max_attempts ~link_budget:!link_budget ?crash:!crash
+           ?stall:!stall (List.rev !rates))
 
 (* --- deterministic decisions --- *)
 
@@ -216,6 +224,36 @@ let corrupt_bit t chan ~seq ~attempt ~nbits =
 
 let max_attempts t = t.max_attempts
 
+(** Seeded jitter in [0,1) for backoff randomization: a decision like
+    any other, so two runs with the same schedule back off by the same
+    (simulated) amounts. [key] identifies the message (its seq). *)
+let jitter t ~chan ~key ~attempt = decision_float t ~salt:211 ~chan ~seq:key ~attempt
+
+(* --- per-link retry budgets --- *)
+
+(** Charge one retransmission on [link] (a (src, dst) rank pair) for
+    this step. Returns [false] when the link's budget (the
+    [link_budget=N] spec key; unbounded by default) is exhausted —
+    the retry loop then gives up early instead of hammering a link
+    that keeps faulting. Budgets reset at every {!begin_step}. *)
+let take_retry_token t ~chan ~link =
+  match link with
+  | None -> true
+  | Some (src, dst) ->
+      let key = (chan_id chan, src, dst) in
+      let used = try Hashtbl.find t.budgets key with Not_found -> 0 in
+      if used >= t.link_budget then false
+      else begin
+        Hashtbl.replace t.budgets key (used + 1);
+        true
+      end
+
+let link_budget t = t.link_budget
+
+let link_budget_used t ~chan ~link =
+  let src, dst = link in
+  try Hashtbl.find t.budgets (chan_id chan, src, dst) with Not_found -> 0
+
 (* --- stats (mirrored into opp_obs metrics as resil.<name>) --- *)
 
 let count ?(n = 1) t name =
@@ -237,6 +275,7 @@ let disarm_crash t = t.crash <- None
     both are one-shot, so a recovered run does not re-crash. *)
 let begin_step t ~step =
   t.step <- step;
+  Hashtbl.reset t.budgets;
   (match t.stall with
   | Some (_rank, s) when s = step ->
       t.stall <- None;

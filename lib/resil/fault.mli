@@ -18,11 +18,14 @@ exception Rank_crash of { rank : int; step : int }
 val create :
   ?seed:int ->
   ?max_attempts:int ->
+  ?link_budget:int ->
   ?crash:int * int ->
   ?stall:int * int ->
   (kind * chan option * float) list ->
   t
-(** Build a schedule directly (tests); [None] channel means any. *)
+(** Build a schedule directly (tests); [None] channel means any.
+    [link_budget] caps retransmissions per (channel, link) per step
+    (unbounded by default). *)
 
 val parse : string -> (t, string) result
 (** Parse a spec such as
@@ -37,6 +40,21 @@ val corrupt_bit : t -> chan -> seq:int -> attempt:int -> nbits:int -> int
 
 val rate : t -> kind -> chan -> float
 val max_attempts : t -> int
+
+val jitter : t -> chan:chan -> key:int -> attempt:int -> float
+(** Seeded backoff jitter in [0,1): a pure decision like {!fires}, so
+    identical schedules accrue identical backoff. *)
+
+(** {2 Per-link retry budgets} *)
+
+val take_retry_token : t -> chan:chan -> link:(int * int) option -> bool
+(** Charge one retransmission on a (src, dst) link for this step;
+    [false] when the link's budget is exhausted ([link_budget=N] in
+    the spec). [None] links are never charged. Budgets reset at every
+    {!begin_step}. *)
+
+val link_budget : t -> int
+val link_budget_used : t -> chan:chan -> link:int * int -> int
 
 val begin_step : t -> step:int -> unit
 (** Fire armed rank faults for [step]: stalls are recorded, crashes

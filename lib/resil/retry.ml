@@ -1,12 +1,23 @@
-(** Bounded retry-with-backoff for transient message faults.
+(** Bounded retry with deterministic exponential backoff, seeded
+    jitter, and per-link budgets.
 
     The simulated substrate has no real clock to sleep on, so backoff
     is {e accounted} rather than slept: each retry adds an
-    exponentially growing latency to the [resil.backoff_ns] metric
-    (the cost a real network would pay), and the attempt loop reruns
+    exponentially growing latency (base doubled per attempt, capped,
+    plus a seeded jitter fraction so synchronized links do not
+    retransmit in lockstep) to the [resil.retry.backoff_ms] metric —
+    the cost a real network would pay — and the attempt loop reruns
     the delivery, which re-rolls the fault schedule at the next
-    attempt number — exactly how a retransmission beats a transient
-    drop. *)
+    attempt number: exactly how a retransmission beats a transient
+    drop. The jitter comes from {!Fault.jitter}, a pure hash of the
+    schedule seed and the message coordinates, so two runs with the
+    same spec accrue byte-identical backoff totals.
+
+    Retransmissions are additionally charged against a per-(channel,
+    link) budget ({!Fault.take_retry_token}, reset each step): a link
+    whose faults persist past its budget fails fast with {!Exhausted}
+    instead of burning the full per-message attempt count on every
+    payload — the failure signal rank-death detection feeds on. *)
 
 exception Exhausted of string
 
@@ -15,16 +26,27 @@ let () =
     | Exhausted what -> Some (Printf.sprintf "Opp_resil.Retry.Exhausted(%s)" what)
     | _ -> None)
 
-let base_backoff_ns = 500.0
+let base_backoff_ms = 0.0005 (* 500 ns expressed in ms *)
+let max_backoff_ms = base_backoff_ms *. float_of_int (1 lsl 16)
 
-(** [with_retry inj ~what f] calls [f attempt] for [attempt = 0, 1,
-    ...] until it returns [Some v] (success) or the schedule's attempt
-    budget is exhausted, counting each retry. [None] from [f] means
-    the delivery was detected as faulty and must be retransmitted.
-    Raises {!Exhausted} when the budget runs out — the caller decides
-    whether that is fatal (halo exchange) or quarantines the payload
-    (particle migration). *)
-let with_retry (inj : Fault.t) ~what f =
+(** Accounted backoff before delivery attempt [attempt+1]: exponential
+    in the attempt number, capped, with a seeded jitter fraction in
+    [1.0, 1.5). Pure in (schedule seed, chan, key, attempt). *)
+let backoff_ms (inj : Fault.t) ~chan ~key ~attempt =
+  let expo = base_backoff_ms *. float_of_int (1 lsl min attempt 16) in
+  let expo = Float.min expo max_backoff_ms in
+  expo *. (1.0 +. (0.5 *. Fault.jitter inj ~chan ~key ~attempt))
+
+(** [with_retry inj ~what ?chan ?seq ?link f] calls [f attempt] for
+    [attempt = 0, 1, ...] until it returns [Some v] (success) or a
+    budget runs out, counting each retry. [None] from [f] means the
+    delivery was detected as faulty and must be retransmitted. Two
+    budgets bound the loop: the per-message attempt count
+    ([retries=N]) and the per-link retransmission budget
+    ([link_budget=N], when [link] is given). Raises {!Exhausted} when
+    either runs out — the caller decides whether that is fatal (halo
+    exchange) or quarantines the payload (particle migration). *)
+let with_retry (inj : Fault.t) ~what ?(chan = Fault.Halo) ?(seq = 0) ?link f =
   let max_attempts = Fault.max_attempts inj in
   let rec go attempt =
     if attempt >= max_attempts then raise (Exhausted what)
@@ -32,10 +54,14 @@ let with_retry (inj : Fault.t) ~what f =
       match f attempt with
       | Some v -> v
       | None ->
+          if not (Fault.take_retry_token inj ~chan ~link) then begin
+            Fault.count inj "retry.budget_exhausted";
+            raise (Exhausted (what ^ " (link budget)"))
+          end;
           Fault.count inj "retries";
           if !Opp_obs.Metrics.enabled then
-            Opp_obs.Metrics.add "resil.backoff_ns"
-              (base_backoff_ns *. float_of_int (1 lsl min attempt 16));
+            Opp_obs.Metrics.add "resil.retry.backoff_ms"
+              (backoff_ms inj ~chan ~key:seq ~attempt);
           go (attempt + 1)
   in
   go 0

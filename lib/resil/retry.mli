@@ -1,9 +1,28 @@
-(** Bounded retry-with-backoff for transient message faults; backoff
-    is accounted to the [resil.backoff_ns] metric rather than slept. *)
+(** Bounded retry with deterministic exponential backoff, seeded
+    jitter, and per-link retransmission budgets; backoff is accounted
+    to the [resil.retry.backoff_ms] metric rather than slept. *)
 
 exception Exhausted of string
 
-val with_retry : Fault.t -> what:string -> (int -> 'a option) -> 'a
-(** Call [f attempt] until it returns [Some v]; [None] counts a retry
-    and rerolls the fault schedule at the next attempt number. Raises
-    {!Exhausted} after the schedule's attempt budget. *)
+val base_backoff_ms : float
+val max_backoff_ms : float
+
+val backoff_ms : Fault.t -> chan:Fault.chan -> key:int -> attempt:int -> float
+(** Accounted backoff before delivery attempt [attempt+1]: exponential
+    in the attempt number, capped at {!max_backoff_ms}, scaled by a
+    seeded jitter factor in [1.0, 1.5). Pure in (schedule seed,
+    channel, key, attempt). *)
+
+val with_retry :
+  Fault.t ->
+  what:string ->
+  ?chan:Fault.chan ->
+  ?seq:int ->
+  ?link:int * int ->
+  (int -> 'a option) ->
+  'a
+(** Call [f attempt] until it returns [Some v]; [None] counts a retry,
+    accounts its backoff, and rerolls the fault schedule at the next
+    attempt number. Raises {!Exhausted} after the schedule's
+    per-message attempt budget, or — when [link] is given — when that
+    (src, dst) pair's per-step retransmission budget runs out. *)

@@ -22,6 +22,10 @@
       rank's heartbeat lags the rest of the run.
     - [A007] — rank crash: raised by the driver's recovery path when a
       [Rank_crash] is caught and the run restarts from a checkpoint.
+    - [A008] — rank recovered / degraded: online recovery ([opp_heal])
+      completed — the dead rank was respawned in place, or the job
+      shrank onto the surviving ranks (degraded mode). [al_value]
+      carries the recovery latency in ms.
 
     An alert identifies where ([al_rank]; −1 means run-wide), when
     ([al_step]), and by how much ([al_value] against
@@ -36,7 +40,7 @@ type t = {
   al_detail : string;
 }
 
-let codes = [ "A001"; "A002"; "A003"; "A004"; "A005"; "A006"; "A007" ]
+let codes = [ "A001"; "A002"; "A003"; "A004"; "A005"; "A006"; "A007"; "A008" ]
 
 let describe = function
   | "A001" -> "step-time regression (EWMA)"
@@ -46,6 +50,7 @@ let describe = function
   | "A005" -> "retransmit storm"
   | "A006" -> "stalled rank"
   | "A007" -> "rank crash"
+  | "A008" -> "rank recovered / degraded"
   | c -> "unknown alert " ^ c
 
 let make ~code ~step ~rank ~value ~threshold detail =
@@ -55,6 +60,13 @@ let make ~code ~step ~rank ~value ~threshold detail =
 let crash ~rank ~step =
   make ~code:"A007" ~step ~rank ~value:1.0 ~threshold:0.0
     (Printf.sprintf "rank %d crashed at step %d; recovering from checkpoint" rank step)
+
+(** Online recovery completed ([opp_heal]): [mode] is ["respawn"] or
+    ["shrink"], [ms] the recovery latency; [detail] says what the run
+    looks like now (e.g. the surviving rank count). *)
+let recovered ~mode ~rank ~step ~ms detail =
+  make ~code:"A008" ~step ~rank ~value:ms ~threshold:0.0
+    (Printf.sprintf "rank %d %s-recovered at step %d: %s" rank mode step detail)
 
 module J = Opp_obs.Json
 

@@ -50,7 +50,7 @@ let default =
 
 type t = {
   cfg : config;
-  nranks : int;
+  mutable nranks : int;
   (* A001 *)
   mutable ewma : float;
   mutable ewma_n : int;
@@ -61,7 +61,7 @@ type t = {
   mutable imb_over : int;
   mutable imb_armed : bool;
   (* A003, per rank *)
-  canary_armed : bool array;
+  mutable canary_armed : bool array;
   (* A004 *)
   mutable prev_total : int;
   mutable dec_run : int;
@@ -72,8 +72,8 @@ type t = {
   mutable storm_pos : int;
   mutable storm_armed : bool;
   (* A006 *)
-  last_seen : int array;
-  lag_armed : bool array;
+  mutable last_seen : int array;
+  mutable lag_armed : bool array;
   mutable obs_count : int;
 }
 
@@ -102,6 +102,22 @@ let create ?(config = default) ~nranks () =
   }
 
 let config t = t.cfg
+
+(** Drop rank [dead]'s per-rank detector state after shrink recovery:
+    survivors are renumbered ascending (indices above [dead] shift
+    down one) and keep their hysteresis, and A006 lag tracking forgets
+    the dead rank instead of flagging it forever. *)
+let shrink t ~dead =
+  if dead < 0 || dead >= t.nranks then invalid_arg "Detect.shrink: bad dead rank";
+  if t.nranks > 1 then begin
+    let drop a =
+      Array.init (Array.length a - 1) (fun i -> if i < dead then a.(i) else a.(i + 1))
+    in
+    t.nranks <- t.nranks - 1;
+    t.canary_armed <- drop t.canary_armed;
+    t.last_seen <- drop t.last_seen;
+    t.lag_armed <- drop t.lag_armed
+  end
 
 let observe t ~step ?(fault_delta = 0.0) ?(stall_delta = 0.0) (beats : Heartbeat.t list) =
   let cfg = t.cfg in

@@ -16,9 +16,11 @@
     A policy hook ({!on_alert}) lets the embedding application react:
     return {!Checkpoint_now} to request an immediate checkpoint (the
     driver polls {!take_checkpoint_request}), {!Abort} to ask the run
-    to stop at the next boundary, or {!Note} to just log. *)
+    to stop at the next boundary, {!Heal} to request online recovery
+    of the alert's rank (the driver polls {!take_heal_request} — the
+    opp_heal trigger path for A006/A007), or {!Note} to just log. *)
 
-type action = Note | Checkpoint_now | Abort
+type action = Note | Checkpoint_now | Abort | Heal
 
 type config = {
   dir : string;  (** artifact directory, created on {!create} *)
@@ -44,11 +46,15 @@ let default_config =
 
 type t = {
   cfg : config;
-  nranks : int;
+  mutable nranks : int;
   det : Detect.t;
   hb_oc : out_channel;
   al_oc : out_channel;
-  latest : Heartbeat.t option array;
+  mutable latest : Heartbeat.t option array;
+  mutable rank_state : string array;
+      (** per rank: ["ok"], ["dead"], ["recovering"], ["respawned"],
+          ["degraded"] *)
+  mutable degraded : string option;  (** set once the run shrank *)
   mutable pending : Heartbeat.t list;  (** current step's beats, newest first *)
   mutable alerts_total : int;
   alert_counts : (string, int) Hashtbl.t;
@@ -56,6 +62,7 @@ type t = {
   mutable on_alert : Alert.t -> action;
   mutable ckpt_requested : bool;
   mutable abort_requested : bool;
+  mutable heal_requested : int option;  (** rank to recover *)
   mutable last_fault_stats : (string * int) list;
   mutable last_step : int;
   mutable monitored : int;  (** monitored-step count, for status cadence *)
@@ -86,6 +93,8 @@ let create ?(config = default_config) ?(meta = []) ~nranks () =
     hb_oc = open_log "heartbeats.jsonl";
     al_oc = open_log "alerts.jsonl";
     latest = Array.make nranks None;
+    rank_state = Array.make nranks "ok";
+    degraded = None;
     pending = [];
     alerts_total = 0;
     alert_counts = Hashtbl.create 8;
@@ -93,6 +102,7 @@ let create ?(config = default_config) ?(meta = []) ~nranks () =
     on_alert = (fun _ -> Note);
     ckpt_requested = false;
     abort_requested = false;
+    heal_requested = None;
     last_fault_stats = [];
     last_step = 0;
     monitored = 0;
@@ -111,7 +121,40 @@ let take_checkpoint_request t =
   t.ckpt_requested <- false;
   r
 
+let take_heal_request t =
+  let r = t.heal_requested in
+  t.heal_requested <- None;
+  r
+
 let abort_requested t = t.abort_requested
+
+(* --- rank health states (opp_heal) --- *)
+
+let set_rank_state t rank state =
+  if rank >= 0 && rank < Array.length t.rank_state then t.rank_state.(rank) <- state
+
+let rank_state t rank =
+  if rank >= 0 && rank < Array.length t.rank_state then t.rank_state.(rank) else "ok"
+
+let degraded t = t.degraded
+
+(** Shrink the monitored world after a rank is lost: drop the dead
+    rank's heartbeat slot and detector state (survivors renumbered
+    ascending), mark every survivor degraded, and record [detail]
+    (rendered by [oppic_top] and written to [status.json]). *)
+let shrink_ranks t ~dead ~detail =
+  if dead < 0 || dead >= t.nranks then invalid_arg "Monitor.shrink_ranks: bad dead rank";
+  if t.nranks > 1 then begin
+    let drop a =
+      Array.init (Array.length a - 1) (fun i -> if i < dead then a.(i) else a.(i + 1))
+    in
+    t.nranks <- t.nranks - 1;
+    t.latest <- drop t.latest;
+    t.rank_state <- drop t.rank_state;
+    Array.iteri (fun r _ -> t.rank_state.(r) <- "degraded") t.rank_state;
+    Detect.shrink t.det ~dead;
+    t.degraded <- Some detail
+  end
 
 let beat t hb = t.pending <- hb :: t.pending
 
@@ -134,6 +177,7 @@ let route_alert t al =
   | Note -> ()
   | Checkpoint_now -> t.ckpt_requested <- true
   | Abort -> t.abort_requested <- true
+  | Heal -> if al.Alert.al_rank >= 0 then t.heal_requested <- Some al.Alert.al_rank
 
 let status_json t =
   let ranks =
@@ -154,6 +198,9 @@ let status_json t =
           (Hashtbl.fold (fun c n acc -> (c, J.Num (float_of_int n)) :: acc) t.alert_counts []
           |> List.sort compare) );
       ("meta", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) t.meta));
+      ( "rank_states",
+        J.Arr (Array.to_list t.rank_state |> List.map (fun s -> J.Str s)) );
+      ("degraded", match t.degraded with Some d -> J.Str d | None -> J.Null);
       ("ranks", J.Arr ranks);
       ("recent_alerts", J.Arr (List.rev_map Alert.to_json t.recent));
     ]

@@ -17,6 +17,7 @@ let () =
       ("pushers", Test_pushers.suite);
       ("landau", Test_landau.suite);
       ("resil", Test_resil.suite);
+      ("heal", Test_heal.suite);
       ("prof", Test_prof.suite);
       ("watch", Test_watch.suite);
       ("plan", Test_plan.suite);

@@ -325,6 +325,81 @@ let test_fempic_crash_sweep () =
           true (final = clean))
   done
 
+(* --- online recovery (opp_heal) --- *)
+
+(* Crash-at-every-step sweep under --heal=respawn: the dead rank is
+   rebuilt in place from the journal (no teardown, no checkpoint
+   restore, no replayed steps) and the run must still finish
+   bit-for-bit identical to the uninterrupted one. *)
+let test_fempic_heal_respawn_sweep () =
+  let steps = 5 in
+  let clean = fempic_baseline ~steps in
+  for crash_step = 1 to steps do
+    let inj = Fault.create ~crash:(crash_step mod 3, crash_step) [] in
+    let final =
+      with_injector inj (fun () ->
+          let dist = Fd.create ~prm:fempic_prm ~nranks:3 (fempic_mesh ()) in
+          let healer = Apps_dist.Dist_heal.fempic ~mode:Opp_heal.Heal.Respawn () in
+          Apps_dist.Dist_heal.record healer dist ~step:0;
+          let healed = ref false in
+          while dist.Fd.step_count < steps do
+            match Fd.step dist with
+            | (_ : int) ->
+                Apps_dist.Dist_heal.record healer dist ~step:dist.Fd.step_count
+            | exception Rank_crash { rank; step } ->
+                healed := true;
+                ignore (Apps_dist.Dist_heal.recover healer dist ~rank ~step)
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "crash healed at step %d" crash_step)
+            true !healed;
+          fempic_sig dist)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "respawn-healed run (crash at %d) matches clean bit-for-bit" crash_step)
+      true (final = clean)
+  done
+
+(* Shrink recovery end-to-end on fempic: heal a crash by degrading to
+   2 ranks. The re-partition itself must preserve the global state
+   hash exactly (it only moves state); the continued run is not
+   bit-identical to the clean one (reduction order changed) but must
+   conserve the particle population — injection streams follow their
+   global face identity across the re-partition. *)
+let test_fempic_heal_shrink () =
+  let steps = 6 and crash_step = 3 in
+  let clean_particles =
+    let dist = Fd.create ~prm:fempic_prm ~nranks:3 (fempic_mesh ()) in
+    for _ = 1 to steps do
+      ignore (Fd.step dist)
+    done;
+    Fd.total_particles dist
+  in
+  let inj = Fault.create ~crash:(1, crash_step) [] in
+  with_injector inj (fun () ->
+      let dist = Fd.create ~prm:fempic_prm ~nranks:3 (fempic_mesh ()) in
+      let healer = Apps_dist.Dist_heal.fempic ~mode:Opp_heal.Heal.Shrink () in
+      Apps_dist.Dist_heal.record healer dist ~step:0;
+      let healed = ref false in
+      while dist.Fd.step_count < steps do
+        match Fd.step dist with
+        | (_ : int) -> Apps_dist.Dist_heal.record healer dist ~step:dist.Fd.step_count
+        | exception Rank_crash { rank; step } ->
+            healed := true;
+            let before = Fd.state_hash dist in
+            let parts = Fd.total_particles dist in
+            ignore (Apps_dist.Dist_heal.recover healer dist ~rank ~step);
+            Alcotest.(check int) "shrunk to 2 ranks" 2 dist.Fd.nranks;
+            Alcotest.(check bool)
+              "re-partition preserves the global state hash" true
+              (Fd.state_hash dist = before);
+            Alcotest.(check int) "re-partition conserves particles" parts
+              (Fd.total_particles dist)
+      done;
+      Alcotest.(check bool) "crash healed" true !healed;
+      Alcotest.(check int) "degraded run conserves the clean population" clean_particles
+        (Fd.total_particles dist))
+
 (* --- CabanaPIC resume --- *)
 
 let cabana_prm = { Cabana.Cabana_params.default with Cabana.Cabana_params.nz = 16; ppc = 8 }
@@ -404,6 +479,39 @@ let test_cabana_dist_faulty_crash_equals_clean () =
       Alcotest.(check bool) "faults fired" true (Fault.stat inj "crashes" = 1);
       Alcotest.(check bool) "faulted+crashed cabana run matches clean" true (faulty = clean))
 
+(* The qcheck shrink oracle, in the spirit of Opp_plan.Interp's
+   owned-state hash: the global observable state (owned fields by
+   global identity plus the particle multiset) hashed canonically must
+   be invariant under shrink-recovery for any (rank count, dead rank,
+   crash point) — redistribution moves state, never makes it. *)
+let prop_shrink_preserves_state_hash =
+  QCheck.Test.make
+    ~name:"shrink recovery preserves the global state hash (owned-state oracle)" ~count:8
+    QCheck.(triple (int_range 2 4) small_nat (int_range 0 3))
+    (fun (nranks, dead0, pre_steps) ->
+      let dead = dead0 mod nranks in
+      let dist = Apps_dist.Cabana_dist.create ~prm:cabana_prm ~nranks () in
+      for _ = 1 to pre_steps do
+        Apps_dist.Cabana_dist.step dist
+      done;
+      let h0 = Apps_dist.Cabana_dist.state_hash dist in
+      let n0 = Apps_dist.Cabana_dist.total_particles dist in
+      (* what journal reconstruction would return for the dead rank:
+         its exact current sections *)
+      let sections = (Apps_dist.Cabana_dist.sections_all dist).(dead) in
+      let survivors = Apps_dist.Cabana_dist.shrink dist ~dead sections in
+      let ok =
+        survivors = nranks - 1
+        && Apps_dist.Cabana_dist.state_hash dist = h0
+        && Apps_dist.Cabana_dist.total_particles dist = n0
+      in
+      (* the degraded world must actually run (halo links, freshness
+         and particle localization all valid) *)
+      for _ = 1 to 2 do
+        Apps_dist.Cabana_dist.step dist
+      done;
+      ok && Apps_dist.Cabana_dist.total_particles dist = n0)
+
 let suite =
   [
     Alcotest.test_case "fault spec parsing" `Quick test_parse;
@@ -418,10 +526,15 @@ let suite =
       test_fempic_faulty_equals_clean;
     Alcotest.test_case "fempic_dist: crash-at-every-step recovery sweep" `Slow
       test_fempic_crash_sweep;
+    Alcotest.test_case "opp_heal: respawn crash-at-every-step sweep is bit-identical" `Slow
+      test_fempic_heal_respawn_sweep;
+    Alcotest.test_case "opp_heal: fempic shrink recovery conserves state" `Slow
+      test_fempic_heal_shrink;
     Alcotest.test_case "cabana: checkpoint resume is bit-exact" `Quick
       test_cabana_resume_bit_exact;
     Alcotest.test_case "cabana_dist: faulty+crashed run == clean run" `Slow
       test_cabana_dist_faulty_crash_equals_clean;
+    QCheck_alcotest.to_alcotest prop_shrink_preserves_state_hash;
     QCheck_alcotest.to_alcotest prop_checksum_bit_sensitive;
     QCheck_alcotest.to_alcotest prop_injector_deterministic;
     QCheck_alcotest.to_alcotest prop_detection_complete;

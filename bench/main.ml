@@ -11,8 +11,9 @@
      dune exec bench/main.exe -- --pr6        -- watch overhead gate -> BENCH_PR6.json
      dune exec bench/main.exe -- --pr7        -- plan equivalence gate -> BENCH_PR7.json
      dune exec bench/main.exe -- --pr8        -- heal recovery-latency gate -> BENCH_PR8.json
+     dune exec bench/main.exe -- --pr9        -- live rebalance gate -> BENCH_PR9.json
 
-   Gated runs (--pr4 through --pr8) also append a timestamped record to the
+   Gated runs (--pr4 through --pr9) also append a timestamped record to the
    cumulative trajectory log (JSONL, default BENCH.json, --log FILE to
    move it), so successive sessions accumulate a perf history instead
    of each overwriting its own one-off file.
@@ -879,6 +880,107 @@ let run_pr8 ~log out =
     fail "recovery-latency gate (respawn %.3f ms > %.1f x step %.3f ms)" (respawn_s *. 1e3)
       pr8_tolerance (step_s *. 1e3)
 
+(* --- pr9: live rebalance gate ------------------------------------
+
+   A deliberately skewed slab partition of the inlet duct concentrates
+   the injected particles on the inlet rank (load ratio >= 2.0 by
+   construction). The gate proves the live migration epoch does its
+   job without touching physics: two identical runs step to the same
+   point; run A is left skewed, run B is rebalanced. The rebalance
+   must pull the ratio to <= 1.25, conserve every particle, and — being
+   a pure ownership change — leave the order-canonical state hash
+   bit-identical to run A's. The modelled weak-scaling campaign
+   (static vs balanced across systems) rides along in the artifact. *)
+
+let pr9_nranks = 4
+let pr9_steps = 12
+let pr9_seed_ratio = 2.0
+let pr9_target_ratio = 1.25
+
+(* long thin duct: slabs along z put the whole inlet in rank 0 *)
+let pr9_mesh () = Opp_mesh.Tet_mesh.build ~nx:2 ~ny:2 ~nz:8 ~lx:2e-5 ~ly:2e-5 ~lz:8e-5
+
+let pr9_app () =
+  Apps_dist.Fempic_dist.create ~prm:Experiments.Config.fempic_small_prm ~nranks:pr9_nranks
+    ~partitioner:`Slab
+    ~profile:(Opp_core.Profile.create ())
+    (pr9_mesh ())
+
+let run_pr9 ~log out =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "FAIL: pr9 %s\n%!" m; exit 1) fmt in
+  let a = pr9_app () in
+  Apps_dist.Fempic_dist.run a ~steps:pr9_steps;
+  let hash_static = Apps_dist.Fempic_dist.state_hash a in
+  let parts_static = Apps_dist.Fempic_dist.total_particles a in
+  Apps_dist.Fempic_dist.shutdown a;
+  let b = pr9_app () in
+  Apps_dist.Fempic_dist.run b ~steps:pr9_steps;
+  let before = 1.0 +. Apps_dist.Fempic_dist.particle_imbalance b in
+  let w = Apps_dist.Fempic_dist.cell_particle_weights b in
+  let t0 = Opp_obs.Clock.now_s () in
+  let moved = Apps_dist.Fempic_dist.rebalance b ~weight:(fun c -> w.(c)) in
+  let epoch_s = Opp_obs.Clock.now_s () -. t0 in
+  let after = 1.0 +. Apps_dist.Fempic_dist.particle_imbalance b in
+  let hash_balanced = Apps_dist.Fempic_dist.state_hash b in
+  let parts_balanced = Apps_dist.Fempic_dist.total_particles b in
+  (* the rebalanced app must keep stepping on the new partition *)
+  ignore (Apps_dist.Fempic_dist.step b);
+  Apps_dist.Fempic_dist.shutdown b;
+  let seed_ok = before >= pr9_seed_ratio in
+  let moved_ok = moved > 0 in
+  let ratio_ok = after <= pr9_target_ratio in
+  let parts_ok = parts_balanced = parts_static in
+  let hash_ok = hash_balanced = hash_static in
+  let pass = seed_ok && moved_ok && ratio_ok && parts_ok && hash_ok in
+  let campaign =
+    List.map
+      (fun (r : Experiments.Campaign.row) ->
+        Opp_obs.Json.Obj
+          [
+            ("system", Opp_obs.Json.Str r.Experiments.Campaign.r_system);
+            ("ranks", Opp_obs.Json.Num (float_of_int r.Experiments.Campaign.r_ranks));
+            ("static_s_per_step", Opp_obs.Json.Num r.Experiments.Campaign.r_static);
+            ("balanced_s_per_step", Opp_obs.Json.Num r.Experiments.Campaign.r_balanced);
+          ])
+      (Experiments.Campaign.rows ())
+  in
+  let json =
+    Opp_obs.Json.Obj
+      [
+        ("bench", Opp_obs.Json.Str "pr9-balance");
+        ("nranks", Opp_obs.Json.Num (float_of_int pr9_nranks));
+        ("steps", Opp_obs.Json.Num (float_of_int pr9_steps));
+        ("ratio_before", Opp_obs.Json.Num before);
+        ("ratio_after", Opp_obs.Json.Num after);
+        ("seed_ratio_floor", Opp_obs.Json.Num pr9_seed_ratio);
+        ("target_ratio", Opp_obs.Json.Num pr9_target_ratio);
+        ("moved_cells", Opp_obs.Json.Num (float_of_int moved));
+        ("epoch_seconds", Opp_obs.Json.Num epoch_s);
+        ("particles", Opp_obs.Json.Num (float_of_int parts_balanced));
+        ("hash_identical", Opp_obs.Json.Bool hash_ok);
+        ("particles_conserved", Opp_obs.Json.Bool parts_ok);
+        ("campaign", Opp_obs.Json.Arr campaign);
+        ("pass", Opp_obs.Json.Bool pass);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Opp_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  append_record ~log json;
+  Printf.printf "%-24s %12s\n" "pr9 benchmark" "value";
+  Printf.printf "%-24s %12.2f\n" "seed load ratio" before;
+  Printf.printf "%-24s %12.2f\n" "post-rebalance ratio" after;
+  Printf.printf "%-24s %12d\n" "cells moved" moved;
+  Printf.printf "%-24s %9.3f ms\n" "epoch latency" (epoch_s *. 1e3);
+  Printf.printf "state hash identical: %b; particles conserved: %b\n" hash_ok parts_ok;
+  Printf.printf "results written to %s\n%!" out;
+  if not pass then
+    fail
+      "live rebalance gate (seed %.2f>=%.1f: %b; moved>0: %b; after %.2f<=%.2f: %b; \
+       conserved: %b; hash: %b)"
+      before pr9_seed_ratio seed_ok moved_ok after pr9_target_ratio ratio_ok parts_ok hash_ok
+
 let find_flag_value args flag =
   let rec go = function
     | a :: b :: _ when a = flag -> Some b
@@ -916,6 +1018,10 @@ let () =
      run_pr8
        ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
        (Option.value ~default:"BENCH_PR8.json" (find_flag_value args "--out"))
+   else if List.mem "--pr9" args then
+     run_pr9
+       ~log:(Option.value ~default:"BENCH.json" (find_flag_value args "--log"))
+       (Option.value ~default:"BENCH_PR9.json" (find_flag_value args "--out"))
    else
      match find_flag_value args "--only" with
      | Some id -> (

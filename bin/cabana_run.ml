@@ -44,8 +44,9 @@ let tick_energies ~step (e : Cabana.Cabana_sim.energies) nparticles =
   end
 
 let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check binned sort_auto
-    sort_every sort_threshold plan faults ckpt_every ckpt_dir restart heal trace metrics
-    obs_summary watch watch_dir heartbeat_every watch_strict inject_nan =
+    sort_every sort_threshold plan faults ckpt_every ckpt_dir restart heal balance
+    balance_threshold balance_every trace metrics obs_summary watch watch_dir heartbeat_every
+    watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
@@ -98,8 +99,13 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
             (fun mode -> Apps_dist.Dist_heal.cabana ~mode ())
             (Resil_cli.parse_heal heal)
         in
+        let balancer =
+          Option.map
+            (fun config -> Apps_dist.Dist_balance.cabana ~config ())
+            (Resil_cli.parse_balance ~balance ~balance_threshold ~balance_every)
+        in
         let dist =
-          Resil_cli.drive ?watch:mon ?healer ~steps ~ckpt_every ~ckpt_dir ~restart
+          Resil_cli.drive ?watch:mon ?healer ?balancer ~steps ~ckpt_every ~ckpt_dir ~restart
             ~make:(fun () ->
               let d =
                 Apps_dist.Cabana_dist.create ~prm ~nranks:ranks
@@ -138,6 +144,12 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
               (Opp_plan.Exec.skipped e)
               (Opp_plan.Exec.skipped e + Opp_plan.Exec.performed e)
         | None -> ());
+        Option.iter
+          (fun b ->
+            let p = Apps_dist.Dist_balance.policy b in
+            Printf.printf "balance: %d rebalance(s) over %d check(s)\n%!"
+              (Opp_balance.Policy.fired p) (Opp_balance.Policy.checks p))
+          balancer;
         Apps_dist.Cabana_dist.shutdown dist;
         Resil_cli.report_faults ();
         Resil_cli.obs_finish ~trace ~metrics ~obs_summary;
@@ -145,6 +157,8 @@ let run nx ny nz ppc v0 steps backend workers ranks hybrid seed validate check b
     | _ ->
         if heal <> None then
           Printf.printf "heal: --heal only applies to the mpi backend; ignored\n%!";
+        if balance <> "off" then
+          Printf.printf "balance: --balance only applies to the mpi backend; ignored\n%!";
         let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
         let runner, cleanup =
           match backend with
@@ -284,9 +298,11 @@ let cmd =
       const run $ nx $ ny $ nz $ ppc $ v0 $ steps $ backend $ workers $ ranks $ hybrid $ seed
       $ validate $ check $ binned $ sort_auto $ sort_every $ sort_threshold $ plan
       $ Resil_cli.faults_arg $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg
-      $ Resil_cli.restart_arg $ Resil_cli.heal_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
-      $ Resil_cli.obs_summary_arg $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg
-      $ Resil_cli.heartbeat_every_arg $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
+      $ Resil_cli.restart_arg $ Resil_cli.heal_arg $ Resil_cli.balance_arg
+      $ Resil_cli.balance_threshold_arg $ Resil_cli.balance_every_arg $ Resil_cli.trace_arg
+      $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg $ Resil_cli.watch_arg
+      $ Resil_cli.watch_dir_arg $ Resil_cli.heartbeat_every_arg $ Resil_cli.watch_strict_arg
+      $ Resil_cli.inject_nan_arg)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

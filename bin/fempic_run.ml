@@ -38,10 +38,10 @@ let locality_config ~binned ~sort_auto ~sort_every ~sort_threshold =
 let poison_seq (sim : Fempic.Fempic_sim.t) =
   sim.Fempic.Fempic_sim.node_phi.Opp_core.Types.d_data.(0) <- Float.nan
 
-let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_hop prefill
-    seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold plan
-    faults ckpt_every ckpt_dir restart heal trace metrics obs_summary watch watch_dir
-    heartbeat_every watch_strict inject_nan =
+let run nx ny nz lx ly lz particles steps backend workers ranks hybrid partitioner direct_hop
+    prefill seed write_mesh neutral_density check binned sort_auto sort_every sort_threshold
+    plan faults ckpt_every ckpt_dir restart heal balance balance_threshold balance_every trace
+    metrics obs_summary watch watch_dir heartbeat_every watch_strict inject_nan =
   Resil_cli.obs_setup ~trace ~metrics ~obs_summary;
   let locality = locality_config ~binned ~sort_auto ~sort_every ~sort_threshold in
   if locality <> None then Printf.printf "locality: cell-binned iteration enabled\n%!";
@@ -81,11 +81,26 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
       let healer =
         Option.map (fun mode -> Apps_dist.Dist_heal.fempic ~mode ()) (Resil_cli.parse_heal heal)
       in
+      let balancer =
+        Option.map
+          (fun config -> Apps_dist.Dist_balance.fempic ~config ())
+          (Resil_cli.parse_balance ~balance ~balance_threshold ~balance_every)
+      in
+      let part_scheme =
+        match partitioner with
+        | "columns" -> `Columns
+        | "slab" -> `Slab
+        | "rcb" -> `Rcb
+        | s ->
+            Printf.eprintf "unknown --partitioner '%s' (columns|slab|rcb)\n" s;
+            exit 1
+      in
       let dist =
-        Resil_cli.drive ?watch:mon ?healer ~steps ~ckpt_every ~ckpt_dir ~restart
+        Resil_cli.drive ?watch:mon ?healer ?balancer ~steps ~ckpt_every ~ckpt_dir ~restart
           ~make:(fun () ->
             let d =
-              Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~use_direct_hop:direct_hop
+              Apps_dist.Fempic_dist.create ~prm ~nranks:ranks ~partitioner:part_scheme
+                ~use_direct_hop:direct_hop
                 ?workers:(if hybrid then Some workers else None)
                 ~checked:check ?locality ~profile ~plan mesh
             in
@@ -117,11 +132,19 @@ let run nx ny nz lx ly lz particles steps backend workers ranks hybrid direct_ho
                 (Opp_plan.Exec.skipped e)
                 (Opp_plan.Exec.skipped e + Opp_plan.Exec.performed e)
           | None -> ());
+      Option.iter
+        (fun b ->
+          let p = Apps_dist.Dist_balance.policy b in
+          Printf.printf "balance: %d rebalance(s) over %d check(s)\n%!"
+            (Opp_balance.Policy.fired p) (Opp_balance.Policy.checks p))
+        balancer;
       Apps_dist.Fempic_dist.shutdown dist;
       Resil_cli.watch_finish mon
   | _ ->
       if heal <> None then
         Printf.printf "heal: --heal only applies to the mpi backend; ignored\n%!";
+      if balance <> "off" then
+        Printf.printf "balance: --balance only applies to the mpi backend; ignored\n%!";
       let sched = Option.map (fun config -> Opp_locality.Sched.create ~config ()) locality in
       let runner, cleanup =
         match backend with
@@ -238,6 +261,15 @@ let cmd =
   let hybrid =
     Arg.(value & flag & info [ "hybrid" ] ~doc:"MPI+OpenMP: per-rank Domains runners")
   in
+  let partitioner =
+    Arg.(
+      value & opt string "columns"
+      & info [ "partitioner" ] ~docv:"SCHEME"
+          ~doc:
+            "mpi backend: initial mesh partitioner — $(b,columns) (balanced, flow-aligned), \
+             $(b,slab) (z slabs; skews under inlet injection, useful with $(b,--balance)), \
+             or $(b,rcb) (recursive coordinate bisection)")
+  in
   let direct_hop = Arg.(value & flag & info [ "direct-hop" ] ~doc:"use the direct-hop mover") in
   let prefill = Arg.(value & flag & info [ "prefill" ] ~doc:"start from the steady-state fill") in
   let seed = Arg.(value & opt int 1234 & info [ "seed" ] ~doc:"RNG seed") in
@@ -296,12 +328,13 @@ let cmd =
     (Cmd.info "fempic_run" ~doc:"Mini-FEM-PIC: electrostatic unstructured-mesh PIC in OP-PIC")
     Term.(
       const run $ nx $ ny $ nz $ lx $ ly $ lz $ particles $ steps $ backend $ workers $ ranks
-      $ hybrid $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density $ check $ binned
-      $ sort_auto $ sort_every $ sort_threshold $ plan $ Resil_cli.faults_arg
+      $ hybrid $ partitioner $ direct_hop $ prefill $ seed $ write_mesh $ neutral_density
+      $ check $ binned $ sort_auto $ sort_every $ sort_threshold $ plan $ Resil_cli.faults_arg
       $ Resil_cli.ckpt_every_arg $ Resil_cli.ckpt_dir_arg $ Resil_cli.restart_arg
-      $ Resil_cli.heal_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg $ Resil_cli.obs_summary_arg
-      $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg $ Resil_cli.heartbeat_every_arg
-      $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
+      $ Resil_cli.heal_arg $ Resil_cli.balance_arg $ Resil_cli.balance_threshold_arg
+      $ Resil_cli.balance_every_arg $ Resil_cli.trace_arg $ Resil_cli.metrics_arg
+      $ Resil_cli.obs_summary_arg $ Resil_cli.watch_arg $ Resil_cli.watch_dir_arg
+      $ Resil_cli.heartbeat_every_arg $ Resil_cli.watch_strict_arg $ Resil_cli.inject_nan_arg)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -120,6 +120,19 @@ let render status =
             (Printf.sprintf "last recovery: %s (%.2f ms)\n" al.Opp_watch.Alert.al_detail
                al.Opp_watch.Alert.al_value)
       | None -> ());
+      (* same for A009: the newest one is the run's last live rebalance *)
+      (match
+         List.fold_left
+           (fun acc aj ->
+             match Opp_watch.Alert.of_json aj with
+             | Ok al when al.Opp_watch.Alert.al_code = "A009" -> Some al
+             | _ -> acc)
+           None alerts
+       with
+      | Some al ->
+          Buffer.add_string buf
+            (Printf.sprintf "last rebalance: %s\n" al.Opp_watch.Alert.al_detail)
+      | None -> ());
       Buffer.add_string buf "recent alerts:\n";
       List.iter
         (fun aj ->

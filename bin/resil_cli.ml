@@ -58,6 +58,65 @@ let parse_heal = function
           Printf.eprintf "error: bad --heal: %s\n%!" msg;
           exit 1)
 
+(* --- dynamic load balancing (opp_balance) ---
+
+   The same flag trio on both distributed drivers: --balance picks the
+   load signal, --balance-threshold the max/mean ratio that arms the
+   policy, --balance-every the refire floor. The policy itself (with
+   hysteresis and the netmodel predicted-gain guard) lives in
+   Opp_balance.Policy; this is just parsing. *)
+
+let balance_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "balance" ] ~docv:"MODE"
+        ~doc:
+          "mpi backend: migrate cell ownership between ranks live when load skews — \
+           $(b,particles) watches per-rank particle counts, $(b,phases) watches measured \
+           per-rank phase wall time (falls back to particle counts without $(b,--watch)); \
+           $(b,off) disables (docs/PERFORMANCE.md)")
+
+let balance_threshold_arg =
+  Arg.(
+    value & opt float 1.5
+    & info [ "balance-threshold" ] ~docv:"R"
+        ~doc:"max/mean load ratio above which a rebalance is considered (must be > 1)")
+
+let balance_every_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "balance-every" ] ~docv:"N"
+        ~doc:"minimum steps between rebalances (hysteresis refire floor)")
+
+(* Resolve the --balance trio into a policy config before any
+   simulation state exists; [None] when balancing is off. *)
+let parse_balance ~balance ~balance_threshold ~balance_every =
+  match Opp_balance.Policy.mode_of_string balance with
+  | Error msg ->
+      Printf.eprintf "error: bad --balance: %s\n%!" msg;
+      exit 1
+  | Ok Opp_balance.Policy.Off -> None
+  | Ok mode ->
+      if balance_threshold <= 1.0 then begin
+        Printf.eprintf "error: --balance-threshold must be > 1\n%!";
+        exit 1
+      end;
+      if balance_every < 1 then begin
+        Printf.eprintf "error: --balance-every must be >= 1\n%!";
+        exit 1
+      end;
+      Printf.printf "balance: dynamic load balancing armed (mode=%s threshold=%.2f every=%d)\n%!"
+        (Opp_balance.Policy.mode_to_string mode)
+        balance_threshold balance_every;
+      Some
+        {
+          Opp_balance.Policy.default_config with
+          Opp_balance.Policy.mode;
+          threshold = balance_threshold;
+          min_interval = balance_every;
+          net = Some Opp_perf.Netmodel.slingshot_cpu;
+        }
+
 (* The standard observability artifact flags. Every driver takes the
    same trio so that a trace or metrics file from any of them feeds
    bin/oppic_prof unchanged. *)
@@ -261,8 +320,8 @@ let report_faults () =
    Because checkpoints resume bit-for-bit and every message fault is
    healed by the detection envelope, the recovered run's final state
    equals the fault-free one's. *)
-let drive ?watch ?healer ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~step_count ~save
-    ~restore ~do_step () =
+let drive ?watch ?healer ?balancer ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy
+    ~step_count ~save ~restore ~do_step () =
   let sim = ref (make ()) in
   let try_restore dirs =
     List.find_map (fun dir -> Option.map (fun s -> (dir, s)) (restore !sim ~dir)) dirs
@@ -323,6 +382,22 @@ let drive ?watch ?healer ~steps ~ckpt_every ~ckpt_dir ~restart ~make ~destroy ~s
               running := false
             end)
           watch;
+        Option.iter
+          (fun b ->
+            match Apps_dist.Dist_balance.check b !sim ~step:s with
+            | None -> ()
+            | Some ev ->
+                Printf.printf "balance: step %d — %s (%.2f ms)\n%!" s
+                  ev.Apps_dist.Dist_balance.ev_detail ev.Apps_dist.Dist_balance.ev_ms;
+                (* every rank's section shapes just changed under the
+                   heal journal; cut a durable shard at the new
+                   partition and re-base so online recovery stays
+                   consistent with the rebalanced world *)
+                if healer <> None then begin
+                  save !sim ~dir:ckpt_dir;
+                  saved := true
+                end)
+          balancer;
         Option.iter
           (fun h ->
             (* a durable checkpoint re-bases the journal (the chains

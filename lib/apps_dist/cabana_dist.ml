@@ -322,6 +322,11 @@ let sections_all t = Array.init t.nranks (fun r -> Cabana.Cabana_ckpt.sections t
     crashes fire at the top of a step, before any state mutates. *)
 let respawn t ~rank sections =
   if rank < 0 || rank >= t.nranks then invalid_arg "Cabana_dist.respawn: bad rank";
+  (* the replaced sim's sets die here: drop their scheduler entries so
+     the sort scheduler neither leaks them nor reuses a stale floor *)
+  (match t.locality with
+  | Some s -> Opp_locality.Sched.forget s t.sims.(rank).Cabana.Cabana_sim.parts
+  | None -> ());
   let sim = t.mk_sim t.tops.(rank) in
   t.sims.(rank) <- sim;
   Cabana.Cabana_ckpt.restore sim sections;
@@ -501,6 +506,9 @@ let shrink t ~dead dead_sections =
   t.cell_exch <- cell_exch;
   t.sims <- sims;
   t.nranks <- nranks;
+  (* every particle set was replaced: drop all scheduler entries so
+     nothing leaks and the stale EWMA floors don't outlive the world *)
+  (match t.locality with Some s -> Opp_locality.Sched.reset s | None -> ());
   (match t.watch with
   | Some wo ->
       let mon = Dist_watch.monitor wo in
@@ -511,6 +519,171 @@ let shrink t ~dead dead_sections =
       t.watch <- Some (Dist_watch.create ~nranks mon)
   | None -> ());
   nranks
+
+(* --- live load rebalance (opp_balance, docs/PERFORMANCE.md) --- *)
+
+(** Per-global-cell particle counts — the [Particles] balance mode's
+    cell weight. *)
+let cell_particle_weights t =
+  let w = Array.make t.mesh.Opp_mesh.Hex_mesh.ncells 0.0 in
+  Array.iteri
+    (fun r sim ->
+      let tp = t.tops.(r) in
+      for p = 0 to sim.Cabana.Cabana_sim.parts.Types.s_size - 1 do
+        let g = tp.Cabana.Cabana_sim.tp_cell_gid.(sim.Cabana.Cabana_sim.p2c.Types.m_data.(p)) in
+        w.(g) <- w.(g) +. 1.0
+      done)
+    t.sims;
+  w
+
+(** Live migration epoch onto the same rank count: weighted diffusive
+    re-partition ({!Partition.rebalance}), then exactly the shrink
+    machinery with every rank a survivor — fence, rebuild topologies
+    and exchange (E070–E072 revalidated), adopt wire state, regather
+    E/B/J by global cell id, reroute owner-changing particles through
+    the mailbox delivery-deadline path. Pure ownership change, so
+    {!state_hash} is bit-identical across the epoch; callers must
+    rebase any heal journal. Returns cells moved (0 = no-op). *)
+let rebalance ?max_move_frac t ~weight =
+  if t.nranks < 2 then 0
+  else begin
+    let nranks = t.nranks in
+    let old_sims = t.sims and old_tops = t.tops in
+    let neighbours c =
+      let seen = Hashtbl.create 32 in
+      for s = 0 to 26 do
+        let nb = t.mesh.Opp_mesh.Hex_mesh.cell_cell27.((27 * c) + s) in
+        if nb <> c then Hashtbl.replace seen nb ()
+      done;
+      Hashtbl.fold (fun c' () acc -> c' :: acc) seen [] |> List.sort compare
+    in
+    let centroid c =
+      [|
+        t.mesh.Opp_mesh.Hex_mesh.cell_centroid.(3 * c);
+        t.mesh.Opp_mesh.Hex_mesh.cell_centroid.((3 * c) + 1);
+        t.mesh.Opp_mesh.Hex_mesh.cell_centroid.((3 * c) + 2);
+      |]
+    in
+    let cell_rank =
+      Partition.rebalance ~nranks ~cell_rank:t.cell_rank ~weight ~centroid ~neighbours
+        ?max_move_frac ()
+    in
+    let moved = ref 0 in
+    Array.iteri (fun c r -> if cell_rank.(c) <> r then incr moved) t.cell_rank;
+    if !moved = 0 then 0
+    else begin
+      Exch.fence t.cell_exch;
+      let tops_pairs =
+        Array.init nranks (fun r -> build_topology t.prm t.mesh ~cell_rank ~r)
+      in
+      let cell_exch = build_exch ~nranks ~cell_rank tops_pairs in
+      Exch.adopt_wire_state ~from:t.cell_exch cell_exch;
+      let sims = Array.map (fun (topology, _) -> t.mk_sim topology) tops_pairs in
+      Array.iter
+        (fun sim ->
+          sim.Cabana.Cabana_sim.step_count <- t.step_count;
+          Particle.resize sim.Cabana.Cabana_sim.parts 0)
+        sims;
+      (* regather persistent fields by global cell id, scatter to owned
+         and halo, re-derive freshness *)
+      let ncells_g = t.mesh.Opp_mesh.Hex_mesh.ncells in
+      let g_e = Array.make (3 * ncells_g) 0.0
+      and g_b = Array.make (3 * ncells_g) 0.0
+      and g_j = Array.make (3 * ncells_g) 0.0 in
+      Array.iteri
+        (fun r sim ->
+          let tp = old_tops.(r) in
+          for l = 0 to tp.Cabana.Cabana_sim.tp_owned - 1 do
+            let g = tp.Cabana.Cabana_sim.tp_cell_gid.(l) in
+            Array.blit sim.Cabana.Cabana_sim.cell_e.Types.d_data (3 * l) g_e (3 * g) 3;
+            Array.blit sim.Cabana.Cabana_sim.cell_b.Types.d_data (3 * l) g_b (3 * g) 3;
+            Array.blit sim.Cabana.Cabana_sim.cell_j.Types.d_data (3 * l) g_j (3 * g) 3
+          done)
+        old_sims;
+      Array.iteri
+        (fun rn sim ->
+          let tp, _ = tops_pairs.(rn) in
+          Array.iteri
+            (fun l g ->
+              Array.blit g_e (3 * g) sim.Cabana.Cabana_sim.cell_e.Types.d_data (3 * l) 3;
+              Array.blit g_b (3 * g) sim.Cabana.Cabana_sim.cell_b.Types.d_data (3 * l) 3;
+              Array.blit g_j (3 * g) sim.Cabana.Cabana_sim.cell_j.Types.d_data (3 * l) 3)
+            tp.Cabana.Cabana_sim.tp_cell_gid;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_e;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_b;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_j;
+          Freshness.mark_fresh sim.Cabana.Cabana_sim.cell_interp)
+        sims;
+      (* particles: stay-at-home ones re-localize in place; cell-owner
+         changers go through the mailbox delivery-deadline machinery *)
+      let new_g2l = Array.map snd tops_pairs in
+      let mail = Mailbox.create ~nranks ~payload_dim in
+      Array.iteri
+        (fun r sim ->
+          let tp = old_tops.(r) in
+          let n = sim.Cabana.Cabana_sim.parts.Types.s_size in
+          let keep = ref 0 in
+          for p = 0 to n - 1 do
+            let g = tp.Cabana.Cabana_sim.tp_cell_gid.(sim.Cabana.Cabana_sim.p2c.Types.m_data.(p)) in
+            if cell_rank.(g) = r then incr keep
+          done;
+          let nsim = sims.(r) in
+          Particle.resize nsim.Cabana.Cabana_sim.parts !keep;
+          let idx = ref 0 in
+          for p = 0 to n - 1 do
+            let g = tp.Cabana.Cabana_sim.tp_cell_gid.(sim.Cabana.Cabana_sim.p2c.Types.m_data.(p)) in
+            let dest = cell_rank.(g) in
+            if dest = r then begin
+              Array.blit sim.Cabana.Cabana_sim.part_off.Types.d_data (3 * p)
+                nsim.Cabana.Cabana_sim.part_off.Types.d_data (3 * !idx) 3;
+              Array.blit sim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * p)
+                nsim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * !idx) 3;
+              Array.blit sim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * p)
+                nsim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * !idx) 3;
+              nsim.Cabana.Cabana_sim.part_w.Types.d_data.(!idx) <-
+                sim.Cabana.Cabana_sim.part_w.Types.d_data.(p);
+              nsim.Cabana.Cabana_sim.p2c.Types.m_data.(!idx) <- Hashtbl.find new_g2l.(r) g;
+              incr idx
+            end
+            else begin
+              let payload = Array.make payload_dim 0.0 in
+              Array.blit sim.Cabana.Cabana_sim.part_off.Types.d_data (3 * p) payload 0 3;
+              Array.blit sim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * p) payload 3 3;
+              Array.blit sim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * p) payload 6 3;
+              payload.(9) <- sim.Cabana.Cabana_sim.part_w.Types.d_data.(p);
+              Mailbox.post mail ~src:r ~dest ~cell:g ~payload
+            end
+          done)
+        old_sims;
+      ignore
+        (Mailbox.deliver ~traffic:t.traffic
+           ~reroute:(fun ~cell -> cell_rank.(cell))
+           mail
+           (fun r batch ->
+             let nsim = sims.(r) in
+             let start = Opp.inject nsim.Cabana.Cabana_sim.parts (List.length batch) in
+             List.iteri
+               (fun i (gcell, payload) ->
+                 let idx = start + i in
+                 Array.blit payload 0 nsim.Cabana.Cabana_sim.part_off.Types.d_data (3 * idx) 3;
+                 Array.blit payload 3 nsim.Cabana.Cabana_sim.part_vel.Types.d_data (3 * idx) 3;
+                 Array.blit payload 6 nsim.Cabana.Cabana_sim.part_disp.Types.d_data (3 * idx) 3;
+                 nsim.Cabana.Cabana_sim.part_w.Types.d_data.(idx) <- payload.(9);
+                 nsim.Cabana.Cabana_sim.p2c.Types.m_data.(idx) <-
+                   Hashtbl.find new_g2l.(r) gcell)
+               batch));
+      Array.iter (fun sim -> Opp.reset_injected sim.Cabana.Cabana_sim.parts) sims;
+      (* swap the world in place *)
+      t.cell_rank <- cell_rank;
+      t.tops <- Array.map fst tops_pairs;
+      t.cell_g2l <- new_g2l;
+      t.owned <- Array.map (fun (tp, _) -> tp.Cabana.Cabana_sim.tp_owned) tops_pairs;
+      t.cell_exch <- cell_exch;
+      t.sims <- sims;
+      (match t.locality with Some s -> Opp_locality.Sched.reset s | None -> ());
+      !moved
+    end
+  end
 
 (** Order-canonical FNV-64 hash of the global persistent state: E/B/J
     in global cell order plus the particle multiset sorted by (global

@@ -25,6 +25,10 @@ type t = {
   mutable last_mono : float;
   mutable last_bytes : float;
   mutable last_retries : int;
+  mutable last_totals : float array;
+      (** per-rank total phase µs of the last drained heartbeat
+          interval — the live load signal [--balance=phases] reads
+          (the phase table itself is cleared at every heartbeat) *)
 }
 
 let create ~nranks mon =
@@ -36,6 +40,7 @@ let create ~nranks mon =
     last_mono = Opp_obs.Clock.now_s ();
     last_bytes = 0.0;
     last_retries = 0;
+    last_totals = Array.make nranks 0.0;
   }
 
 let monitor w = w.mon
@@ -70,6 +75,11 @@ let phases_of w r =
     w.order
 
 let clear_phases w = Hashtbl.iter (fun _ a -> Array.fill a 0 (Array.length a) 0.0) w.phases
+
+(** Per-rank total phase wall time (µs) over the last completed
+    heartbeat interval — a snapshot that survives the heartbeat drain,
+    so the load balancer can read it at any step boundary. *)
+let rank_load_us w = w.last_totals
 
 (** Fraction of [dats] whose halo copies are stale at this boundary. *)
 let stale_halo_frac dats =
@@ -114,6 +124,11 @@ let step_done wo ~step ~particles ~capacity ~nonfinite ~dirty ~(traffic : Opp_di
                ~retransmits:(if r = 0 then float_of_int dretries else 0.0)
                ~nonfinite:(nonfinite r) ~phase_us:(phases_of w r) ())
         done;
+        (let totals = Array.make w.nranks 0.0 in
+         Hashtbl.iter
+           (fun _ a -> Array.iteri (fun r v -> totals.(r) <- totals.(r) +. v) a)
+           w.phases;
+         w.last_totals <- totals);
         clear_phases w;
         Opp_watch.Monitor.step_done ~fault_stats w.mon ~step
       end

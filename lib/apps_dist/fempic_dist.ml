@@ -430,6 +430,11 @@ let sections_all t = Array.init t.nranks (fun r -> rank_sections t r)
     crashes fire at the top of a step, before any state mutates. *)
 let respawn t ~rank sections =
   if rank < 0 || rank >= t.nranks then invalid_arg "Fempic_dist.respawn: bad rank";
+  (* the replaced sim's sets die here: drop their scheduler entries so
+     the sort scheduler neither leaks them nor reuses a stale floor *)
+  (match t.locality with
+  | Some s -> Opp_locality.Sched.forget s t.sims.(rank).Fempic.Fempic_sim.parts
+  | None -> ());
   t.sims.(rank) <- t.mk_sim t.part.Tet_part.locals.(rank);
   restore_rank t rank sections;
   t.sims.(rank).Fempic.Fempic_sim.step_count <- t.step_count;
@@ -655,6 +660,9 @@ let shrink t ~dead dead_sections =
   t.part <- part;
   t.sims <- sims;
   t.nranks <- nranks;
+  (* every particle set was replaced: drop all scheduler entries so
+     nothing leaks and the stale EWMA floors don't outlive the world *)
+  (match t.locality with Some s -> Opp_locality.Sched.reset s | None -> ());
   (match t.overlay with
   | Some ov -> Opp_mesh.Overlay.assign_ranks ov ~cell_rank
   | None -> ());
@@ -668,6 +676,190 @@ let shrink t ~dead dead_sections =
       t.watch <- Some (Dist_watch.create ~nranks mon)
   | None -> ());
   nranks
+
+(* --- live load rebalance (opp_balance, docs/PERFORMANCE.md) --- *)
+
+(** Per-global-cell particle counts — the [Particles] balance mode's
+    cell weight. *)
+let cell_particle_weights t =
+  let w = Array.make t.part.Tet_part.global.Opp_mesh.Tet_mesh.ncells 0.0 in
+  Array.iteri
+    (fun r sim ->
+      let lm = t.part.Tet_part.locals.(r) in
+      for p = 0 to sim.Fempic.Fempic_sim.parts.Types.s_size - 1 do
+        let g = lm.Tet_part.lm_cell_g.(sim.Fempic.Fempic_sim.p2c.Types.m_data.(p)) in
+        w.(g) <- w.(g) +. 1.0
+      done)
+    t.sims;
+  w
+
+(** Live migration epoch: re-partition the running world onto the same
+    rank count by weighted diffusion ({!Partition.rebalance}) and move
+    everything to its new owner without stopping the run. Fenced like a
+    heal epoch: both exchanges quarantine in-flight old-epoch traffic,
+    the partition and exchanges are rebuilt ([Exch.create] revalidates
+    E070–E072) and adopt the wire state, field dats are regathered by
+    global identity and freshness re-derived, injection state follows
+    its global face identity, and particles whose cell changed owner
+    are rerouted through the mailbox delivery-deadline machinery (the
+    same path a heal reroute takes). Pure ownership change — no owned
+    value is touched — so {!state_hash} is bit-identical across the
+    epoch; callers must reset/rebase any heal journal (the section
+    shapes changed). Returns the number of cells that changed owner
+    (0 = the plan was a no-op and nothing was rebuilt). *)
+let rebalance ?max_move_frac t ~weight =
+  if t.nranks < 2 then 0
+  else begin
+    let nranks = t.nranks in
+    let old_part = t.part and old_sims = t.sims in
+    let mesh = old_part.Tet_part.global in
+    let old_rank = old_part.Tet_part.cell_rank in
+    let cell_rank =
+      Partition.rebalance ~nranks ~cell_rank:old_rank ~weight
+        ~centroid:(mesh_centroid mesh) ~neighbours:(cell_neighbours mesh) ?max_move_frac ()
+    in
+    let moved = ref 0 in
+    Array.iteri (fun c r -> if cell_rank.(c) <> r then incr moved) old_rank;
+    if !moved = 0 then 0
+    else begin
+      (* fence the old epoch: stragglers stamped with it are stale *)
+      Exch.fence old_part.Tet_part.cell_exch;
+      Exch.fence old_part.Tet_part.node_exch;
+      let part = Tet_part.build mesh ~cell_rank ~nranks in
+      Exch.adopt_wire_state ~from:old_part.Tet_part.cell_exch part.Tet_part.cell_exch;
+      Exch.adopt_wire_state ~from:old_part.Tet_part.node_exch part.Tet_part.node_exch;
+      let sims = Array.map t.mk_sim part.Tet_part.locals in
+      Array.iter (fun sim -> sim.Fempic.Fempic_sim.step_count <- t.step_count) sims;
+      (* regather the global field state from its owners, scatter to
+         every new local slot — owned and halo — and re-derive the
+         freshness bits (exactly the shrink path, with every rank a
+         survivor) *)
+      let nnodes = mesh.Opp_mesh.Tet_mesh.nnodes
+      and ncells = mesh.Opp_mesh.Tet_mesh.ncells in
+      let g_node_phi = Array.make nnodes 0.0
+      and g_node_charge = Array.make nnodes 0.0
+      and g_node_den = Array.make nnodes 0.0
+      and g_cell_ef = Array.make (3 * ncells) 0.0 in
+      Array.iteri
+        (fun r sim ->
+          let lm = old_part.Tet_part.locals.(r) in
+          for l = 0 to lm.Tet_part.lm_node_owned - 1 do
+            let g = lm.Tet_part.lm_node_g.(l) in
+            g_node_phi.(g) <- sim.Fempic.Fempic_sim.node_phi.Types.d_data.(l);
+            g_node_charge.(g) <- sim.Fempic.Fempic_sim.node_charge.Types.d_data.(l);
+            g_node_den.(g) <- sim.Fempic.Fempic_sim.node_charge_den.Types.d_data.(l)
+          done;
+          for l = 0 to lm.Tet_part.lm_cell_owned - 1 do
+            Array.blit sim.Fempic.Fempic_sim.cell_ef.Types.d_data (3 * l) g_cell_ef
+              (3 * lm.Tet_part.lm_cell_g.(l))
+              3
+          done)
+        old_sims;
+      Array.iteri
+        (fun rn sim ->
+          let lm = part.Tet_part.locals.(rn) in
+          Array.iteri
+            (fun l g ->
+              sim.Fempic.Fempic_sim.node_phi.Types.d_data.(l) <- g_node_phi.(g);
+              sim.Fempic.Fempic_sim.node_charge.Types.d_data.(l) <- g_node_charge.(g);
+              sim.Fempic.Fempic_sim.node_charge_den.Types.d_data.(l) <- g_node_den.(g))
+            lm.Tet_part.lm_node_g;
+          Array.iteri
+            (fun l g ->
+              Array.blit g_cell_ef (3 * g) sim.Fempic.Fempic_sim.cell_ef.Types.d_data (3 * l) 3)
+            lm.Tet_part.lm_cell_g;
+          Freshness.mark_fresh sim.Fempic.Fempic_sim.node_phi;
+          Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge;
+          Freshness.mark_fresh sim.Fempic.Fempic_sim.node_charge_den;
+          Freshness.mark_fresh sim.Fempic.Fempic_sim.cell_ef)
+        sims;
+      (* injection state follows its global face identity *)
+      let fmap = Hashtbl.create 64 in
+      Array.iteri
+        (fun r sim ->
+          Array.iteri
+            (fun i (f : Opp_mesh.Tet_mesh.face) ->
+              Hashtbl.replace fmap f.Opp_mesh.Tet_mesh.f_id
+                ( sim.Fempic.Fempic_sim.face_carry.(i),
+                  Rng.state sim.Fempic.Fempic_sim.face_rng.(i) ))
+            old_part.Tet_part.locals.(r).Tet_part.lm_mesh.Opp_mesh.Tet_mesh.inlet_faces)
+        old_sims;
+      Array.iteri
+        (fun rn sim ->
+          Array.iteri
+            (fun i (f : Opp_mesh.Tet_mesh.face) ->
+              match Hashtbl.find_opt fmap f.Opp_mesh.Tet_mesh.f_id with
+              | Some (carry, rng) ->
+                  sim.Fempic.Fempic_sim.face_carry.(i) <- carry;
+                  Rng.set_state sim.Fempic.Fempic_sim.face_rng.(i) rng
+              | None -> ())
+            part.Tet_part.locals.(rn).Tet_part.lm_mesh.Opp_mesh.Tet_mesh.inlet_faces)
+        sims;
+      (* particles: stay-at-home ones re-localize in place; cell-owner
+         changers go through the mailbox delivery-deadline machinery *)
+      let mail = Mailbox.create ~nranks ~payload_dim in
+      Array.iteri
+        (fun r sim ->
+          let lm = old_part.Tet_part.locals.(r) in
+          let n = sim.Fempic.Fempic_sim.parts.Types.s_size in
+          let keep = ref 0 in
+          for p = 0 to n - 1 do
+            let g = lm.Tet_part.lm_cell_g.(sim.Fempic.Fempic_sim.p2c.Types.m_data.(p)) in
+            if cell_rank.(g) = r then incr keep
+          done;
+          let nsim = sims.(r) in
+          Particle.resize nsim.Fempic.Fempic_sim.parts !keep;
+          let idx = ref 0 in
+          for p = 0 to n - 1 do
+            let g = lm.Tet_part.lm_cell_g.(sim.Fempic.Fempic_sim.p2c.Types.m_data.(p)) in
+            let dest = cell_rank.(g) in
+            if dest = r then begin
+              Array.blit sim.Fempic.Fempic_sim.part_pos.Types.d_data (3 * p)
+                nsim.Fempic.Fempic_sim.part_pos.Types.d_data (3 * !idx) 3;
+              Array.blit sim.Fempic.Fempic_sim.part_vel.Types.d_data (3 * p)
+                nsim.Fempic.Fempic_sim.part_vel.Types.d_data (3 * !idx) 3;
+              Array.blit sim.Fempic.Fempic_sim.part_lc.Types.d_data (4 * p)
+                nsim.Fempic.Fempic_sim.part_lc.Types.d_data (4 * !idx) 4;
+              nsim.Fempic.Fempic_sim.p2c.Types.m_data.(!idx) <-
+                Hashtbl.find part.Tet_part.cell_g2l.(r) g;
+              incr idx
+            end
+            else begin
+              let payload = Array.make payload_dim 0.0 in
+              Array.blit sim.Fempic.Fempic_sim.part_pos.Types.d_data (3 * p) payload 0 3;
+              Array.blit sim.Fempic.Fempic_sim.part_vel.Types.d_data (3 * p) payload 3 3;
+              Array.blit sim.Fempic.Fempic_sim.part_lc.Types.d_data (4 * p) payload 6 4;
+              Mailbox.post mail ~src:r ~dest ~cell:g ~payload
+            end
+          done)
+        old_sims;
+      ignore
+        (Mailbox.deliver ~traffic:t.traffic
+           ~reroute:(fun ~cell -> cell_rank.(cell))
+           mail
+           (fun r batch ->
+             let nsim = sims.(r) in
+             let start = Opp.inject nsim.Fempic.Fempic_sim.parts (List.length batch) in
+             List.iteri
+               (fun i (gcell, payload) ->
+                 let idx = start + i in
+                 Array.blit payload 0 nsim.Fempic.Fempic_sim.part_pos.Types.d_data (3 * idx) 3;
+                 Array.blit payload 3 nsim.Fempic.Fempic_sim.part_vel.Types.d_data (3 * idx) 3;
+                 Array.blit payload 6 nsim.Fempic.Fempic_sim.part_lc.Types.d_data (4 * idx) 4;
+                 nsim.Fempic.Fempic_sim.p2c.Types.m_data.(idx) <-
+                   Hashtbl.find part.Tet_part.cell_g2l.(r) gcell)
+               batch));
+      Array.iter (fun sim -> Opp.reset_injected sim.Fempic.Fempic_sim.parts) sims;
+      (* swap the world in place *)
+      t.part <- part;
+      t.sims <- sims;
+      (match t.locality with Some s -> Opp_locality.Sched.reset s | None -> ());
+      (match t.overlay with
+      | Some ov -> Opp_mesh.Overlay.assign_ranks ov ~cell_rank
+      | None -> ());
+      !moved
+    end
+  end
 
 (** Order-canonical FNV-64 hash of the global owned state: field dats
     in global element order, particles as a sorted multiset of

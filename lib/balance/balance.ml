@@ -1,0 +1,20 @@
+(** Shared accounting for live rebalance epochs, mirroring
+    [Opp_heal.Heal]'s recovery ledger: every executed epoch lands in
+    the opp_obs metrics registry under [balance.*] so bench gates,
+    oppic_top, and the CI smoke can assert on it without driver
+    plumbing. *)
+
+let count name =
+  if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.add ("balance." ^ name) 1.0
+
+(** Record one executed migration epoch: wall latency, cells that
+    changed owner, and the max/mean load ratio before and after. *)
+let record_rebalance ~ms ~moved_cells ~before ~after ~step =
+  if !Opp_obs.Metrics.enabled then begin
+    Opp_obs.Metrics.add "balance.rebalances" 1.0;
+    Opp_obs.Metrics.add "balance.moved_cells" (float_of_int moved_cells);
+    Opp_obs.Metrics.set "balance.ms" ms;
+    Opp_obs.Metrics.set "balance.imbalance_before" before;
+    Opp_obs.Metrics.set "balance.imbalance_after" after;
+    Opp_obs.Metrics.set "balance.last_step" (float_of_int step)
+  end

@@ -1,0 +1,123 @@
+(** The rebalance decision policy (opp_balance, docs/PERFORMANCE.md
+    "Dynamic load balancing").
+
+    A balancer watches one per-rank load signal each step — particle
+    counts ([Particles]) or measured phase wall time ([Phases]) — and
+    asks this policy whether a live re-partition is worth the epoch.
+    Three guards stack, in order:
+
+    - {b threshold}: the max/mean load ratio must exceed [threshold];
+    - {b min-interval}: at least [min_interval] steps since the last
+      rebalance (migration epochs are not free — rebuilding the
+      exchanges and regathering dats costs a synchronisation);
+    - {b hysteresis}: once a rebalance has fired, the next one waits
+      until the ratio also exceeds [hysteresis] x [threshold]. Some
+      workloads (an injection hot-spot pinned to the inlet) cannot be
+      balanced below the threshold by moving cells; without the
+      re-arm the policy would thrash a migration epoch every
+      [min_interval] steps for no gain. The ratio dropping below
+      [threshold] re-arms the plain trigger.
+
+    When a [net] model is supplied, a fourth guard prices the epoch:
+    the predicted per-step straggler excess ([work_per_unit] x
+    (max − mean) load units) amortised over [horizon] steps must
+    exceed the one-off migration cost ([Opp_perf.Netmodel.p2p_time]
+    over [move_bytes]). *)
+
+type mode = Off | Particles | Phases
+
+let mode_of_string = function
+  | "off" -> Ok Off
+  | "particles" -> Ok Particles
+  | "phases" -> Ok Phases
+  | s -> Error (Printf.sprintf "unknown balance mode %S (off|particles|phases)" s)
+
+let mode_to_string = function Off -> "off" | Particles -> "particles" | Phases -> "phases"
+
+type config = {
+  mode : mode;
+  threshold : float;  (** max/mean load ratio that arms a rebalance *)
+  min_interval : int;  (** minimum steps between rebalances *)
+  hysteresis : float;  (** re-arm factor after a rebalance fired; 1.0 disables *)
+  max_move_frac : float;  (** per-round transfer bound, see {!Opp_dist.Partition.rebalance} *)
+  net : Opp_perf.Netmodel.t option;  (** prices the epoch; [None] skips the gain guard *)
+  horizon : int;  (** steps the migration cost is amortised over *)
+}
+
+let default_config =
+  {
+    mode = Off;
+    threshold = 1.5;
+    min_interval = 10;
+    hysteresis = 1.15;
+    max_move_frac = 0.5;
+    net = None;
+    horizon = 50;
+  }
+
+type decision =
+  | No_action
+  | Rebalance of { imbalance : float; predicted_gain : float }
+      (** [predicted_gain] is seconds saved over the horizon
+          ([infinity] without a net model). *)
+
+type t = {
+  cfg : config;
+  mutable last_fired : int;  (** step of the last rebalance; min_int = never *)
+  mutable armed : bool;  (** plain-threshold trigger armed (hysteresis) *)
+  mutable fired : int;
+  mutable checks : int;
+}
+
+let create cfg = { cfg; last_fired = min_int; armed = true; fired = 0; checks = 0 }
+
+let config t = t.cfg
+let fired t = t.fired
+let checks t = t.checks
+
+(** Max/mean of a load vector (1.0 when degenerate). *)
+let load_ratio loads =
+  let n = Array.length loads in
+  if n = 0 then 1.0
+  else begin
+    let total = Array.fold_left ( +. ) 0.0 loads in
+    let mean = total /. float_of_int n in
+    let mx = Array.fold_left Float.max 0.0 loads in
+    if mean > 0.0 then mx /. mean else 1.0
+  end
+
+(** One per-step scheduling point. [loads] is the per-rank signal;
+    [move_bytes] estimates the migration epoch's wire cost and
+    [work_per_unit] converts one load unit into seconds of straggler
+    time (both only consulted when the config carries a net model). *)
+let decide t ~step ~loads ?(move_bytes = 0) ?(work_per_unit = 0.0) () =
+  t.checks <- t.checks + 1;
+  let imb = load_ratio loads in
+  if !Opp_obs.Metrics.enabled then Opp_obs.Metrics.set "balance.imbalance" imb;
+  if t.cfg.mode = Off then No_action
+  else if imb <= t.cfg.threshold then begin
+    t.armed <- true;
+    No_action
+  end
+  else if t.last_fired <> min_int && step - t.last_fired < t.cfg.min_interval then No_action
+  else if (not t.armed) && imb <= t.cfg.threshold *. t.cfg.hysteresis then No_action
+  else begin
+    let gain =
+      match t.cfg.net with
+      | None -> infinity
+      | Some net ->
+          let n = Array.length loads in
+          let mean = Array.fold_left ( +. ) 0.0 loads /. float_of_int (max n 1) in
+          let mx = Array.fold_left Float.max 0.0 loads in
+          let excess_per_step = (mx -. mean) *. work_per_unit in
+          let cost = Opp_perf.Netmodel.p2p_time net ~messages:(max n 1) ~bytes:move_bytes in
+          (excess_per_step *. float_of_int t.cfg.horizon) -. cost
+    in
+    if gain <= 0.0 then No_action
+    else begin
+      t.last_fired <- step;
+      t.armed <- false;
+      t.fired <- t.fired + 1;
+      Rebalance { imbalance = imb; predicted_gain = gain }
+    end
+  end

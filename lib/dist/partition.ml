@@ -161,6 +161,139 @@ let heal_reassign ~nranks ~dead ~cell_rank ~centroid ~neighbours =
     new_rank
   end
 
+(** Live re-partition (opp_balance): bounded cell-ownership transfer
+    between {e adjacent} ranks — a diffusive variant of the incremental
+    re-bisection {!heal_reassign} uses. Each round pairs the heaviest
+    overloaded rank with its lightest adjacent under-loaded rank and
+    shifts boundary cells toward the light rank, in order of projection
+    along the heavy-to-light axis, until the pair's weights meet in the
+    middle (or the per-round move bound is hit). Rounds repeat until no
+    cell moves. Because a giver always keeps at least one cell and a
+    taker only gains, every rank that starts nonempty stays nonempty,
+    and the cell multiset is trivially preserved (ownership is the only
+    thing rewritten) — the qcheck oracle in test_balance asserts both.
+    [weight] is the per-cell load (particle count, phase time share);
+    all-zero weights are a no-op. Returns the new assignment (the input
+    is not mutated). *)
+let rebalance ~nranks ~cell_rank ~weight ~centroid ~neighbours
+    ?(max_rounds = 16) ?(max_move_frac = 0.5) () =
+  if nranks <= 0 then invalid_arg "Partition.rebalance: nranks must be positive";
+  if max_move_frac <= 0.0 || max_move_frac > 1.0 then
+    invalid_arg "Partition.rebalance: max_move_frac must be in (0, 1]";
+  let ncells = Array.length cell_rank in
+  let new_rank = Array.copy cell_rank in
+  if ncells = 0 || nranks = 1 then new_rank
+  else begin
+    Array.iter
+      (fun r ->
+        if r < 0 || r >= nranks then invalid_arg "Partition.rebalance: rank out of range")
+      cell_rank;
+    let w = Array.make nranks 0.0 in
+    let cells = Array.make nranks [] in
+    let refresh () =
+      Array.fill w 0 nranks 0.0;
+      Array.fill cells 0 nranks [];
+      for c = ncells - 1 downto 0 do
+        let r = new_rank.(c) in
+        w.(r) <- w.(r) +. weight c;
+        cells.(r) <- c :: cells.(r)
+      done
+    in
+    let adjacent_of r =
+      (* ranks owning a neighbour of one of r's cells *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun c ->
+          List.iter
+            (fun n ->
+              if n >= 0 && n < ncells && new_rank.(n) <> r then
+                Hashtbl.replace seen new_rank.(n) ())
+            (neighbours c))
+        cells.(r);
+      Hashtbl.fold (fun r' () acc -> r' :: acc) seen [] |> List.sort compare
+    in
+    let mean_pos r =
+      (* owned-region centroid, for the transfer direction *)
+      let sum = [| 0.0; 0.0; 0.0 |] and n = ref 0 in
+      List.iter
+        (fun c ->
+          let p = centroid c in
+          for a = 0 to 2 do
+            sum.(a) <- sum.(a) +. p.(a)
+          done;
+          incr n)
+        cells.(r);
+      if !n = 0 then sum else Array.map (fun s -> s /. float_of_int !n) sum
+    in
+    let eps = 1e-12 in
+    let moved_total = ref 0 in
+    let rounds = ref 0 in
+    let progress = ref true in
+    while !progress && !rounds < max_rounds do
+      incr rounds;
+      progress := false;
+      refresh ();
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let mean = total /. float_of_int nranks in
+      if mean > eps then begin
+        (* heaviest-first sweep: each overloaded rank sheds toward its
+           lightest adjacent rank once per round *)
+        let order = Array.init nranks Fun.id in
+        Array.sort (fun a b -> compare w.(b) w.(a)) order;
+        Array.iter
+          (fun h ->
+            if w.(h) > mean +. eps && List.length cells.(h) > 1 then begin
+              match
+                adjacent_of h
+                |> List.filter (fun l -> w.(l) < w.(h) -. eps)
+                |> List.sort (fun a b -> compare w.(a) w.(b))
+              with
+              | [] -> ()
+              | l :: _ ->
+                  let ph = mean_pos h and pl = mean_pos l in
+                  let dir = Array.init 3 (fun a -> pl.(a) -. ph.(a)) in
+                  let proj c =
+                    let p = centroid c in
+                    (p.(0) *. dir.(0)) +. (p.(1) *. dir.(1)) +. (p.(2) *. dir.(2))
+                  in
+                  (* closest-to-l first, so the boundary diffuses *)
+                  let order_h =
+                    List.sort (fun a b ->
+                        let c = compare (proj b) (proj a) in
+                        if c <> 0 then c else compare a b)
+                      cells.(h)
+                    |> Array.of_list
+                  in
+                  let target = (w.(h) -. w.(l)) /. 2.0 in
+                  let cap =
+                    max 1 (int_of_float (max_move_frac *. float_of_int (Array.length order_h)))
+                  in
+                  let moved_w = ref 0.0 and moved_n = ref 0 in
+                  let keep = ref (Array.length order_h) in
+                  Array.iter
+                    (fun c ->
+                      if !moved_w +. eps < target && !moved_n < cap && !keep > 1 then begin
+                        new_rank.(c) <- l;
+                        moved_w := !moved_w +. weight c;
+                        incr moved_n;
+                        decr keep;
+                        w.(h) <- w.(h) -. weight c;
+                        w.(l) <- w.(l) +. weight c
+                      end)
+                    order_h;
+                  if !moved_n > 0 then begin
+                    moved_total := !moved_total + !moved_n;
+                    progress := true;
+                    refresh ()
+                  end
+            end)
+          order
+      end
+    done;
+    ignore !moved_total;
+    new_rank
+  end
+
 (** Cells per rank, for balance checks. *)
 let rank_counts ~nranks cell_rank =
   let counts = Array.make nranks 0 in
@@ -171,9 +304,10 @@ let rank_counts ~nranks cell_rank =
     cell_rank;
   counts
 
-(** Max/mean cell-count imbalance of a partition (1.0 = perfect). *)
+(** Max/mean cell-count imbalance of a partition (1.0 = perfect; an
+    empty world is trivially balanced). *)
 let imbalance ~nranks cell_rank =
   let counts = rank_counts ~nranks cell_rank in
   let mx = Array.fold_left max 0 counts in
   let mean = float_of_int (Array.length cell_rank) /. float_of_int nranks in
-  float_of_int mx /. mean
+  if mean <= 0.0 then 1.0 else float_of_int mx /. mean

@@ -31,8 +31,30 @@ val heal_reassign :
     abut their new owner. Rank numbers are unchanged — compact after.
     [neighbours] is the cell adjacency (face or stencil). *)
 
+val rebalance :
+  nranks:int ->
+  cell_rank:int array ->
+  weight:(int -> float) ->
+  centroid:(int -> float array) ->
+  neighbours:(int -> int list) ->
+  ?max_rounds:int ->
+  ?max_move_frac:float ->
+  unit ->
+  int array
+(** Live re-partition (opp_balance): bounded, diffusive cell-ownership
+    transfer between adjacent ranks. Each round the heaviest overloaded
+    rank sheds boundary cells (by [weight], e.g. per-cell particle
+    count) to its lightest adjacent under-loaded rank along the
+    heavy-to-light axis; at most [max_move_frac] of the giver's cells
+    move per pair per round, a giver always keeps at least one cell,
+    and rounds stop at convergence or [max_rounds]. Preserves the cell
+    multiset (only ownership is rewritten) and keeps every
+    started-nonempty rank nonempty. Returns a new assignment; the
+    input is not mutated. *)
+
 val rank_counts : nranks:int -> int array -> int array
 (** Cells per rank; raises [Invalid_argument] on out-of-range ranks. *)
 
 val imbalance : nranks:int -> int array -> float
-(** Max/mean cell count (1.0 = perfectly balanced). *)
+(** Max/mean cell count (1.0 = perfectly balanced; 1.0 for an empty
+    world — no NaN on [ncells = 0]). *)

@@ -1,0 +1,133 @@
+(** The opp_balance weak-scaling campaign.
+
+    One genuinely executed skewed run anchors the model: Mini-FEM-PIC
+    under a deliberately bad [`Slab] partition (the inlet injects into
+    rank 0's slab, so its particle load runs several times the mean),
+    measured at 4 simulated ranks, then live-rebalanced through
+    {!Apps_dist.Fempic_dist.rebalance}. The measured load ratios
+    before and after, the epoch's migration traffic, and the run's
+    communication profile are projected across rank counts and the
+    interconnects of the paper's three systems ({!Systems.archer2},
+    {!Systems.bede}, {!Systems.lumi_g}): static keeps paying the
+    straggler's sync time every step, balanced pays the post-epoch
+    ratio plus the amortized cost of one migration epoch per policy
+    interval. *)
+
+open Opp_dist
+
+type measured = {
+  m_before : float;  (** max/mean particle ratio under the skewed slab partition *)
+  m_after : float;  (** max/mean ratio after the live rebalance epoch *)
+  m_moved_cells : int;
+  m_epoch_bytes : float;  (** particle payload shipped by the epoch *)
+  m_epoch_msgs : int;
+  m_comm : Workload.comm;  (** per-rank per-step communication profile *)
+  m_compute : float;  (** executed compute seconds per step per rank *)
+}
+
+let ranks_measured = 4
+
+let measured =
+  lazy
+    (let warm = 15 and steps = 5 in
+     let profile = Opp_core.Profile.create () in
+     let dist =
+       Apps_dist.Fempic_dist.create ~prm:Config.fempic_small_prm ~nranks:ranks_measured
+         ~partitioner:`Slab ~profile (Config.fempic_mesh ())
+     in
+     Apps_dist.Fempic_dist.run dist ~steps:warm;
+     Traffic.reset dist.Apps_dist.Fempic_dist.traffic;
+     Apps_dist.Fempic_dist.run dist ~steps;
+     let comm =
+       Workload.comm_of_traffic dist.Apps_dist.Fempic_dist.traffic ~ranks:ranks_measured ~steps
+     in
+     let before = 1.0 +. Apps_dist.Fempic_dist.particle_imbalance dist in
+     (* isolate the epoch's own migration traffic *)
+     Traffic.reset dist.Apps_dist.Fempic_dist.traffic;
+     let w = Apps_dist.Fempic_dist.cell_particle_weights dist in
+     let moved = Apps_dist.Fempic_dist.rebalance dist ~weight:(fun c -> w.(c)) in
+     let after = 1.0 +. Apps_dist.Fempic_dist.particle_imbalance dist in
+     let tr = dist.Apps_dist.Fempic_dist.traffic in
+     let compute =
+       Opp_core.Profile.total_seconds ~t:profile ()
+       /. float_of_int ((warm + steps) * ranks_measured)
+     in
+     {
+       m_before = before;
+       m_after = after;
+       m_moved_cells = moved;
+       m_epoch_bytes = tr.Traffic.migrate_bytes;
+       m_epoch_msgs = tr.Traffic.migrate_messages;
+       m_comm = comm;
+       m_compute = compute;
+     })
+
+(* one migration epoch per policy refire interval, spread over the
+   steps it buys *)
+let epoch_time_per_step (m : measured) (net : Opp_perf.Netmodel.t) =
+  let interval = Opp_balance.Policy.default_config.Opp_balance.Policy.min_interval in
+  (Opp_perf.Netmodel.p2p_time net ~messages:(max m.m_epoch_msgs 1)
+     ~bytes:(int_of_float m.m_epoch_bytes)
+  +. Opp_perf.Netmodel.barrier_time net ~ranks:ranks_measured)
+  /. float_of_int (max interval 1)
+
+type row = {
+  r_system : string;
+  r_ranks : int;
+  r_static : float;  (** modelled s/step, skewed partition left alone *)
+  r_balanced : float;  (** modelled s/step with live rebalancing *)
+}
+
+let rank_counts = [ 2; 4; 8; 16; 32; 64; 128 ]
+
+(** Modelled per-step times for every (system, rank count) pair. *)
+let rows () =
+  let m = Lazy.force measured in
+  let comm_static = { m.m_comm with Workload.imbalance = m.m_before -. 1.0 } in
+  let comm_bal = { m.m_comm with Workload.imbalance = m.m_after -. 1.0 } in
+  List.concat_map
+    (fun (sys : Systems.t) ->
+      let net = sys.Systems.net in
+      let epoch = epoch_time_per_step m net in
+      List.map
+        (fun ranks ->
+          let time c extra =
+            m.m_compute
+            +. Workload.comm_time c net ~ranks
+            +. Workload.sync_time c ~compute:m.m_compute ~ranks
+            +. extra
+          in
+          {
+            r_system = sys.Systems.sys_name;
+            r_ranks = ranks;
+            r_static = time comm_static 0.0;
+            r_balanced = time comm_bal epoch;
+          })
+        rank_counts)
+    Scaling.systems
+
+let run fmt =
+  let m = Lazy.force measured in
+  Format.fprintf fmt
+    "opp_balance campaign: Mini-FEM-PIC under a skewed slab partition (measured at %d ranks)@.@."
+    ranks_measured;
+  Format.fprintf fmt
+    "measured: load ratio %.2f -> %.2f after one live rebalance epoch (%d cells, %.1f KiB \
+     shipped)@.@."
+    m.m_before m.m_after m.m_moved_cells
+    (m.m_epoch_bytes /. 1024.0);
+  let last_sys = ref "" in
+  List.iter
+    (fun r ->
+      if r.r_system <> !last_sys then begin
+        last_sys := r.r_system;
+        Format.fprintf fmt "@.%s:@." r.r_system;
+        Format.fprintf fmt "  %6s  %12s  %12s  %8s@." "ranks" "static s/st" "balanced s/st"
+          "speedup"
+      end;
+      Format.fprintf fmt "  %6d  %12.3e  %12.3e  %7.2fx@." r.r_ranks r.r_static r.r_balanced
+        (r.r_static /. r.r_balanced))
+    (rows ());
+  Format.fprintf fmt
+    "@.(static pays the straggler's sync time every step; balanced pays the post-epoch ratio \
+     plus one amortized migration epoch per policy interval)@."

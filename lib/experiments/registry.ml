@@ -21,6 +21,7 @@ let all =
     { id = "abl_holefill"; title = "Ablation: hole filling vs sort"; run = Ablations.run_holefill };
     { id = "abl_coloring"; title = "Ablation: scatter arrays vs colouring"; run = Ablations.run_coloring };
     { id = "abl_partition"; title = "Ablation: partitioners"; run = Ablations.run_partitioner };
+    { id = "campaign_balance"; title = "Campaign: dynamic load balancing weak scaling"; run = Campaign.run };
     { id = "validate"; title = "Validation vs original"; run = Validate.run };
     { id = "ext_landau"; title = "Extension: Landau damping vs kinetic theory"; run = Ext_landau.run };
   ]

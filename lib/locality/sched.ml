@@ -73,6 +73,34 @@ let entry t set =
       t.entries <- e :: t.entries;
       e
 
+(** Number of sets currently tracked (for leak regression tests). *)
+let tracked t = List.length t.entries
+
+(** Drop the cached state (bins, EWMA degradation floor, step counter)
+    for [set]. Call when a set is freed or replaced — entries are
+    matched by physical identity, so a dead set would otherwise pin its
+    storage and cached [Bins.t] forever and lengthen every scan. *)
+let forget t set = t.entries <- List.filter (fun e -> e.e_set != set) t.entries
+
+(** Keep only entries whose set is physically in [live]; prunes
+    everything replaced by a world rebuild. *)
+let retain t live =
+  t.entries <- List.filter (fun e -> List.exists (fun s -> s == e.e_set) live) t.entries
+
+(** Forget every tracked set. Called from the heal and rebalance paths:
+    a world-shape change (shrink, respawn, live re-partition) replaces
+    the particle sets wholesale and invalidates the per-set EWMA
+    degradation floor — the post-recovery distribution is a different
+    workload, so a stale floor would suppress or mis-fire auto-sorts.
+    Entries rebuild lazily at the next {!bins}/{!maybe_sort}. *)
+let reset t = t.entries <- []
+
+(** Per-set scheduler state, if tracked: (maybe_sort steps seen, EWMA
+    degradation floor). Test introspection for the staleness fix. *)
+let stats t set =
+  List.find_opt (fun e -> e.e_set == set) t.entries
+  |> Option.map (fun e -> (e.e_steps, e.e_floor))
+
 (** The cached bin structure of [set], rebuilt when [s_version] moved.
     [None] for mesh sets and sets with no particle-to-cell map. *)
 let bins t set =

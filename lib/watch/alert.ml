@@ -26,6 +26,11 @@
       completed — the dead rank was respawned in place, or the job
       shrank onto the surviving ranks (degraded mode). [al_value]
       carries the recovery latency in ms.
+    - [A009] — live rebalance: the dynamic load balancer
+      ([opp_balance]) executed a migration epoch — cells changed
+      owner, dats were regathered, particles rerouted. [al_value]
+      carries the pre-rebalance max/mean load ratio against the
+      configured threshold.
 
     An alert identifies where ([al_rank]; −1 means run-wide), when
     ([al_step]), and by how much ([al_value] against
@@ -40,7 +45,7 @@ type t = {
   al_detail : string;
 }
 
-let codes = [ "A001"; "A002"; "A003"; "A004"; "A005"; "A006"; "A007"; "A008" ]
+let codes = [ "A001"; "A002"; "A003"; "A004"; "A005"; "A006"; "A007"; "A008"; "A009" ]
 
 let describe = function
   | "A001" -> "step-time regression (EWMA)"
@@ -51,6 +56,7 @@ let describe = function
   | "A006" -> "stalled rank"
   | "A007" -> "rank crash"
   | "A008" -> "rank recovered / degraded"
+  | "A009" -> "live rebalance"
   | c -> "unknown alert " ^ c
 
 let make ~code ~step ~rank ~value ~threshold detail =
@@ -67,6 +73,14 @@ let crash ~rank ~step =
 let recovered ~mode ~rank ~step ~ms detail =
   make ~code:"A008" ~step ~rank ~value:ms ~threshold:0.0
     (Printf.sprintf "rank %d %s-recovered at step %d: %s" rank mode step detail)
+
+(** A live rebalance epoch executed ([opp_balance]): [imbalance] is
+    the max/mean load ratio that tripped the policy, [threshold] its
+    configured limit; [detail] says how many cells moved and where the
+    ratio landed. Run-wide ([al_rank] = −1). *)
+let rebalanced ~step ~imbalance ~threshold detail =
+  make ~code:"A009" ~step ~rank:(-1) ~value:imbalance ~threshold
+    (Printf.sprintf "live rebalance at step %d: %s" step detail)
 
 module J = Opp_obs.Json
 

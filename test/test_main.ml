@@ -21,4 +21,5 @@ let () =
       ("prof", Test_prof.suite);
       ("watch", Test_watch.suite);
       ("plan", Test_plan.suite);
+      ("balance", Test_balance.suite);
     ]
